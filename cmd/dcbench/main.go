@@ -1,0 +1,232 @@
+// Command dcbench regenerates the tables and figures of "Characterizing
+// Data Analysis Workloads in Data Centers" (IISWC 2013) on the simulated
+// cluster and core models.
+//
+// Usage:
+//
+//	dcbench list                 # the 26-workload registry and the 11 cluster workloads
+//	dcbench run <workload>       # one cluster workload on 4 slaves
+//	dcbench figure <1..12>       # regenerate one figure
+//	dcbench table <1..3>         # regenerate one table
+//	dcbench all                  # everything, in paper order
+//
+// Flags:
+//
+//	-scale f    fraction of the paper's input sizes for cluster runs (default 0.02)
+//	-seed n     generator seed (default 42)
+//	-instrs n   measured instructions per workload trace (default 650000)
+//	-warmup n   ramp-up instructions excluded from counters (default 250000)
+//	-csv        emit CSV instead of tables
+//	-chart      append an ASCII bar chart to single-metric figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"dcbench/internal/core"
+	"dcbench/internal/report"
+	"dcbench/internal/workloads"
+)
+
+func main() {
+	opts := report.DefaultOptions()
+	scale := flag.Float64("scale", opts.Scale, "fraction of the paper's input sizes")
+	seed := flag.Uint64("seed", opts.Seed, "generator seed")
+	instrs := flag.Int64("instrs", opts.Instrs, "measured instructions per trace")
+	warmup := flag.Int64("warmup", opts.Warmup, "ramp-up instructions excluded from counters")
+	csv := flag.Bool("csv", false, "emit CSV")
+	chart := flag.Bool("chart", false, "append ASCII bar charts")
+	jsonOut := flag.Bool("json", false, "emit the characterization sweep as JSON (figure/all)")
+	flag.Parse()
+	opts.Scale, opts.Seed, opts.Instrs, opts.Warmup = *scale, *seed, *instrs, *warmup
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "list":
+		err = list()
+	case "run":
+		if len(args) < 2 {
+			usage()
+		}
+		err = runWorkload(args[1], opts)
+	case "figure":
+		if len(args) < 2 {
+			usage()
+		}
+		if *jsonOut {
+			err = exportJSON(opts)
+		} else {
+			err = figure(args[1], opts, *csv, *chart)
+		}
+	case "table":
+		if len(args) < 2 {
+			usage()
+		}
+		err = table(args[1], opts, *csv)
+	case "export":
+		err = exportJSON(opts)
+	case "all":
+		err = all(opts, *csv, *chart)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dcbench [flags] list | run <workload> | figure <1..12> | table <1..3> | export | all")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+// exportJSON dumps the full characterization sweep for offline analysis.
+func exportJSON(o report.Options) error {
+	results := report.Characterized(o)
+	data, err := core.ExportJSON(results)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(data, '\n'))
+	return err
+}
+
+func list() error {
+	fmt.Println("Cluster workloads (Figures 2 and 5, Tables I-II):")
+	for _, w := range workloads.All() {
+		fmt.Printf("  %-14s %3.0f GB  %v\n", w.Name, w.InputGB, w.Domains)
+	}
+	fmt.Println("\nCharacterization registry (Figures 3-12):")
+	for _, w := range core.Registry() {
+		fmt.Printf("  %-18s %-12s %s\n", w.Name, w.Suite, w.Class)
+	}
+	return nil
+}
+
+func runWorkload(name string, o report.Options) error {
+	w := workloads.ByName(name)
+	if w == nil {
+		return fmt.Errorf("unknown workload %q (try `dcbench list`)", name)
+	}
+	env := workloads.NewEnv(4, o.Scale, o.Seed)
+	st, err := w.Run(env)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on 4 slaves at scale %.3f:\n", w.Name, o.Scale)
+	fmt.Printf("  makespan        %10.1f s (simulated)\n", st.Makespan)
+	fmt.Printf("  jobs            %10d\n", st.Jobs)
+	fmt.Printf("  input           %10.2f GB (simulated)\n", float64(st.InputSimBytes)/1e9)
+	fmt.Printf("  disk writes     %10.1f ops/s/node\n", st.DiskWritesPerSecond())
+	fmt.Printf("  network         %10.2f GB\n", float64(st.NetBytes)/1e9)
+	fmt.Printf("  core busy       %10.1f core-seconds\n", st.CoreSeconds)
+	fmt.Println("  quality:")
+	for k, v := range st.Quality {
+		fmt.Printf("    %-22s %v\n", k, v)
+	}
+	return nil
+}
+
+func emit(t *report.Table, csv, chart bool) {
+	if csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+	if chart && len(t.Columns) > 0 {
+		fmt.Print(t.BarChart(50))
+	}
+	fmt.Println()
+}
+
+func figure(num string, o report.Options, csv, chart bool) error {
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 1 || n > 12 {
+		return fmt.Errorf("figure number must be 1..12")
+	}
+	switch n {
+	case 1:
+		emit(report.Figure1(), csv, chart)
+		return nil
+	case 2:
+		t, err := report.Figure2(o)
+		if err != nil {
+			return err
+		}
+		emit(t, csv, chart)
+		return nil
+	case 5:
+		t, err := report.Figure5(o)
+		if err != nil {
+			return err
+		}
+		emit(t, csv, chart)
+		return nil
+	}
+	results := report.Characterized(o)
+	builders := map[int]func([]*core.Result) *report.Table{
+		3: report.Figure3, 4: report.Figure4, 6: report.Figure6,
+		7: report.Figure7, 8: report.Figure8, 9: report.Figure9,
+		10: report.Figure10, 11: report.Figure11, 12: report.Figure12,
+	}
+	emit(builders[n](results), csv, chart)
+	return nil
+}
+
+func table(num string, o report.Options, csv bool) error {
+	switch num {
+	case "1":
+		results := report.Characterized(o)
+		t, err := report.Table1(o, results)
+		if err != nil {
+			return err
+		}
+		emit(t, csv, false)
+	case "2":
+		fmt.Println(report.Table2())
+	case "3":
+		fmt.Println(report.Table3())
+	default:
+		return fmt.Errorf("table number must be 1..3")
+	}
+	return nil
+}
+
+func all(o report.Options, csv, chart bool) error {
+	emit(report.Figure1(), csv, chart)
+	fmt.Println(report.Table2())
+	fmt.Println(report.Table3())
+	t2, err := report.Figure2(o)
+	if err != nil {
+		return err
+	}
+	emit(t2, csv, chart)
+	t5, err := report.Figure5(o)
+	if err != nil {
+		return err
+	}
+	emit(t5, csv, chart)
+	results := report.Characterized(o)
+	t1, err := report.Table1(o, results)
+	if err != nil {
+		return err
+	}
+	emit(t1, csv, false)
+	for _, b := range []func([]*core.Result) *report.Table{
+		report.Figure3, report.Figure4, report.Figure6, report.Figure7,
+		report.Figure8, report.Figure9, report.Figure10, report.Figure11,
+		report.Figure12,
+	} {
+		emit(b(results), csv, chart)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+// Charscan: a miniature of the paper's whole evaluation — characterize a
+// representative workload from each class on the simulated core and print
+// the cross-class comparison the paper builds its conclusions on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcbench/internal/core"
+	"dcbench/internal/uarch"
+)
+
+func main() {
+	names := []string{
+		"K-means",      // data analysis, compute-shaped
+		"Sort",         // data analysis, I/O-shaped
+		"Data Serving", // scale-out service
+		"SPECINT",      // desktop
+		"HPCC-HPL",     // compute-bound HPC
+		"HPCC-STREAM",  // bandwidth-bound HPC
+	}
+	cfg := uarch.DefaultConfig()
+	cfg.Warmup = 200_000
+
+	fmt.Printf("%-14s %6s %7s %9s %8s %9s %10s\n",
+		"workload", "IPC", "kern%", "L1I mpki", "L2 mpki", "dTLB pki", "mispred%")
+	for _, name := range names {
+		w, err := core.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := core.Characterize(w, cfg, 600_000).Counters
+		fmt.Printf("%-14s %6.2f %7.1f %9.1f %8.1f %9.2f %10.1f\n",
+			name, c.IPC(), 100*c.KernelShare(), c.L1IMPKI(), c.L2MPKI(),
+			c.DTLBWalksPKI(), 100*c.BranchMispredictRatio())
+	}
+	fmt.Println("\nThe paper's classes separate exactly here: services sit at the")
+	fmt.Println("bottom on IPC with kernel-heavy, front-end-bound profiles; data")
+	fmt.Println("analysis lands in the middle with modest kernel time and back-end")
+	fmt.Println("stalls; dense HPC kernels top the IPC chart while STREAM-like")
+	fmt.Println("kernels are pure memory bandwidth.")
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// ItemCF is an item-based collaborative filtering recommender (the paper's
+// IBCF workload): it computes item-item cosine similarities from a rating
+// matrix and predicts a user's rating for an unseen item as the
+// similarity-weighted mean of the user's ratings on similar items.
+type ItemCF struct {
+	// byItem[item][user] = rating
+	byItem map[int]map[int]float64
+	// byUser[user][item] = rating
+	byUser map[int]map[int]float64
+	// sims caches the top-K similarity lists per item.
+	sims map[int][]ItemSim
+	topK int
+}
+
+// ItemSim is one entry of an item's similarity list.
+type ItemSim struct {
+	Item int
+	Sim  float64
+}
+
+// NewItemCF builds the recommender from ratings, keeping topK neighbours
+// per item.
+func NewItemCF(topK int) *ItemCF {
+	return &ItemCF{
+		byItem: make(map[int]map[int]float64),
+		byUser: make(map[int]map[int]float64),
+		sims:   make(map[int][]ItemSim),
+		topK:   topK,
+	}
+}
+
+// Add inserts one rating.
+func (cf *ItemCF) Add(user, item int, score float64) {
+	if cf.byItem[item] == nil {
+		cf.byItem[item] = make(map[int]float64)
+	}
+	cf.byItem[item][user] = score
+	if cf.byUser[user] == nil {
+		cf.byUser[user] = make(map[int]float64)
+	}
+	cf.byUser[user][item] = score
+	delete(cf.sims, item) // invalidate cache
+}
+
+// Cosine computes the cosine similarity between two items' rating vectors
+// over their co-rating users.
+func (cf *ItemCF) Cosine(a, b int) float64 {
+	ra, rb := cf.byItem[a], cf.byItem[b]
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	var dot float64
+	for u, va := range ra {
+		if vb, ok := rb[u]; ok {
+			dot += va * vb
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	var na, nb float64
+	for _, v := range cf.byItem[a] {
+		na += v * v
+	}
+	for _, v := range cf.byItem[b] {
+		nb += v * v
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Items returns all item ids in ascending order.
+func (cf *ItemCF) Items() []int {
+	items := make([]int, 0, len(cf.byItem))
+	for it := range cf.byItem {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	return items
+}
+
+// Similar returns the top-K most similar items to item, computing and
+// caching the list on first use.
+func (cf *ItemCF) Similar(item int) []ItemSim {
+	if s, ok := cf.sims[item]; ok {
+		return s
+	}
+	var list []ItemSim
+	for _, other := range cf.Items() {
+		if other == item {
+			continue
+		}
+		if s := cf.Cosine(item, other); s > 0 {
+			list = append(list, ItemSim{Item: other, Sim: s})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Sim != list[j].Sim {
+			return list[i].Sim > list[j].Sim
+		}
+		return list[i].Item < list[j].Item
+	})
+	if len(list) > cf.topK {
+		list = list[:cf.topK]
+	}
+	cf.sims[item] = list
+	return list
+}
+
+// Predict estimates user's rating for item. The second return is false when
+// no co-rated neighbours exist.
+func (cf *ItemCF) Predict(user, item int) (float64, bool) {
+	urs := cf.byUser[user]
+	if len(urs) == 0 {
+		return 0, false
+	}
+	var num, den float64
+	for _, is := range cf.Similar(item) {
+		if r, ok := urs[is.Item]; ok {
+			num += is.Sim * r
+			den += is.Sim
+		}
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// Recommend returns up to n unseen items ranked by predicted rating.
+func (cf *ItemCF) Recommend(user, n int) []ItemSim {
+	urs := cf.byUser[user]
+	var recs []ItemSim
+	for _, item := range cf.Items() {
+		if _, seen := urs[item]; seen {
+			continue
+		}
+		if p, ok := cf.Predict(user, item); ok {
+			recs = append(recs, ItemSim{Item: item, Sim: p})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Sim != recs[j].Sim {
+			return recs[i].Sim > recs[j].Sim
+		}
+		return recs[i].Item < recs[j].Item
+	})
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	return recs
+}

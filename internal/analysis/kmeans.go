@@ -1,0 +1,164 @@
+package analysis
+
+import "math"
+
+// SquaredDistance returns the squared Euclidean distance between a and b.
+func SquaredDistance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// NearestCentroid returns the index of the closest centroid and the squared
+// distance to it.
+func NearestCentroid(p []float64, centroids [][]float64) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c, cen := range centroids {
+		if d := SquaredDistance(p, cen); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// KMeansStep performs one Lloyd iteration: assign every point to its nearest
+// centroid and return the new centroids, the assignment, and the total
+// within-cluster squared distance (the objective).
+func KMeansStep(points, centroids [][]float64) (next [][]float64, assign []int, cost float64) {
+	k := len(centroids)
+	dim := len(centroids[0])
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	counts := make([]int, k)
+	assign = make([]int, len(points))
+	for i, p := range points {
+		c, d := NearestCentroid(p, centroids)
+		assign[i] = c
+		cost += d
+		counts[c]++
+		for j, v := range p {
+			sums[c][j] += v
+		}
+	}
+	next = make([][]float64, k)
+	for c := range next {
+		next[c] = make([]float64, dim)
+		if counts[c] == 0 {
+			copy(next[c], centroids[c]) // keep empty clusters in place
+			continue
+		}
+		for j := range next[c] {
+			next[c][j] = sums[c][j] / float64(counts[c])
+		}
+	}
+	return next, assign, cost
+}
+
+// KMeans runs Lloyd's algorithm from the first k points until the objective
+// improves by less than tol or maxIters is reached. It returns centroids,
+// the final assignment and the iteration count.
+func KMeans(points [][]float64, k, maxIters int, tol float64) ([][]float64, []int, int) {
+	if k <= 0 || len(points) < k {
+		panic("analysis: KMeans needs at least k points")
+	}
+	centroids := make([][]float64, k)
+	for i := range centroids {
+		centroids[i] = append([]float64(nil), points[i]...)
+	}
+	prev := math.Inf(1)
+	var assign []int
+	for it := 1; it <= maxIters; it++ {
+		var cost float64
+		centroids, assign, cost = KMeansStep(points, centroids)
+		if prev-cost < tol {
+			return centroids, assign, it
+		}
+		prev = cost
+	}
+	return centroids, assign, maxIters
+}
+
+// FuzzyKMeansStep performs one fuzzy C-means iteration with fuzziness m:
+// soft memberships u_ic ∝ (1/d_ic)^(1/(m-1)), centroids as membership-
+// weighted means. Returns new centroids, the membership matrix and the
+// fuzzy objective.
+func FuzzyKMeansStep(points, centroids [][]float64, m float64) ([][]float64, [][]float64, float64) {
+	k := len(centroids)
+	dim := len(centroids[0])
+	memb := make([][]float64, len(points))
+	exp := 1 / (m - 1)
+	cost := 0.0
+	for i, p := range points {
+		u := make([]float64, k)
+		// Handle coincident points: full membership to the first zero-
+		// distance centroid.
+		hit := -1
+		for c := range centroids {
+			if d := SquaredDistance(p, centroids[c]); d == 0 {
+				hit = c
+				break
+			}
+		}
+		if hit >= 0 {
+			u[hit] = 1
+		} else {
+			sum := 0.0
+			for c := range centroids {
+				w := math.Pow(1/SquaredDistance(p, centroids[c]), exp)
+				u[c] = w
+				sum += w
+			}
+			for c := range u {
+				u[c] /= sum
+			}
+		}
+		memb[i] = u
+		for c := range centroids {
+			cost += math.Pow(u[c], m) * SquaredDistance(p, centroids[c])
+		}
+	}
+	next := make([][]float64, k)
+	for c := range next {
+		next[c] = make([]float64, dim)
+		den := 0.0
+		for i, p := range points {
+			w := math.Pow(memb[i][c], m)
+			den += w
+			for j, v := range p {
+				next[c][j] += w * v
+			}
+		}
+		if den == 0 {
+			copy(next[c], centroids[c])
+			continue
+		}
+		for j := range next[c] {
+			next[c][j] /= den
+		}
+	}
+	return next, memb, cost
+}
+
+// FuzzyKMeans iterates fuzzy C-means until the objective stabilises.
+func FuzzyKMeans(points [][]float64, k int, m float64, maxIters int, tol float64) ([][]float64, [][]float64, int) {
+	centroids := make([][]float64, k)
+	for i := range centroids {
+		centroids[i] = append([]float64(nil), points[i]...)
+	}
+	prev := math.Inf(1)
+	var memb [][]float64
+	for it := 1; it <= maxIters; it++ {
+		var cost float64
+		centroids, memb, cost = FuzzyKMeansStep(points, centroids, m)
+		if math.Abs(prev-cost) < tol {
+			return centroids, memb, it
+		}
+		prev = cost
+	}
+	return centroids, memb, maxIters
+}

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dcbench/internal/datagen"
+)
+
+// --- ItemCF ---
+
+func TestItemCFCosineProperties(t *testing.T) {
+	cf := NewItemCF(10)
+	cf.Add(0, 1, 5)
+	cf.Add(0, 2, 5)
+	cf.Add(1, 1, 3)
+	cf.Add(1, 2, 3)
+	cf.Add(2, 3, 4)
+	// Items 1 and 2 share identical raters: cosine 1.
+	if s := cf.Cosine(1, 2); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("cosine(1,2) = %v, want 1", s)
+	}
+	// No co-raters: cosine 0.
+	if s := cf.Cosine(1, 3); s != 0 {
+		t.Fatalf("cosine(1,3) = %v, want 0", s)
+	}
+	// Symmetry.
+	if cf.Cosine(1, 2) != cf.Cosine(2, 1) {
+		t.Fatal("cosine not symmetric")
+	}
+}
+
+func TestItemCFPredictsLatentStructure(t *testing.T) {
+	ratings := datagen.Ratings(6, 60, 80, 20)
+	cf := NewItemCF(20)
+	// Hold out every 10th rating for evaluation.
+	var held []datagen.Rating
+	for i, r := range ratings {
+		if i%10 == 0 {
+			held = append(held, r)
+		} else {
+			cf.Add(r.User, r.Item, r.Score)
+		}
+	}
+	var absErr, n float64
+	for _, r := range held {
+		if p, ok := cf.Predict(r.User, r.Item); ok {
+			absErr += math.Abs(p - r.Score)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no predictions possible")
+	}
+	if mae := absErr / n; mae > 1.2 {
+		t.Fatalf("MAE = %v, want <= 1.2 on latent-structured data", mae)
+	}
+}
+
+func TestItemCFRecommendExcludesSeen(t *testing.T) {
+	ratings := datagen.Ratings(7, 30, 40, 10)
+	cf := NewItemCF(10)
+	seen := map[int]bool{}
+	for _, r := range ratings {
+		cf.Add(r.User, r.Item, r.Score)
+		if r.User == 0 {
+			seen[r.Item] = true
+		}
+	}
+	for _, rec := range cf.Recommend(0, 5) {
+		if seen[rec.Item] {
+			t.Fatalf("recommended already-rated item %d", rec.Item)
+		}
+	}
+}
+
+func TestItemCFSimilarCapped(t *testing.T) {
+	cf := NewItemCF(3)
+	for u := 0; u < 10; u++ {
+		for it := 0; it < 8; it++ {
+			cf.Add(u, it, float64(1+(u+it)%5))
+		}
+	}
+	if got := len(cf.Similar(0)); got > 3 {
+		t.Fatalf("similar list = %d, want <= 3", got)
+	}
+}
+
+// --- HMM ---
+
+func TestViterbiRecoversStickyPath(t *testing.T) {
+	obs, hidden := datagen.ObservationSeq(8, 3, 30, 2000)
+	h := TrainSupervised(3, 30, [][]int{obs}, [][]int{hidden})
+	path, _ := h.Viterbi(obs)
+	right := 0
+	for i := range path {
+		if path[i] == hidden[i] {
+			right++
+		}
+	}
+	if acc := float64(right) / float64(len(path)); acc < 0.6 {
+		t.Fatalf("viterbi accuracy = %v, want >= 0.6", acc)
+	}
+}
+
+func TestViterbiDeterministicChain(t *testing.T) {
+	// Two states, each deterministically emitting its own symbol.
+	h := NewHMM(2, 2)
+	// Emissions dominate transitions so the decoded path must follow the
+	// observations exactly (no tie between staying and switching).
+	eBig, eSmall := math.Log(0.99), math.Log(0.01)
+	aBig, aSmall := math.Log(0.9), math.Log(0.1)
+	h.LogPi = []float64{math.Log(0.5), math.Log(0.5)}
+	h.LogA = [][]float64{{aBig, aSmall}, {aSmall, aBig}}
+	h.LogB = [][]float64{{eBig, eSmall}, {eSmall, eBig}}
+	obs := []int{0, 0, 1, 1, 1, 0}
+	path, lp := h.Viterbi(obs)
+	want := []int{0, 0, 1, 1, 1, 0}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if lp >= 0 {
+		t.Fatalf("log-prob = %v, want negative", lp)
+	}
+}
+
+func TestViterbiPathAtLeastAsLikelyAsTruth(t *testing.T) {
+	// Property: the Viterbi path's joint log-prob >= the true path's.
+	if err := quick.Check(func(seed uint64) bool {
+		obs, hidden := datagen.ObservationSeq(seed, 3, 12, 60)
+		h := TrainSupervised(3, 12, [][]int{obs}, [][]int{hidden})
+		path, lp := h.Viterbi(obs)
+		return lp >= h.jointLogProb(obs, hidden)-1e-9 && len(path) == len(obs)
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardLikelihoodGEViterbi(t *testing.T) {
+	obs, hidden := datagen.ObservationSeq(4, 3, 20, 100)
+	h := TrainSupervised(3, 20, [][]int{obs}, [][]int{hidden})
+	_, viterbiLP := h.Viterbi(obs)
+	if total := h.LogLikelihood(obs); total < viterbiLP-1e-9 {
+		t.Fatalf("forward LL %v < viterbi %v", total, viterbiLP)
+	}
+}
+
+func TestEmptyObservation(t *testing.T) {
+	h := NewHMM(2, 3)
+	if path, lp := h.Viterbi(nil); path != nil || lp != 0 {
+		t.Fatal("empty observation should be trivial")
+	}
+}
+
+// jointLogProb scores a specific path for the property test.
+func (h *HMM) jointLogProb(obs, path []int) float64 {
+	lp := h.LogPi[path[0]] + h.LogB[path[0]][obs[0]]
+	for t := 1; t < len(obs); t++ {
+		lp += h.LogA[path[t-1]][path[t]] + h.LogB[path[t]][obs[t]]
+	}
+	return lp
+}
+
+// --- PageRank ---
+
+func TestPageRankSumsToOne(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		g := datagen.WebGraph(seed, 150, 3)
+		ranks, _ := PageRank(g, 0.85, 50, 1e-10)
+		sum := 0.0
+		for _, r := range ranks {
+			if r < 0 {
+				return false
+			}
+			sum += r
+		}
+		return math.Abs(sum-1) < 1e-6
+	}, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankHubsRankHigher(t *testing.T) {
+	g := datagen.WebGraph(2, 500, 4)
+	ranks, _ := PageRank(g, 0.85, 100, 1e-12)
+	indeg := make([]int, len(g))
+	for _, outs := range g {
+		for _, t2 := range outs {
+			indeg[t2]++
+		}
+	}
+	maxIn, maxNode := 0, 0
+	for i, d := range indeg {
+		if d > maxIn {
+			maxIn, maxNode = d, i
+		}
+	}
+	// The highest in-degree node should rank above the median node.
+	above := 0
+	for _, r := range ranks {
+		if ranks[maxNode] > r {
+			above++
+		}
+	}
+	if frac := float64(above) / float64(len(ranks)); frac < 0.95 {
+		t.Fatalf("hub only above %v of nodes", frac)
+	}
+}
+
+func TestPageRankConvergesOnCycle(t *testing.T) {
+	g := [][]int{{1}, {2}, {0}}
+	ranks, iters := PageRank(g, 0.85, 200, 1e-12)
+	for _, r := range ranks {
+		if math.Abs(r-1.0/3) > 1e-6 {
+			t.Fatalf("cycle ranks = %v, want uniform", ranks)
+		}
+	}
+	if iters >= 200 {
+		t.Fatal("did not converge")
+	}
+}
+
+func TestPageRankDanglingMassConserved(t *testing.T) {
+	g := [][]int{{1}, {}} // node 1 dangles
+	ranks := []float64{0.5, 0.5}
+	next := PageRankStep(g, ranks, 0.85)
+	sum := next[0] + next[1]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("mass leaked: sum = %v", sum)
+	}
+}
+
+// --- Text ---
+
+func TestTokenizeStripsMarkup(t *testing.T) {
+	toks := Tokenize("<html><p>Hello, World 42!</p></html>")
+	want := []string{"hello", "world", "42"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", toks, want)
+		}
+	}
+}
+
+func TestTokenizeEmptyAndPunctuation(t *testing.T) {
+	if toks := Tokenize("...!!!"); len(toks) != 0 {
+		t.Fatalf("tokens = %v, want none", toks)
+	}
+	if toks := Tokenize(""); len(toks) != 0 {
+		t.Fatalf("tokens = %v, want none", toks)
+	}
+}
+
+func TestHashFeaturesUnitNorm(t *testing.T) {
+	if err := quick.Check(func(words []string) bool {
+		var clean []string
+		for _, w := range words {
+			if w != "" {
+				clean = append(clean, w)
+			}
+		}
+		v := HashFeatures(clean, 64)
+		var n float64
+		for _, x := range v {
+			n += x * x
+		}
+		if len(clean) == 0 {
+			return n == 0
+		}
+		return math.Abs(n-1) < 1e-9
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTermFrequencies(t *testing.T) {
+	tf := TermFrequencies([]string{"a", "b", "a"})
+	if tf["a"] != 2 || tf["b"] != 1 {
+		t.Fatalf("tf = %v", tf)
+	}
+}

@@ -1,0 +1,121 @@
+// Package analysis implements the data analysis algorithms underlying the
+// paper's eleven workloads (Section II-C): multinomial Naive Bayes, a linear
+// SVM, K-means and fuzzy K-means clustering, item-based collaborative
+// filtering, a hidden Markov model with Viterbi decoding, PageRank and text
+// utilities. These are the library equivalents of the Mahout/Hadoop-example
+// implementations the paper measures; internal/workloads distributes them
+// over the MapReduce engine.
+package analysis
+
+import "math"
+
+// NaiveBayes is a multinomial Naive Bayes text classifier with Laplace
+// smoothing.
+type NaiveBayes struct {
+	Classes    int
+	Vocab      map[string]int
+	classDocs  []float64 // documents per class
+	classWords []float64 // total words per class
+	wordCounts []map[int]float64
+	totalDocs  float64
+}
+
+// NewNaiveBayes creates an untrained classifier over nClasses classes.
+func NewNaiveBayes(nClasses int) *NaiveBayes {
+	nb := &NaiveBayes{
+		Classes:    nClasses,
+		Vocab:      make(map[string]int),
+		classDocs:  make([]float64, nClasses),
+		classWords: make([]float64, nClasses),
+		wordCounts: make([]map[int]float64, nClasses),
+	}
+	for i := range nb.wordCounts {
+		nb.wordCounts[i] = make(map[int]float64)
+	}
+	return nb
+}
+
+func (nb *NaiveBayes) wordID(w string, grow bool) (int, bool) {
+	if id, ok := nb.Vocab[w]; ok {
+		return id, true
+	}
+	if !grow {
+		return 0, false
+	}
+	id := len(nb.Vocab)
+	nb.Vocab[w] = id
+	return id, true
+}
+
+// Observe adds one labelled document (a bag of words) to the model.
+func (nb *NaiveBayes) Observe(words []string, class int) {
+	nb.classDocs[class]++
+	nb.totalDocs++
+	for _, w := range words {
+		id, _ := nb.wordID(w, true)
+		nb.wordCounts[class][id]++
+		nb.classWords[class]++
+	}
+}
+
+// Merge folds another partial model into nb, enabling distributed training:
+// each map task trains on its shard and the reduce side merges. Both models
+// must have been built with the same class count.
+func (nb *NaiveBayes) Merge(other *NaiveBayes) {
+	if other.Classes != nb.Classes {
+		panic("analysis: merging NaiveBayes with different class counts")
+	}
+	nb.totalDocs += other.totalDocs
+	for c := 0; c < nb.Classes; c++ {
+		nb.classDocs[c] += other.classDocs[c]
+		nb.classWords[c] += other.classWords[c]
+		for w, id := range other.Vocab {
+			n := other.wordCounts[c][id]
+			if n == 0 {
+				continue
+			}
+			myID, _ := nb.wordID(w, true)
+			nb.wordCounts[c][myID] += n
+		}
+	}
+}
+
+// AddClassDocs loads a pre-aggregated document count for a class, as the
+// distributed trainer's reduce output supplies it.
+func (nb *NaiveBayes) AddClassDocs(class int, n float64) {
+	nb.classDocs[class] += n
+	nb.totalDocs += n
+}
+
+// AddWordCount loads a pre-aggregated (class, word) occurrence count.
+func (nb *NaiveBayes) AddWordCount(class int, word string, n float64) {
+	id, _ := nb.wordID(word, true)
+	nb.wordCounts[class][id] += n
+	nb.classWords[class] += n
+}
+
+// LogPosterior returns the unnormalised log-probability of class c for doc.
+func (nb *NaiveBayes) LogPosterior(words []string, c int) float64 {
+	v := float64(len(nb.Vocab))
+	lp := math.Log((nb.classDocs[c] + 1) / (nb.totalDocs + float64(nb.Classes)))
+	for _, w := range words {
+		id, known := nb.wordID(w, false)
+		var count float64
+		if known {
+			count = nb.wordCounts[c][id]
+		}
+		lp += math.Log((count + 1) / (nb.classWords[c] + v))
+	}
+	return lp
+}
+
+// Predict returns the most probable class for a document.
+func (nb *NaiveBayes) Predict(words []string) int {
+	best, bestLP := 0, math.Inf(-1)
+	for c := 0; c < nb.Classes; c++ {
+		if lp := nb.LogPosterior(words, c); lp > bestLP {
+			best, bestLP = c, lp
+		}
+	}
+	return best
+}

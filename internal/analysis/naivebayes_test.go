@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"dcbench/internal/datagen"
+)
+
+func TestNaiveBayesLearnsSeparableClasses(t *testing.T) {
+	c := datagen.NewCorpus(1, 2000)
+	nb := NewNaiveBayes(3)
+	for i := 0; i < 300; i++ {
+		class := i % 3
+		nb.Observe(strings.Fields(c.LabeledSentence(class, 3, 40)), class)
+	}
+	right := 0
+	for i := 0; i < 90; i++ {
+		class := i % 3
+		if nb.Predict(strings.Fields(c.LabeledSentence(class, 3, 40))) == class {
+			right++
+		}
+	}
+	if acc := float64(right) / 90; acc < 0.8 {
+		t.Fatalf("accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestNaiveBayesMergeEquivalence(t *testing.T) {
+	c := datagen.NewCorpus(2, 1000)
+	var docs [][]string
+	var labels []int
+	for i := 0; i < 100; i++ {
+		docs = append(docs, strings.Fields(c.LabeledSentence(i%2, 2, 30)))
+		labels = append(labels, i%2)
+	}
+	// Single model.
+	whole := NewNaiveBayes(2)
+	for i := range docs {
+		whole.Observe(docs[i], labels[i])
+	}
+	// Sharded models merged, as the distributed trainer does.
+	a, b := NewNaiveBayes(2), NewNaiveBayes(2)
+	for i := range docs {
+		if i < 50 {
+			a.Observe(docs[i], labels[i])
+		} else {
+			b.Observe(docs[i], labels[i])
+		}
+	}
+	a.Merge(b)
+	// Same predictions on held-out documents.
+	for i := 0; i < 40; i++ {
+		doc := strings.Fields(c.LabeledSentence(i%2, 2, 30))
+		if whole.Predict(doc) != a.Predict(doc) {
+			t.Fatal("merged model disagrees with monolithic model")
+		}
+	}
+}
+
+func TestNaiveBayesMergeClassMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNaiveBayes(2).Merge(NewNaiveBayes(3))
+}
+
+func TestNaiveBayesUnknownWordsHandled(t *testing.T) {
+	nb := NewNaiveBayes(2)
+	nb.Observe([]string{"alpha", "beta"}, 0)
+	nb.Observe([]string{"gamma", "delta"}, 1)
+	// Entirely unseen vocabulary should not crash and should fall back to
+	// the prior (both classes equal here, so either answer is fine).
+	got := nb.Predict([]string{"zzz", "qqq"})
+	if got != 0 && got != 1 {
+		t.Fatalf("predict = %d", got)
+	}
+}
+
+func TestSVMLearnsLinearlySeparableData(t *testing.T) {
+	// Points in 2D separated by x0 + x1 = 0.
+	var x [][]float64
+	var y []int
+	rngVals := []float64{-3, -2, -1.5, 1.5, 2, 3}
+	for _, a := range rngVals {
+		for _, b := range rngVals {
+			if a+b == 0 {
+				continue // keep a clear margin around the separator
+			}
+			x = append(x, []float64{a, b})
+			if a+b > 0 {
+				y = append(y, 1)
+			} else {
+				y = append(y, -1)
+			}
+		}
+	}
+	s := NewSVM(2, 0.001)
+	s.TrainEpochs(x, y, 300)
+	if acc := s.Accuracy(x, y); acc < 0.95 {
+		t.Fatalf("accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestSVMTextClassification(t *testing.T) {
+	c := datagen.NewCorpus(4, 2000)
+	dim := 256
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		class := i % 2
+		feats := HashFeatures(strings.Fields(c.LabeledSentence(class, 2, 50)), dim)
+		x = append(x, feats)
+		y = append(y, 2*class-1)
+	}
+	s := NewSVM(dim, 0.001)
+	s.TrainEpochs(x, y, 30)
+	if acc := s.Accuracy(x, y); acc < 0.85 {
+		t.Fatalf("text accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestSubGradientDirection(t *testing.T) {
+	// On misclassified data the sub-gradient step must reduce hinge loss.
+	x := [][]float64{{1, 0}, {-1, 0}}
+	y := []int{1, -1}
+	w := []float64{-1, 0} // wrong direction
+	dw, violations := SubGradient(w, 0, 0.01, x, y)
+	if violations != 2 {
+		t.Fatalf("violations = %d, want 2", violations)
+	}
+	// Applying a step against dw should raise the margin of example 0.
+	eta := 0.5
+	w2 := []float64{w[0] - eta*dw[0], w[1] - eta*dw[1]}
+	if w2[0] <= w[0] {
+		t.Fatalf("gradient step moved w the wrong way: %v -> %v", w, w2)
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+)
+
+// Tokenize splits text into lowercase word tokens, dropping markup and
+// punctuation. It is the shared tokenizer of the text workloads
+// (WordCount, Grep, Naive Bayes, SVM-on-HTML).
+func Tokenize(text string) []string {
+	var out []string
+	var b strings.Builder
+	inTag := false
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case r == '<':
+			inTag = true
+			flush()
+		case r == '>':
+			inTag = false
+		case inTag:
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// TermFrequencies counts token occurrences.
+func TermFrequencies(tokens []string) map[string]int {
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	return tf
+}
+
+// HashFeatures maps a bag of words into a fixed-length feature vector by
+// feature hashing, the representation the distributed SVM trains on.
+func HashFeatures(tokens []string, dim int) []float64 {
+	v := make([]float64, dim)
+	for _, t := range tokens {
+		h := uint32(2166136261)
+		for i := 0; i < len(t); i++ {
+			h ^= uint32(t[i])
+			h *= 16777619
+		}
+		v[h%uint32(dim)]++
+	}
+	// L2 normalise so SGD step sizes are comparable across documents.
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	if n > 0 {
+		n = 1 / math.Sqrt(n)
+		for i := range v {
+			v[i] *= n
+		}
+	}
+	return v
+}

@@ -1,0 +1,179 @@
+// Package cluster models a small data-center cluster — nodes with cores,
+// disks and NICs connected by a switch — on top of the discrete-event kernel
+// in internal/sim. It reproduces the testbed of the paper (Section III-A):
+// one master plus N slave nodes, two 6-core Xeon E5645 processors per node,
+// 32 GB of memory and 1 GbE networking.
+//
+// The model charges virtual time for compute (core-seconds), disk transfers
+// and network transfers, and accumulates the operation counters that the
+// paper reads from /proc (notably disk writes per second, Figure 5).
+package cluster
+
+import (
+	"fmt"
+
+	"dcbench/internal/sim"
+)
+
+// Config describes the hardware of every node. The defaults (DefaultConfig)
+// follow the paper's testbed.
+type Config struct {
+	Nodes        int     // number of slave nodes (the master is implicit)
+	CoresPerNode int     // hardware threads usable by tasks
+	DiskReadBW   float64 // bytes/second sequential read
+	DiskWriteBW  float64 // bytes/second sequential write
+	DiskLatency  float64 // seconds per disk operation
+	NetBW        float64 // bytes/second per NIC direction
+	NetLatency   float64 // seconds per message
+	IOSize       int64   // bytes per accounted disk operation
+}
+
+// DefaultConfig mirrors the paper's 5-node testbed: four slaves, 12 hardware
+// threads each, a single SATA-class disk and 1 GbE.
+func DefaultConfig(slaves int) Config {
+	return Config{
+		Nodes:        slaves,
+		CoresPerNode: 12,
+		DiskReadBW:   120e6,
+		DiskWriteBW:  90e6,
+		DiskLatency:  0.004,
+		NetBW:        125e6, // 1 Gb/s
+		NetLatency:   0.0002,
+		IOSize:       256 << 10,
+	}
+}
+
+// Node is one slave machine.
+type Node struct {
+	ID    int
+	Cores *sim.Resource
+
+	diskRead  *sim.Pipe
+	diskWrite *sim.Pipe
+	nicIn     *sim.Pipe
+	nicOut    *sim.Pipe
+
+	ioSize int64
+
+	// Counters (simulated bytes / operations).
+	DiskReadBytes  int64
+	DiskWriteBytes int64
+	DiskReadOps    int64
+	DiskWriteOps   int64
+	NetInBytes     int64
+	NetOutBytes    int64
+}
+
+// Cluster is a set of nodes plus the shared engine.
+type Cluster struct {
+	Eng   *sim.Engine
+	Cfg   Config
+	Nodes []*Node
+	RNG   *sim.RNG
+}
+
+// New builds a cluster on a fresh engine.
+func New(cfg Config, seed uint64) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("cluster: need at least one node")
+	}
+	if cfg.IOSize <= 0 {
+		cfg.IOSize = 256 << 10
+	}
+	eng := sim.NewEngine()
+	c := &Cluster{Eng: eng, Cfg: cfg, RNG: sim.NewRNG(seed)}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.Nodes = append(c.Nodes, &Node{
+			ID:        i,
+			Cores:     sim.NewResource(eng, cfg.CoresPerNode),
+			diskRead:  sim.NewPipe(eng, cfg.DiskReadBW, cfg.DiskLatency),
+			diskWrite: sim.NewPipe(eng, cfg.DiskWriteBW, cfg.DiskLatency),
+			nicIn:     sim.NewPipe(eng, cfg.NetBW, cfg.NetLatency),
+			nicOut:    sim.NewPipe(eng, cfg.NetBW, cfg.NetLatency),
+			ioSize:    cfg.IOSize,
+		})
+	}
+	return c
+}
+
+// Node returns node id, panicking on a bad id (a model bug, not user error).
+func (c *Cluster) Node(id int) *Node {
+	if id < 0 || id >= len(c.Nodes) {
+		panic(fmt.Sprintf("cluster: no node %d", id))
+	}
+	return c.Nodes[id]
+}
+
+// Compute occupies one core of the node for cpuSeconds of virtual time.
+func (n *Node) Compute(p *sim.Process, cpuSeconds float64) {
+	if cpuSeconds <= 0 {
+		return
+	}
+	n.Cores.Acquire(p)
+	p.Sleep(cpuSeconds)
+	n.Cores.Release()
+}
+
+func (n *Node) countOps(bytes int64) int64 {
+	ops := bytes / n.ioSize
+	if bytes%n.ioSize != 0 || bytes == 0 {
+		ops++
+	}
+	return ops
+}
+
+// ReadDisk charges a sequential read of the given size.
+func (n *Node) ReadDisk(p *sim.Process, bytes int64) {
+	n.DiskReadBytes += bytes
+	n.DiskReadOps += n.countOps(bytes)
+	n.diskRead.Transfer(p, bytes)
+}
+
+// WriteDisk charges a sequential write of the given size.
+func (n *Node) WriteDisk(p *sim.Process, bytes int64) {
+	n.DiskWriteBytes += bytes
+	n.DiskWriteOps += n.countOps(bytes)
+	n.diskWrite.Transfer(p, bytes)
+}
+
+// Send moves bytes from node `from` to node `to`, serialising through the
+// sender's outbound NIC and the receiver's inbound NIC. Local transfers are
+// free (loopback).
+func (c *Cluster) Send(p *sim.Process, from, to int, bytes int64) {
+	if from == to {
+		return
+	}
+	src, dst := c.Node(from), c.Node(to)
+	src.NetOutBytes += bytes
+	dst.NetInBytes += bytes
+	src.nicOut.Transfer(p, bytes)
+	dst.nicIn.Transfer(p, bytes)
+}
+
+// TotalDiskWriteOps sums simulated write operations over all nodes.
+func (c *Cluster) TotalDiskWriteOps() int64 {
+	var t int64
+	for _, n := range c.Nodes {
+		t += n.DiskWriteOps
+	}
+	return t
+}
+
+// TotalDiskWriteBytes sums simulated written bytes over all nodes.
+func (c *Cluster) TotalDiskWriteBytes() int64 {
+	var t int64
+	for _, n := range c.Nodes {
+		t += n.DiskWriteBytes
+	}
+	return t
+}
+
+// TotalNetBytes sums bytes that crossed the network (counted once, at the
+// sender).
+func (c *Cluster) TotalNetBytes() int64 {
+	var t int64
+	for _, n := range c.Nodes {
+		t += n.NetOutBytes
+	}
+	return t
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"testing"
+
+	"dcbench/internal/sim"
+)
+
+func testConfig(nodes int) Config {
+	cfg := DefaultConfig(nodes)
+	cfg.CoresPerNode = 2
+	return cfg
+}
+
+func TestComputeOccupiesCore(t *testing.T) {
+	c := New(testConfig(1), 1)
+	n := c.Node(0)
+	// Three 1-second jobs on two cores: makespan 2 s.
+	for i := 0; i < 3; i++ {
+		c.Eng.Go(func(p *sim.Process) { n.Compute(p, 1) })
+	}
+	c.Eng.Run()
+	if c.Eng.Now() != 2 {
+		t.Fatalf("makespan = %v, want 2", c.Eng.Now())
+	}
+}
+
+func TestDiskCounters(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.IOSize = 1000
+	c := New(cfg, 1)
+	n := c.Node(0)
+	c.Eng.Go(func(p *sim.Process) {
+		n.WriteDisk(p, 2500) // 3 ops
+		n.WriteDisk(p, 1000) // 1 op
+		n.ReadDisk(p, 500)   // 1 op
+	})
+	c.Eng.Run()
+	if n.DiskWriteOps != 4 {
+		t.Fatalf("write ops = %d, want 4", n.DiskWriteOps)
+	}
+	if n.DiskWriteBytes != 3500 {
+		t.Fatalf("write bytes = %d, want 3500", n.DiskWriteBytes)
+	}
+	if n.DiskReadOps != 1 || n.DiskReadBytes != 500 {
+		t.Fatalf("read counters = %d ops %d bytes", n.DiskReadOps, n.DiskReadBytes)
+	}
+}
+
+func TestDiskSerialises(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.DiskWriteBW = 100
+	cfg.DiskLatency = 0
+	c := New(cfg, 1)
+	n := c.Node(0)
+	for i := 0; i < 2; i++ {
+		c.Eng.Go(func(p *sim.Process) { n.WriteDisk(p, 100) })
+	}
+	c.Eng.Run()
+	if c.Eng.Now() != 2 {
+		t.Fatalf("two 1s writes on one disk took %v, want 2", c.Eng.Now())
+	}
+}
+
+func TestSendChargesBothNICs(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.NetBW = 100
+	cfg.NetLatency = 0
+	c := New(cfg, 1)
+	var end float64
+	c.Eng.Go(func(p *sim.Process) {
+		c.Send(p, 0, 1, 100)
+		end = p.Now()
+	})
+	c.Eng.Run()
+	// Serialised through out-NIC then in-NIC: 1 s + 1 s.
+	if end != 2 {
+		t.Fatalf("end = %v, want 2", end)
+	}
+	if c.Node(0).NetOutBytes != 100 || c.Node(1).NetInBytes != 100 {
+		t.Fatal("net counters not updated")
+	}
+}
+
+func TestLocalSendFree(t *testing.T) {
+	c := New(testConfig(2), 1)
+	c.Eng.Go(func(p *sim.Process) {
+		c.Send(p, 1, 1, 1<<30)
+		if p.Now() != 0 {
+			t.Errorf("loopback send took time: %v", p.Now())
+		}
+	})
+	c.Eng.Run()
+	if c.Node(1).NetOutBytes != 0 {
+		t.Fatal("loopback send hit the NIC counter")
+	}
+}
+
+func TestNetworkContention(t *testing.T) {
+	// Two flows into the same receiver share its inbound NIC.
+	cfg := testConfig(3)
+	cfg.NetBW = 100
+	cfg.NetLatency = 0
+	c := New(cfg, 1)
+	var ends []float64
+	for src := 0; src < 2; src++ {
+		src := src
+		c.Eng.Go(func(p *sim.Process) {
+			c.Send(p, src, 2, 100)
+			ends = append(ends, p.Now())
+		})
+	}
+	c.Eng.Run()
+	if len(ends) != 2 {
+		t.Fatal("flows did not finish")
+	}
+	last := ends[0]
+	if ends[1] > last {
+		last = ends[1]
+	}
+	if last < 3 { // 1s out (parallel) + 2x1s serialised at the receiver
+		t.Fatalf("receiver NIC did not serialise: last end %v", last)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	c := New(testConfig(2), 1)
+	c.Eng.Go(func(p *sim.Process) {
+		c.Node(0).WriteDisk(p, 1<<20)
+		c.Node(1).WriteDisk(p, 1<<20)
+		c.Send(p, 0, 1, 1<<20)
+	})
+	c.Eng.Run()
+	if c.TotalDiskWriteBytes() != 2<<20 {
+		t.Fatalf("total write bytes = %d", c.TotalDiskWriteBytes())
+	}
+	if c.TotalDiskWriteOps() != 8 { // 1 MiB / 256 KiB = 4 each
+		t.Fatalf("total write ops = %d, want 8", c.TotalDiskWriteOps())
+	}
+	if c.TotalNetBytes() != 1<<20 {
+		t.Fatalf("total net bytes = %d", c.TotalNetBytes())
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dcbench/internal/uarch"
+)
+
+// TestCalibrationReport prints every workload's simulated metrics next to
+// the paper's approximate values. Run with -v to inspect calibration; the
+// assertions themselves live in the shape tests.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	cfg := uarch.DefaultConfig()
+	cfg.Warmup = 250_000
+	results := CharacterizeAll(cfg, 650_000)
+	fmt.Printf("%-18s %5s/%5s %5s/%5s %6s/%6s %6s/%6s %6s/%6s %5s/%5s %6s/%6s %5s/%5s | stalls f/rat/lb/rs/sb/rob\n",
+		"workload", "ipc", "ref", "krn%", "ref", "l1i", "ref", "itlbw", "ref", "l2", "ref", "l3h%", "ref", "dtlbw", "ref", "br%", "ref")
+	for _, r := range results {
+		c := r.Counters
+		p := r.Workload.Paper
+		b := c.StallBreakdown()
+		fmt.Printf("%-18s %5.2f/%5.2f %5.1f/%5.1f %6.1f/%6.1f %6.3f/%6.3f %6.1f/%6.1f %5.1f/%5.1f %6.2f/%6.2f %5.1f/%5.1f | %.2f %.2f %.2f %.2f %.2f %.2f\n",
+			r.Workload.Name,
+			c.IPC(), p.IPC,
+			100*c.KernelShare(), p.KernelPct,
+			c.L1IMPKI(), p.L1IMPKI,
+			c.ITLBWalksPKI(), p.ITLBWalksPKI,
+			c.L2MPKI(), p.L2MPKI,
+			100*c.L3HitRatio(), p.L3HitPct,
+			c.DTLBWalksPKI(), p.DTLBWalksPKI,
+			100*c.BranchMispredictRatio(), p.BranchMispPct,
+			b[0], b[1], b[2], b[3], b[4], b[5])
+	}
+}

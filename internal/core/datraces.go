@@ -1,0 +1,272 @@
+package core
+
+import (
+	"dcbench/internal/memtrace"
+)
+
+// daProfile is the shared trace profile of the JVM/Hadoop data analysis
+// stack: a megabyte-class code footprint (Hadoop + Mahout + JDK) of which
+// the algorithm's own loop is a small hot subset, periodic framework
+// excursions (record readers, serialisation, task bookkeeping) and GC
+// sweeps over a large heap. These parameters give the class its signature
+// front-end behaviour (L1I MPKI around 23, Figure 7) while the per-workload
+// kernels below supply the algorithm-specific data locality and branch
+// behaviour.
+func daProfile(seed uint64) memtrace.Profile {
+	return memtrace.Profile{
+		Seed:            seed,
+		CodeKB:          768,
+		HotCodeKB:       32,
+		ColdJumpP:       0.02,
+		KernelKB:        256,
+		FrameworkEvery:  500,
+		FrameworkInstrs: 60,
+		GCEvery:         800_000,
+		GCInstrs:        2_000,
+		HeapMB:          4,
+		ALUPerMem:       2,
+		ChainProb:       0.45,
+		NSrc2P:          0.35,
+		NSrc3P:          0.05,
+	}
+}
+
+// daSpec parameterises one data analysis kernel's record loop. The
+// magnitudes encode the paper's Table I economics: data analysis code
+// spends hundreds to thousands of instructions per input byte (Naive Bayes
+// 463 instr/B, WordCount 23 instr/B), so the input stream advances slowly
+// while most memory traffic goes to working-state tiers sized against the
+// cache hierarchy:
+//
+//   - hot: L1/L2-resident state (current record fields, small model rows);
+//   - warm: an L3-resident megabyte-class table — the main source of the
+//     class's L2 misses that mostly hit L3 (Figures 9 and 10);
+//   - cold: a large region whose rare touches are the DRAM/DTLB tail.
+type daSpec struct {
+	hotKB    int
+	warmKB   int
+	coldMB   int
+	streamMB int
+
+	recordBytes  int // stream advance per record
+	hotOps       int // hot loads per record
+	warmOps      int // warm loads per burst (see warmEvery)
+	warmEvery    int // records between warm bursts (default 1)
+	coldOpsPer16 int // cold random touches per 16 records
+	storeOps     int // hot stores per record
+	alu, fpu     int // extra compute per record
+
+	branchK     int     // patterned branch: not-taken every Kth
+	branches    int     // patterned branches per record
+	randBranchP float64 // chance of one 50/50 data branch per record
+
+	syscallEvery int // records per syscall (0 = none)
+	syscallInstr int
+	syscallBytes int64
+}
+
+// runDA executes the record loop forever (the trace cap ends it).
+func runDA(t *memtrace.Tracer, s daSpec) {
+	rng := t.RNG()
+	stream := t.Alloc(int64(s.streamMB) << 20)
+	hot := t.Alloc(int64(s.hotKB) << 10)
+	warm := t.Alloc(int64(s.warmKB) << 10)
+	var cold uint64
+	if s.coldMB > 0 {
+		cold = t.Alloc(int64(s.coldMB) << 20)
+	}
+	streamBytes := uint64(s.streamMB) << 20
+	hotBytes := uint64(s.hotKB) << 10
+	warmBytes := uint64(s.warmKB) << 10
+	coldBytes := uint64(s.coldMB) << 20
+
+	// Prewarm the working-state tiers so the measured window reflects
+	// steady state, matching the paper's ramp-up methodology. The stream
+	// and cold tiers stay cold by design.
+	for a := uint64(0); a < hotBytes; a += 64 {
+		t.Load(hot + a)
+	}
+	for a := uint64(0); a < warmBytes; a += 64 {
+		t.Load(warm + a)
+	}
+
+	pos := uint64(0)
+	rec := 0
+	bctr := 0
+	for {
+		rec++
+		// Read the record from the input stream (sequential).
+		t.Load(stream + pos%streamBytes)
+		if s.recordBytes > 64 {
+			t.Load(stream + (pos+64)%streamBytes)
+		}
+		pos += uint64(s.recordBytes)
+
+		// Process: hot-state ops inside an inner loop whose branches are
+		// site-stable and mostly fixed-outcome, like compiled loop code:
+		// each iteration's loop branch is taken except the final exit,
+		// and every Kth record takes a different data path.
+		for i := 0; i < s.hotOps; i++ {
+			t.Load(hot + rng.Uint64()%hotBytes&^7)
+			t.BranchSite(16+i, i < s.hotOps-1) // loop continuation
+			if s.branches > 0 && i < s.branches {
+				bctr++
+				t.BranchSite(128+i, bctr%s.branchK != 0)
+			}
+		}
+		for i := 0; i < s.storeOps; i++ {
+			t.Store(hot + rng.Uint64()%hotBytes&^7)
+		}
+		warmEvery := s.warmEvery
+		if warmEvery < 1 {
+			warmEvery = 1
+		}
+		if rec%warmEvery == 0 {
+			for i := 0; i < s.warmOps; i++ {
+				t.Load(warm + rng.Uint64()%warmBytes&^7)
+			}
+		}
+		if s.coldOpsPer16 > 0 && rec%16 == 0 {
+			for i := 0; i < s.coldOpsPer16; i++ {
+				addr := cold + rng.Uint64()%coldBytes&^7
+				t.Load(addr)
+				t.Store(addr)
+			}
+		}
+		if s.alu > 0 {
+			t.ALU(s.alu)
+		}
+		if s.fpu > 0 {
+			t.FPU(s.fpu)
+		}
+		if s.randBranchP > 0 && rng.Float64() < s.randBranchP {
+			t.BranchSite(255, rng.Float64() < 0.5) // data-dependent compare
+		}
+		if s.syscallEvery > 0 && rec%s.syscallEvery == 0 {
+			t.Syscall(s.syscallInstr, s.syscallBytes)
+		}
+	}
+}
+
+// The eleven kernels. Relative magnitudes follow Table I (instructions per
+// byte) and the per-workload observations in Sections IV-A..IV-E.
+
+// traceSort: trivial compare-and-copy per record, highest I/O share of the
+// class (~24% kernel instructions, Figure 4), 50/50 merge comparisons.
+func traceSort(t *memtrace.Tracer) {
+	runDA(t, daSpec{
+		hotKB: 64, warmKB: 768, coldMB: 48, streamMB: 48,
+		recordBytes: 24, hotOps: 10, warmOps: 1, storeOps: 4, coldOpsPer16: 2,
+		alu: 12, branchK: 8, branches: 3, randBranchP: 0.6,
+		syscallEvery: 6, syscallInstr: 150, syscallBytes: 1024,
+	})
+}
+
+// traceWordCount: tokenisation scan plus combiner hash updates.
+func traceWordCount(t *memtrace.Tracer) {
+	runDA(t, daSpec{
+		hotKB: 64, warmKB: 768, streamMB: 48,
+		recordBytes: 12, hotOps: 22, warmOps: 1, storeOps: 4,
+		alu: 24, branchK: 7, branches: 6, randBranchP: 0.12,
+		syscallEvery: 64, syscallInstr: 450, syscallBytes: 1024,
+	})
+}
+
+// traceGrep: the leanest scan; fewer instructions per byte than any other
+// workload (Table I), almost-never-taken match branches.
+func traceGrep(t *memtrace.Tracer) {
+	runDA(t, daSpec{
+		hotKB: 64, warmKB: 640, streamMB: 96,
+		recordBytes: 16, hotOps: 18, warmOps: 1, warmEvery: 2,
+		alu: 20, branchK: 9, branches: 6, randBranchP: 0.12,
+		syscallEvery: 80, syscallInstr: 450, syscallBytes: 2048,
+	})
+}
+
+// traceNaiveBayes: dependent hash-probe chains into per-class count tables
+// with a cold dictionary tail — the class outlier: lowest IPC (0.52),
+// highest DTLB pressure, smallest instruction footprint.
+func traceNaiveBayes(t *memtrace.Tracer) {
+	runDA(t, daSpec{
+		hotKB: 96, warmKB: 1024, coldMB: 64, streamMB: 32,
+		recordBytes: 8, hotOps: 18, warmOps: 1, coldOpsPer16: 6, storeOps: 3,
+		alu: 10, fpu: 4, branchK: 10, branches: 4, randBranchP: 0.1,
+		syscallEvery: 256, syscallInstr: 500, syscallBytes: 1024,
+	})
+}
+
+// traceSVM: dot-product streaming over feature vectors with an L1-resident
+// weight vector.
+func traceSVM(t *memtrace.Tracer) {
+	runDA(t, daSpec{
+		hotKB: 16, warmKB: 640, streamMB: 96,
+		recordBytes: 16, hotOps: 20, warmOps: 1, warmEvery: 2,
+		alu: 6, fpu: 14, branchK: 12, branches: 4, randBranchP: 0.12,
+		syscallEvery: 96, syscallInstr: 450, syscallBytes: 1024,
+	})
+}
+
+// traceKMeans: distance loops against cache-resident centroids; the most
+// regular and predictable of the class.
+func traceKMeans(t *memtrace.Tracer) {
+	runDA(t, daSpec{
+		hotKB: 8, warmKB: 512, streamMB: 96,
+		recordBytes: 12, hotOps: 24, warmOps: 1, warmEvery: 2,
+		alu: 4, fpu: 16, branchK: 16, branches: 4, randBranchP: 0.1,
+		syscallEvery: 96, syscallInstr: 400, syscallBytes: 1024,
+	})
+}
+
+// traceFuzzyKMeans: K-means plus pow()-heavy membership math (~5x the
+// instructions per point, Table I).
+func traceFuzzyKMeans(t *memtrace.Tracer) {
+	runDA(t, daSpec{
+		hotKB: 8, warmKB: 512, streamMB: 96,
+		recordBytes: 12, hotOps: 20, warmOps: 1, warmEvery: 2, storeOps: 4,
+		alu: 6, fpu: 40, branchK: 16, branches: 4, randBranchP: 0.1,
+		syscallEvery: 128, syscallInstr: 400, syscallBytes: 1024,
+	})
+}
+
+// tracePageRank: adjacency streaming with scattered rank accumulations —
+// the weakest locality after IBCF/Bayes.
+func tracePageRank(t *memtrace.Tracer) {
+	runDA(t, daSpec{
+		hotKB: 96, warmKB: 1024, coldMB: 48, streamMB: 96,
+		recordBytes: 24, hotOps: 14, warmOps: 1, coldOpsPer16: 4, storeOps: 4,
+		alu: 10, fpu: 4, branchK: 6, branches: 4, randBranchP: 0.12,
+		syscallEvery: 64, syscallInstr: 450, syscallBytes: 2048,
+	})
+}
+
+// traceIBCF: quadratic pair products accumulating into a very large
+// co-occurrence map; the heaviest live data of the class.
+func traceIBCF(t *memtrace.Tracer) {
+	runDA(t, daSpec{
+		hotKB: 96, warmKB: 1024, coldMB: 96, streamMB: 48,
+		recordBytes: 8, hotOps: 16, warmOps: 1, coldOpsPer16: 5, storeOps: 4,
+		alu: 12, fpu: 4, branchK: 8, branches: 4, randBranchP: 0.1,
+		syscallEvery: 128, syscallInstr: 450, syscallBytes: 1024,
+	})
+}
+
+// traceHMM: the states^2 Viterbi recurrence over small resident tables.
+func traceHMM(t *memtrace.Tracer) {
+	runDA(t, daSpec{
+		hotKB: 64, warmKB: 512, streamMB: 64,
+		recordBytes: 8, hotOps: 24, warmOps: 1, warmEvery: 2,
+		alu: 6, fpu: 14, branchK: 5, branches: 6, randBranchP: 0.1,
+		syscallEvery: 128, syscallInstr: 400, syscallBytes: 1024,
+	})
+}
+
+// traceHiveBench: table scans with selective filters, hash-join probes and
+// aggregation updates, plus shuffle I/O.
+func traceHiveBench(t *memtrace.Tracer) {
+	runDA(t, daSpec{
+		hotKB: 96, warmKB: 1024, coldMB: 32, streamMB: 96,
+		recordBytes: 32, hotOps: 16, warmOps: 1, coldOpsPer16: 3, storeOps: 3,
+		alu: 14, branchK: 3, branches: 5, randBranchP: 0.12,
+		syscallEvery: 32, syscallInstr: 300, syscallBytes: 2048,
+	})
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"encoding/json"
+
+	"dcbench/internal/uarch"
+)
+
+// Record is the flat, serialisable form of one characterization result —
+// the derived metrics of Figures 3-12 plus the raw counter file — for
+// downstream analysis outside this repository.
+type Record struct {
+	Workload string `json:"workload"`
+	Suite    string `json:"suite"`
+	Class    string `json:"class"`
+
+	IPC             float64 `json:"ipc"`
+	KernelShare     float64 `json:"kernel_share"`
+	L1IMPKI         float64 `json:"l1i_mpki"`
+	ITLBWalksPKI    float64 `json:"itlb_walks_pki"`
+	L2MPKI          float64 `json:"l2_mpki"`
+	L3HitRatio      float64 `json:"l3_hit_ratio"`
+	DTLBWalksPKI    float64 `json:"dtlb_walks_pki"`
+	BranchMispRatio float64 `json:"branch_mispredict_ratio"`
+	// StallBreakdown is fetch, RAT, load buffer, RS, store buffer, ROB,
+	// normalised to 1.
+	StallBreakdown [6]float64 `json:"stall_breakdown"`
+
+	Counters uarch.Counters `json:"counters"`
+	Paper    PaperRef       `json:"paper_approx"`
+}
+
+// ToRecord flattens a result.
+func (r *Result) ToRecord() Record {
+	c := r.Counters
+	return Record{
+		Workload:        r.Workload.Name,
+		Suite:           r.Workload.Suite,
+		Class:           r.Workload.Class.String(),
+		IPC:             c.IPC(),
+		KernelShare:     c.KernelShare(),
+		L1IMPKI:         c.L1IMPKI(),
+		ITLBWalksPKI:    c.ITLBWalksPKI(),
+		L2MPKI:          c.L2MPKI(),
+		L3HitRatio:      c.L3HitRatio(),
+		DTLBWalksPKI:    c.DTLBWalksPKI(),
+		BranchMispRatio: c.BranchMispredictRatio(),
+		StallBreakdown:  c.StallBreakdown(),
+		Counters:        *c,
+		Paper:           r.Workload.Paper,
+	}
+}
+
+// ExportJSON serialises a sweep as indented JSON.
+func ExportJSON(results []*Result) ([]byte, error) {
+	records := make([]Record, len(results))
+	for i, r := range results {
+		records[i] = r.ToRecord()
+	}
+	return json.MarshalIndent(records, "", "  ")
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dcbench/internal/memtrace"
+	"dcbench/internal/uarch"
+)
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	w, err := ByName("Grep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Characterize(w, uarch.DefaultConfig(), 60_000)
+	data, err := ExportJSON([]*Result{res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []Record
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("records = %d", len(records))
+	}
+	r := records[0]
+	if r.Workload != "Grep" || r.Class != "data-analysis" || r.Suite != "DCBench" {
+		t.Fatalf("identity fields wrong: %+v", r)
+	}
+	if r.IPC != res.Counters.IPC() {
+		t.Fatalf("IPC mismatch: %v vs %v", r.IPC, res.Counters.IPC())
+	}
+	if r.Counters.Instructions != 60_000 {
+		t.Fatalf("raw counters not carried: %+v", r.Counters)
+	}
+	sum := 0.0
+	for _, v := range r.StallBreakdown {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("stall breakdown sums to %v", sum)
+	}
+}
+
+// TestRegistrySmoke runs every registry workload briefly and checks its
+// counters are sane — the per-workload safety net under the shape tests.
+func TestRegistrySmoke(t *testing.T) {
+	cfg := uarch.DefaultConfig()
+	for _, w := range Registry() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res := Characterize(w, cfg, 50_000)
+			c := res.Counters
+			if c.Instructions != 50_000 {
+				t.Fatalf("instructions = %d", c.Instructions)
+			}
+			if c.IPC() <= 0 || c.IPC() > 4 {
+				t.Fatalf("IPC = %v", c.IPC())
+			}
+			if c.Cycles <= 0 {
+				t.Fatal("no cycles")
+			}
+			if c.L1IAccesses == 0 || c.L1DAccesses == 0 {
+				t.Fatal("no cache activity")
+			}
+			if w.Class != HPC && c.Branches == 0 {
+				t.Fatal("no branches")
+			}
+		})
+	}
+}
+
+// TestTraceProfilesIndependent: two workloads sharing the same generator
+// seed space must still produce different traces (profiles differ).
+func TestTraceProfilesIndependent(t *testing.T) {
+	a, _ := ByName("K-means")
+	b, _ := ByName("Fuzzy K-means")
+	ra := memtrace.Collect(memtrace.NewReader(a.Profile, a.Gen), 5000)
+	rb := memtrace.Collect(memtrace.NewReader(b.Profile, b.Gen), 5000)
+	same := 0
+	for i := range ra {
+		if ra[i] == rb[i] {
+			same++
+		}
+	}
+	if same == len(ra) {
+		t.Fatal("two different workloads produced identical traces")
+	}
+}

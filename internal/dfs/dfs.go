@@ -1,0 +1,175 @@
+// Package dfs models an HDFS-like distributed file system on the simulated
+// cluster: fixed-size blocks, n-way replication, locality-aware reads and
+// pipelined writes. Files carry sizes and placement only — record contents
+// are produced by the MapReduce input formats — so the package's job is to
+// charge realistic disk and network time and to answer locality queries for
+// the scheduler.
+package dfs
+
+import (
+	"fmt"
+
+	"dcbench/internal/cluster"
+	"dcbench/internal/sim"
+)
+
+// Block is one replicated unit of a file.
+type Block struct {
+	ID       int
+	Size     int64
+	Replicas []int // node IDs; Replicas[0] is the primary
+}
+
+// File is an immutable sequence of blocks.
+type File struct {
+	Name   string
+	Size   int64
+	Blocks []Block
+}
+
+// DFS is the file-system name node plus data-node accounting.
+type DFS struct {
+	Cluster     *cluster.Cluster
+	BlockSize   int64
+	Replication int
+
+	files     map[string]*File
+	nextBlock int
+	nextNode  int
+	rng       *sim.RNG
+}
+
+// New creates a DFS over the cluster. Replication is capped at the node
+// count.
+func New(c *cluster.Cluster, blockSize int64, replication int, seed uint64) *DFS {
+	if blockSize <= 0 {
+		panic("dfs: block size must be positive")
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > len(c.Nodes) {
+		replication = len(c.Nodes)
+	}
+	return &DFS{
+		Cluster:     c,
+		BlockSize:   blockSize,
+		Replication: replication,
+		files:       make(map[string]*File),
+		rng:         sim.NewRNG(seed),
+	}
+}
+
+// Lookup returns a file by name.
+func (d *DFS) Lookup(name string) (*File, bool) {
+	f, ok := d.files[name]
+	return f, ok
+}
+
+// placeReplicas picks Replication distinct nodes, the first by round-robin
+// (or pinned to primary if >= 0), the rest pseudo-randomly.
+func (d *DFS) placeReplicas(primary int) []int {
+	n := len(d.Cluster.Nodes)
+	if primary < 0 {
+		primary = d.nextNode % n
+		d.nextNode++
+	}
+	replicas := []int{primary}
+	for len(replicas) < d.Replication {
+		cand := d.rng.Intn(n)
+		dup := false
+		for _, r := range replicas {
+			if r == cand {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			replicas = append(replicas, cand)
+		}
+	}
+	return replicas
+}
+
+func (d *DFS) newBlocks(size int64, primary int) []Block {
+	var blocks []Block
+	for off := int64(0); off < size; off += d.BlockSize {
+		bs := d.BlockSize
+		if size-off < bs {
+			bs = size - off
+		}
+		blocks = append(blocks, Block{
+			ID:       d.nextBlock,
+			Size:     bs,
+			Replicas: d.placeReplicas(primary),
+		})
+		d.nextBlock++
+	}
+	return blocks
+}
+
+// AddFile registers a pre-existing input file of the given size without
+// charging any I/O (it models data loaded before the measured run, as the
+// paper's inputs are). Blocks are spread round-robin across nodes.
+func (d *DFS) AddFile(name string, size int64) *File {
+	if _, ok := d.files[name]; ok {
+		panic(fmt.Sprintf("dfs: file %q already exists", name))
+	}
+	f := &File{Name: name, Size: size, Blocks: d.newBlocks(size, -1)}
+	d.files[name] = f
+	return f
+}
+
+// Write creates a file of the given size written from writerNode, charging
+// the local disk write synchronously and the replication pipeline (network
+// hop plus remote disk write per extra replica) asynchronously, as HDFS's
+// write pipeline overlaps with the writer.
+func (d *DFS) Write(p *sim.Process, name string, size int64, writerNode int) *File {
+	if old, ok := d.files[name]; ok {
+		// Overwrite: keep it simple, replace metadata.
+		_ = old
+		delete(d.files, name)
+	}
+	f := &File{Name: name, Size: size, Blocks: d.newBlocks(size, writerNode)}
+	d.files[name] = f
+	c := d.Cluster
+	for _, b := range f.Blocks {
+		b := b
+		c.Node(b.Replicas[0]).WriteDisk(p, b.Size)
+		if len(b.Replicas) > 1 {
+			c.Eng.Go(func(bp *sim.Process) {
+				prev := b.Replicas[0]
+				for _, r := range b.Replicas[1:] {
+					c.Send(bp, prev, r, b.Size)
+					c.Node(r).WriteDisk(bp, b.Size)
+					prev = r
+				}
+			})
+		}
+	}
+	return f
+}
+
+// HasLocalReplica reports whether block i of f has a replica on node.
+func (d *DFS) HasLocalReplica(f *File, i, node int) bool {
+	for _, r := range f.Blocks[i].Replicas {
+		if r == node {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadBlock charges reading block i of f from readerNode: a local disk read
+// when a replica is local, otherwise a remote disk read plus a network
+// transfer from the first replica.
+func (d *DFS) ReadBlock(p *sim.Process, f *File, i, readerNode int) {
+	b := f.Blocks[i]
+	if d.HasLocalReplica(f, i, readerNode) {
+		d.Cluster.Node(readerNode).ReadDisk(p, b.Size)
+		return
+	}
+	src := b.Replicas[0]
+	d.Cluster.Node(src).ReadDisk(p, b.Size)
+	d.Cluster.Send(p, src, readerNode, b.Size)
+}

@@ -1,0 +1,150 @@
+package dfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcbench/internal/cluster"
+	"dcbench/internal/sim"
+)
+
+func newTestDFS(nodes int, blockSize int64, repl int) *DFS {
+	c := cluster.New(cluster.DefaultConfig(nodes), 99)
+	return New(c, blockSize, repl, 7)
+}
+
+func TestAddFileBlockCount(t *testing.T) {
+	d := newTestDFS(4, 100, 3)
+	f := d.AddFile("in", 250)
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(f.Blocks))
+	}
+	if f.Blocks[0].Size != 100 || f.Blocks[2].Size != 50 {
+		t.Fatalf("block sizes = %d,%d,%d", f.Blocks[0].Size, f.Blocks[1].Size, f.Blocks[2].Size)
+	}
+}
+
+func TestReplicasDistinct(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		c := cluster.New(cluster.DefaultConfig(5), 1)
+		d := New(c, 64, 3, seed)
+		f := d.AddFile("f", 64*20)
+		for _, b := range f.Blocks {
+			if len(b.Replicas) != 3 {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, r := range b.Replicas {
+				if r < 0 || r >= 5 || seen[r] {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicationCappedByNodes(t *testing.T) {
+	d := newTestDFS(2, 64, 3)
+	if d.Replication != 2 {
+		t.Fatalf("replication = %d, want capped to 2", d.Replication)
+	}
+}
+
+func TestRoundRobinSpread(t *testing.T) {
+	d := newTestDFS(4, 64, 1)
+	f := d.AddFile("in", 64*8)
+	counts := map[int]int{}
+	for _, b := range f.Blocks {
+		counts[b.Replicas[0]]++
+	}
+	for n := 0; n < 4; n++ {
+		if counts[n] != 2 {
+			t.Fatalf("primary spread = %v, want 2 per node", counts)
+		}
+	}
+}
+
+func TestWriteChargesLocalDiskAndReplication(t *testing.T) {
+	d := newTestDFS(3, 1000, 3)
+	c := d.Cluster
+	c.Eng.Go(func(p *sim.Process) {
+		d.Write(p, "out", 1000, 0)
+	})
+	c.Eng.Run()
+	// All three nodes should have written one block.
+	var totalBytes int64
+	for _, n := range c.Nodes {
+		totalBytes += n.DiskWriteBytes
+	}
+	if totalBytes != 3000 {
+		t.Fatalf("replicated write bytes = %d, want 3000", totalBytes)
+	}
+	if c.Node(0).DiskWriteBytes != 1000 {
+		t.Fatalf("writer local bytes = %d, want 1000", c.Node(0).DiskWriteBytes)
+	}
+	if c.TotalNetBytes() != 2000 { // two pipeline hops
+		t.Fatalf("pipeline net bytes = %d, want 2000", c.TotalNetBytes())
+	}
+}
+
+func TestLocalReadUsesNoNetwork(t *testing.T) {
+	d := newTestDFS(4, 100, 1)
+	f := d.AddFile("in", 400)
+	c := d.Cluster
+	// Block 1 primary is node 1 under round-robin with replication 1.
+	c.Eng.Go(func(p *sim.Process) {
+		d.ReadBlock(p, f, 1, 1)
+	})
+	c.Eng.Run()
+	if c.TotalNetBytes() != 0 {
+		t.Fatalf("local read used network: %d bytes", c.TotalNetBytes())
+	}
+	if c.Node(1).DiskReadBytes != 100 {
+		t.Fatalf("local read bytes = %d, want 100", c.Node(1).DiskReadBytes)
+	}
+}
+
+func TestRemoteReadUsesNetwork(t *testing.T) {
+	d := newTestDFS(4, 100, 1)
+	f := d.AddFile("in", 400)
+	c := d.Cluster
+	c.Eng.Go(func(p *sim.Process) {
+		d.ReadBlock(p, f, 0, 3) // block 0 lives on node 0
+	})
+	c.Eng.Run()
+	if c.TotalNetBytes() != 100 {
+		t.Fatalf("remote read net bytes = %d, want 100", c.TotalNetBytes())
+	}
+	if c.Node(0).DiskReadBytes != 100 {
+		t.Fatalf("remote source disk bytes = %d", c.Node(0).DiskReadBytes)
+	}
+}
+
+func TestHasLocalReplica(t *testing.T) {
+	d := newTestDFS(4, 100, 2)
+	f := d.AddFile("in", 100)
+	found := 0
+	for n := 0; n < 4; n++ {
+		if d.HasLocalReplica(f, 0, n) {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("local replica count = %d, want 2", found)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d := newTestDFS(2, 100, 1)
+	d.AddFile("a", 50)
+	if _, ok := d.Lookup("a"); !ok {
+		t.Fatal("Lookup(a) failed")
+	}
+	if _, ok := d.Lookup("b"); ok {
+		t.Fatal("Lookup(b) should fail")
+	}
+}

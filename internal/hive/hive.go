@@ -1,0 +1,360 @@
+// Package hive is a miniature data-warehouse engine — typed tables and the
+// relational operators (scan, filter, project, hash join, group-by
+// aggregation, order-by, limit) needed to run the Hive-bench query suite the
+// paper uses as its data-warehouse workload (Section II-C.6). It plays the
+// role Hive 0.6 plays in the paper; internal/workloads compiles its query
+// plans onto the MapReduce engine.
+package hive
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind is a column type.
+type Kind int
+
+// Column kinds.
+const (
+	String Kind = iota
+	Int
+	Float
+)
+
+// Col is one column definition.
+type Col struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered column list.
+type Schema []Col
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndex is Index but panics on unknown columns — schema errors are
+// programming errors in this engine.
+func (s Schema) MustIndex(name string) int {
+	i := s.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("hive: unknown column %q", name))
+	}
+	return i
+}
+
+// Row is one tuple; entries are string, int64 or float64 per the schema.
+type Row []any
+
+// Relation is a materialised intermediate result.
+type Relation struct {
+	Schema Schema
+	Rows   []Row
+}
+
+// Table is a named base relation.
+type Table struct {
+	Name string
+	Relation
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Relation: Relation{Schema: schema}}
+}
+
+// Append adds a row, validating arity.
+func (t *Table) Append(vals ...any) {
+	if len(vals) != len(t.Schema) {
+		panic(fmt.Sprintf("hive: row arity %d != schema %d for %s", len(vals), len(t.Schema), t.Name))
+	}
+	t.Rows = append(t.Rows, Row(vals))
+}
+
+// Scan starts a query over the table (a shallow copy; operators never
+// mutate their input).
+func (t *Table) Scan() *Relation {
+	return &Relation{Schema: t.Schema, Rows: t.Rows}
+}
+
+// Filter keeps rows satisfying pred.
+func (r *Relation) Filter(pred func(Row) bool) *Relation {
+	out := &Relation{Schema: r.Schema}
+	for _, row := range r.Rows {
+		if pred(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// FilterLike keeps rows whose string column contains substr — the LIKE
+// '%substr%' predicate of the Hive-bench grep query.
+func (r *Relation) FilterLike(col, substr string) *Relation {
+	i := r.Schema.MustIndex(col)
+	return r.Filter(func(row Row) bool {
+		s, _ := row[i].(string)
+		return strings.Contains(s, substr)
+	})
+}
+
+// Project keeps only the named columns, in the given order.
+func (r *Relation) Project(cols ...string) *Relation {
+	idx := make([]int, len(cols))
+	schema := make(Schema, len(cols))
+	for j, c := range cols {
+		idx[j] = r.Schema.MustIndex(c)
+		schema[j] = r.Schema[idx[j]]
+	}
+	out := &Relation{Schema: schema, Rows: make([]Row, len(r.Rows))}
+	for i, row := range r.Rows {
+		nr := make(Row, len(idx))
+		for j, k := range idx {
+			nr[j] = row[k]
+		}
+		out.Rows[i] = nr
+	}
+	return out
+}
+
+// Join hash-joins r with other on r.leftCol == other.rightCol (equi-join,
+// inner). The output schema is r's columns followed by other's with the
+// join key deduplicated on the right side.
+func (r *Relation) Join(other *Relation, leftCol, rightCol string) *Relation {
+	li := r.Schema.MustIndex(leftCol)
+	ri := other.Schema.MustIndex(rightCol)
+	// Build side: the smaller relation, as a real engine would pick.
+	build, probe := other, r
+	bi, pi := ri, li
+	swapped := false
+	if len(r.Rows) < len(other.Rows) {
+		build, probe = r, other
+		bi, pi = li, ri
+		swapped = true
+	}
+	ht := make(map[any][]Row, len(build.Rows))
+	for _, row := range build.Rows {
+		ht[row[bi]] = append(ht[row[bi]], row)
+	}
+	var schema Schema
+	appendCols := func(s Schema, skip int) {
+		for i, c := range s {
+			if i == skip {
+				continue
+			}
+			schema = append(schema, c)
+		}
+	}
+	schema = append(schema, r.Schema...)
+	appendCols(other.Schema, ri)
+	out := &Relation{Schema: schema}
+	emit := func(left, right Row) {
+		nr := make(Row, 0, len(schema))
+		nr = append(nr, left...)
+		for i, v := range right {
+			if i == ri {
+				continue
+			}
+			nr = append(nr, v)
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	for _, prow := range probe.Rows {
+		for _, brow := range ht[prow[pi]] {
+			if swapped {
+				emit(brow, prow)
+			} else {
+				emit(prow, brow)
+			}
+		}
+	}
+	return out
+}
+
+// AggOp is an aggregation operator.
+type AggOp int
+
+// Aggregation operators.
+const (
+	Count AggOp = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// Agg is one aggregate expression: Op(Col) AS As.
+type Agg struct {
+	Op  AggOp
+	Col string // ignored for Count
+	As  string
+}
+
+type aggState struct {
+	n    int64
+	sum  float64
+	min  float64
+	max  float64
+	seen bool
+}
+
+func toFloat(v any) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	default:
+		panic(fmt.Sprintf("hive: non-numeric value %T in aggregate", v))
+	}
+}
+
+// GroupBy groups by the key columns and evaluates the aggregates. Output
+// rows are ordered by group key for determinism. An empty key list yields a
+// single global group.
+func (r *Relation) GroupBy(keys []string, aggs []Agg) *Relation {
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		keyIdx[i] = r.Schema.MustIndex(k)
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Op == Count {
+			aggIdx[i] = -1
+			continue
+		}
+		aggIdx[i] = r.Schema.MustIndex(a.Col)
+	}
+	groups := make(map[string][]*aggState)
+	order := make(map[string]Row) // key string -> key values
+	var keyStrings []string
+	for _, row := range r.Rows {
+		var kb strings.Builder
+		keyVals := make(Row, len(keyIdx))
+		for i, ki := range keyIdx {
+			keyVals[i] = row[ki]
+			fmt.Fprintf(&kb, "%v\x00", row[ki])
+		}
+		ks := kb.String()
+		st, ok := groups[ks]
+		if !ok {
+			st = make([]*aggState, len(aggs))
+			for i := range st {
+				st[i] = &aggState{}
+			}
+			groups[ks] = st
+			order[ks] = keyVals
+			keyStrings = append(keyStrings, ks)
+		}
+		for i := range aggs {
+			s := st[i]
+			s.n++
+			if aggIdx[i] < 0 {
+				continue
+			}
+			v := toFloat(row[aggIdx[i]])
+			s.sum += v
+			if !s.seen || v < s.min {
+				s.min = v
+			}
+			if !s.seen || v > s.max {
+				s.max = v
+			}
+			s.seen = true
+		}
+	}
+	sort.Strings(keyStrings)
+
+	schema := make(Schema, 0, len(keys)+len(aggs))
+	for i, k := range keys {
+		schema = append(schema, Col{Name: k, Kind: r.Schema[keyIdx[i]].Kind})
+	}
+	for _, a := range aggs {
+		kind := Float
+		if a.Op == Count {
+			kind = Int
+		}
+		schema = append(schema, Col{Name: a.As, Kind: kind})
+	}
+	out := &Relation{Schema: schema}
+	for _, ks := range keyStrings {
+		st := groups[ks]
+		row := make(Row, 0, len(schema))
+		row = append(row, order[ks]...)
+		for i, a := range aggs {
+			switch a.Op {
+			case Count:
+				row = append(row, st[i].n)
+			case Sum:
+				row = append(row, st[i].sum)
+			case Avg:
+				row = append(row, st[i].sum/float64(st[i].n))
+			case Min:
+				row = append(row, st[i].min)
+			case Max:
+				row = append(row, st[i].max)
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// OrderBy sorts by the named column (stable), descending if desc.
+func (r *Relation) OrderBy(col string, desc bool) *Relation {
+	i := r.Schema.MustIndex(col)
+	out := &Relation{Schema: r.Schema, Rows: make([]Row, len(r.Rows))}
+	copy(out.Rows, r.Rows)
+	less := func(a, b Row) bool {
+		switch av := a[i].(type) {
+		case string:
+			return av < b[i].(string)
+		case int64:
+			return av < b[i].(int64)
+		case float64:
+			return av < b[i].(float64)
+		default:
+			panic(fmt.Sprintf("hive: unorderable type %T", a[i]))
+		}
+	}
+	sort.SliceStable(out.Rows, func(x, y int) bool {
+		if desc {
+			return less(out.Rows[y], out.Rows[x])
+		}
+		return less(out.Rows[x], out.Rows[y])
+	})
+	return out
+}
+
+// Limit keeps the first n rows.
+func (r *Relation) Limit(n int) *Relation {
+	if n > len(r.Rows) {
+		n = len(r.Rows)
+	}
+	return &Relation{Schema: r.Schema, Rows: r.Rows[:n]}
+}
+
+// Bytes estimates the relation's payload size, used by the MapReduce
+// compiler to charge simulated I/O.
+func (r *Relation) Bytes() int64 {
+	var b int64
+	for _, row := range r.Rows {
+		for _, v := range row {
+			switch x := v.(type) {
+			case string:
+				b += int64(len(x))
+			default:
+				b += 8
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+package memtrace
+
+import "testing"
+
+// TestSyscallBufferPoolBounded: repeated syscalls must reuse a bounded
+// buffer pool rather than touching fresh memory forever (real I/O paths
+// recycle page-cache pages).
+func TestSyscallBufferPoolBounded(t *testing.T) {
+	insts := collect(Profile{MaxInstrs: 60000}, func(tr *Tracer) {
+		for {
+			tr.ALU(10)
+			tr.Syscall(200, 4096)
+		}
+	})
+	pages := map[uint64]bool{}
+	for _, in := range insts {
+		if in.Kernel && (in.Op == OpLoad || in.Op == OpStore) {
+			pages[in.Addr>>12] = true
+		}
+	}
+	// 8 x 8 KB user buffers + 4 x 64 KB kernel windows = at most ~90 pages.
+	if len(pages) > 120 {
+		t.Fatalf("syscall path touched %d pages, want a bounded pool", len(pages))
+	}
+	if len(pages) < 4 {
+		t.Fatalf("syscall path touched only %d pages", len(pages))
+	}
+}
+
+// TestBranchSiteStablePCs: the same site always produces the same PC and
+// target; distinct sites differ.
+func TestBranchSiteStablePCs(t *testing.T) {
+	insts := collect(Profile{MaxInstrs: 5000}, func(tr *Tracer) {
+		for i := 0; ; i++ {
+			tr.BranchSite(1, i%2 == 0)
+			tr.BranchSite(2, true)
+		}
+	})
+	pcs := map[uint64]int{}
+	for _, in := range insts {
+		if in.Op == OpBranch && in.Dep1 == 1 {
+			pcs[in.PC]++
+		}
+	}
+	if len(pcs) != 2 {
+		t.Fatalf("distinct data-branch PCs = %d, want 2 (sites are stable)", len(pcs))
+	}
+}
+
+// TestProfileNormalizeDefaults: zero values are filled, nonzero preserved.
+func TestProfileNormalizeDefaults(t *testing.T) {
+	p := Profile{}.Normalize()
+	if p.MaxInstrs == 0 || p.CodeKB == 0 || p.BlockLen == 0 || p.FrameworkJump == 0 {
+		t.Fatalf("defaults not filled: %+v", p)
+	}
+	q := Profile{CodeKB: 7, HotCodeKB: 100}.Normalize()
+	if q.CodeKB != 7 {
+		t.Fatal("explicit CodeKB overwritten")
+	}
+	if q.HotCodeKB > q.CodeKB {
+		t.Fatal("hot footprint must be capped at the total footprint")
+	}
+}
+
+// TestColdExcursionsReturn: after a cold-code excursion the walk resumes in
+// hot code — hot PCs dominate the trace even with excursions enabled.
+func TestColdExcursionsReturn(t *testing.T) {
+	p := Profile{MaxInstrs: 60000, CodeKB: 1024, HotCodeKB: 16, ColdJumpP: 0.3}
+	insts := collect(p, func(tr *Tracer) {
+		for {
+			tr.ALU(50)
+		}
+	})
+	hotLimit := uint64(16 << 10)
+	hot := 0
+	total := 0
+	for _, in := range insts {
+		if in.Kernel || in.Op == OpBranch {
+			continue
+		}
+		total++
+		if in.PC-userCodeBase < hotLimit {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(total); frac < 0.5 {
+		t.Fatalf("hot-code fraction = %v, want majority", frac)
+	}
+}
+
+// TestLoopBranchPattern: block-walk loop branches at one PC follow the
+// taken...taken/not-taken pattern (loopTarget backward branches then exit),
+// which is what makes them predictable.
+func TestLoopBranchPattern(t *testing.T) {
+	p := Profile{MaxInstrs: 50000, CodeKB: 8, HotCodeKB: 8}
+	insts := collect(p, func(tr *Tracer) {
+		for {
+			tr.ALU(50)
+		}
+	})
+	// Collect outcome sequences per branch PC from the code walk
+	// (Dep1 == 0 distinguishes them from adapter branches).
+	seqs := map[uint64][]bool{}
+	for _, in := range insts {
+		if in.Op == OpBranch && in.Dep1 == 0 {
+			seqs[in.PC] = append(seqs[in.PC], in.Taken)
+		}
+	}
+	if len(seqs) == 0 {
+		t.Fatal("no loop branches emitted")
+	}
+	for pc, seq := range seqs {
+		if len(seq) < 10 {
+			continue
+		}
+		takenRuns := 0
+		for _, taken := range seq {
+			if taken {
+				takenRuns++
+			}
+		}
+		frac := float64(takenRuns) / float64(len(seq))
+		// loopTarget taken per 1 not-taken: 4/5 = 0.8.
+		if frac < 0.7 || frac > 0.9 {
+			t.Fatalf("loop branch %x taken fraction = %v, want ~0.8", pc, frac)
+		}
+	}
+}
+
+// TestGCBurstSweepsHeap: GC bursts touch the heap region sequentially.
+func TestGCBurstSweepsHeap(t *testing.T) {
+	p := Profile{MaxInstrs: 120000, HeapMB: 2, GCEvery: 20000, GCInstrs: 3000}
+	insts := collect(p, func(tr *Tracer) {
+		for {
+			tr.ALU(50)
+		}
+	})
+	heapLoads := 0
+	for _, in := range insts {
+		if in.Op == OpLoad && in.Addr >= heapBase && in.Addr < heapBase+(2<<20) {
+			heapLoads++
+		}
+	}
+	if heapLoads < 1000 {
+		t.Fatalf("GC heap loads = %d, want sweeping activity", heapLoads)
+	}
+}
+
+// TestEmittedCounter tracks generation progress.
+func TestEmittedCounter(t *testing.T) {
+	var seen int64
+	r := NewReader(Profile{MaxInstrs: 1000}, func(tr *Tracer) {
+		tr.ALU(100)
+		seen = tr.Emitted()
+		for {
+			tr.ALU(100)
+		}
+	})
+	Collect(r, 1000)
+	if seen < 100 || seen > 200 {
+		t.Fatalf("Emitted() after 100 ALU = %d", seen)
+	}
+}

@@ -1,0 +1,149 @@
+// Package report renders experiment results as aligned ASCII tables, bar
+// charts and CSV — the output layer of the dcbench CLI and benchmark
+// harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one labelled series of values.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Table is a titled result grid.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+	// Precision is the number of decimals to print (default 3).
+	Precision int
+	// Notes are printed under the table.
+	Notes []string
+}
+
+func (t *Table) prec() int {
+	if t.Precision == 0 {
+		return 3
+	}
+	return t.Precision
+}
+
+// String renders an aligned ASCII table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	labelW := len("workload")
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(t.Columns))
+		for j := range t.Columns {
+			v := ""
+			if j < len(r.Values) {
+				v = fmt.Sprintf("%.*f", t.prec(), r.Values[j])
+			}
+			cells[i][j] = v
+		}
+	}
+	for j, c := range t.Columns {
+		colW[j] = len(c)
+		for i := range cells {
+			if len(cells[i][j]) > colW[j] {
+				colW[j] = len(cells[i][j])
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelW, "workload")
+	for j, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", colW[j], c)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", labelW+sum(colW)+2*len(colW)))
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", labelW, r.Label)
+		for j := range t.Columns {
+			fmt.Fprintf(&b, "  %*s", colW[j], cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload,%s\n", strings.Join(t.Columns, ","))
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Label))
+		for j := range t.Columns {
+			if j < len(r.Values) {
+				fmt.Fprintf(&b, ",%.*f", t.prec(), r.Values[j])
+			} else {
+				b.WriteByte(',')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// BarChart renders a horizontal ASCII bar chart of the first value column.
+func (t *Table) BarChart(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	for _, r := range t.Rows {
+		if len(r.Values) > 0 && r.Values[0] > max {
+			max = r.Values[0]
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	for _, r := range t.Rows {
+		v := 0.0
+		if len(r.Values) > 0 {
+			v = r.Values[0]
+		}
+		n := int(v / max * float64(width))
+		fmt.Fprintf(&b, "%-*s |%s %.*f\n", labelW, r.Label,
+			strings.Repeat("#", n), t.prec(), v)
+	}
+	return b.String()
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

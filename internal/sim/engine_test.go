@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterNesting(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.At(1, func() {
+		e.After(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 1 || times[0] != 3 {
+		t.Fatalf("nested After fired at %v, want [3]", times)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e := NewEngine()
+	e.At(5, func() { e.At(1, func() {}) })
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++ })
+	e.At(10, func() { ran++ })
+	e.RunUntil(5)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+func TestProcessSleep(t *testing.T) {
+	e := NewEngine()
+	var trace []float64
+	e.Go(func(p *Process) {
+		p.Sleep(1)
+		trace = append(trace, p.Now())
+		p.Sleep(2.5)
+		trace = append(trace, p.Now())
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 1 || trace[1] != 3.5 {
+		t.Fatalf("trace = %v, want [1 3.5]", trace)
+	}
+}
+
+func TestProcessInterleaving(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go(func(p *Process) {
+		p.Sleep(2)
+		order = append(order, "a")
+	})
+	e.Go(func(p *Process) {
+		p.Sleep(1)
+		order = append(order, "b")
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("order = %v, want [b a]", order)
+	}
+}
+
+func TestResourceFIFOAndBlocking(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go(func(p *Process) {
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(1)
+			r.Release()
+		})
+	}
+	e.Run()
+	if e.Now() != 3 {
+		t.Fatalf("serialised makespan = %v, want 3", e.Now())
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceParallelism(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	for i := 0; i < 4; i++ {
+		e.Go(func(p *Process) {
+			r.Acquire(p)
+			p.Sleep(1)
+			r.Release()
+		})
+	}
+	e.Run()
+	if e.Now() != 2 {
+		t.Fatalf("4 unit jobs on 2 units took %v, want 2", e.Now())
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("resource left in use: %d", r.InUse())
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	if !r.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("second TryAcquire should fail")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestPipeSerialisation(t *testing.T) {
+	e := NewEngine()
+	pipe := NewPipe(e, 100, 0) // 100 B/s
+	var done []float64
+	for i := 0; i < 2; i++ {
+		e.Go(func(p *Process) {
+			pipe.Transfer(p, 100) // 1 s of service each
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	if len(done) != 2 || done[0] != 1 || done[1] != 2 {
+		t.Fatalf("completion times = %v, want [1 2]", done)
+	}
+	if pipe.Ops != 2 || pipe.Bytes != 200 {
+		t.Fatalf("counters = %d ops %d bytes, want 2/200", pipe.Ops, pipe.Bytes)
+	}
+}
+
+func TestPipeLatency(t *testing.T) {
+	e := NewEngine()
+	pipe := NewPipe(e, 1000, 0.5)
+	var end float64
+	e.Go(func(p *Process) {
+		pipe.Transfer(p, 500)
+		end = p.Now()
+	})
+	e.Run()
+	if end != 1.0 { // 0.5 latency + 0.5 transfer
+		t.Fatalf("end = %v, want 1.0", end)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	wg.Add(3)
+	finished := false
+	for i := 1; i <= 3; i++ {
+		d := float64(i)
+		e.Go(func(p *Process) {
+			p.Sleep(d)
+			wg.Done(e)
+		})
+	}
+	e.Go(func(p *Process) {
+		wg.Wait(p)
+		finished = true
+		if p.Now() != 3 {
+			t.Errorf("wait released at %v, want 3", p.Now())
+		}
+	})
+	e.Run()
+	if !finished {
+		t.Fatal("waiter never released")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e := NewEngine()
+	r := NewResource(e, 1)
+	e.Go(func(p *Process) {
+		r.Acquire(p)
+		r.Acquire(p) // self-deadlock: never released
+	})
+	e.Run()
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(7)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(11)
+	z := NewZipf(r, 1000, 1.0)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[99] {
+		t.Fatalf("zipf not skewed: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+	// Rank 0 under s=1 over 1000 ranks should take roughly 1/H(1000) ~ 13%.
+	frac := float64(counts[0]) / 100000
+	if frac < 0.08 || frac > 0.20 {
+		t.Fatalf("zipf rank0 fraction = %v, want ~0.13", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(50)
+		seen := make([]bool, 50)
+		for _, v := range p {
+			if v < 0 || v >= 50 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

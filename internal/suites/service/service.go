@@ -1,0 +1,189 @@
+// Package service provides trace models for the paper's service-class
+// comparison workloads: the four scale-out CloudSuite services (Data
+// Serving, Media Streaming, Web Search, Web Serving), CloudSuite's Software
+// Testing, and the traditional SPECweb2005 bank application.
+//
+// The class-defining behaviour the paper measures (Sections IV-A to IV-E):
+// enormous instruction footprints from deep software stacks (the largest
+// L1I miss and ITLB walk rates — Media Streaming about 3x the data analysis
+// average), more than 40% kernel-mode instructions from network and disk
+// request handling, poor data locality from per-request heaps (the highest
+// L2 MPKI of the comparison), front-end-bound stall profiles dominated by
+// RAT and fetch stalls, and more irregular request-dependent branches than
+// the data analysis class.
+package service
+
+import (
+	"dcbench/internal/memtrace"
+	"dcbench/internal/sim"
+)
+
+// requestLoop is the shared skeleton: per request, parse (branchy compute),
+// touch session/heap state, do work, then answer through the kernel.
+//
+// The heap model is a Zipf-popular set of session/object regions: the hot
+// head stays cache- and TLB-resident while the tail supplies the L2 misses
+// that almost always hit the L3 (the paper's Figure 10: services' L2
+// misses are served 94.9% by L3).
+type requestLoop struct {
+	heap      uint64
+	heapBytes uint64
+	rng       *sim.RNG
+	zipf      *sim.Zipf
+	bctr      int
+}
+
+const regionBytes = 32 << 10
+
+func newRequestLoop(t *memtrace.Tracer, heapMB int, seed uint64) *requestLoop {
+	r := &requestLoop{
+		heapBytes: uint64(heapMB) << 20,
+		rng:       sim.NewRNG(seed),
+	}
+	r.heap = t.Alloc(int64(r.heapBytes))
+	r.zipf = sim.NewZipf(r.rng, int(r.heapBytes/regionBytes), 1.05)
+	return r
+}
+
+// touch loads n object fields from Zipf-popular heap regions.
+func (r *requestLoop) touch(t *memtrace.Tracer, n int) {
+	for i := 0; i < n; i++ {
+		region := uint64(r.zipf.Next()) * regionBytes
+		off := r.rng.Uint64() % regionBytes &^ 7
+		t.Load(r.heap + (region+off)%r.heapBytes)
+	}
+}
+
+// parse emits header-parsing work: short compares whose branches are
+// mostly regular (protocol structure) with occasional data-driven
+// surprises.
+func (r *requestLoop) parse(t *memtrace.Tracer, branches int) {
+	for i := 0; i < branches; i++ {
+		t.ALU(3)
+		r.bctr++
+		if r.bctr%24 == 0 {
+			t.BranchSite(300+i, r.rng.Float64() < 0.5) // value-dependent
+		} else {
+			t.BranchSite(340+i, i%5 != 4) // protocol-structured per site
+		}
+	}
+}
+
+// TraceDataServing models the Cassandra/YCSB column store: zipf-keyed
+// reads and updates over a big heap with heavy kernel I/O per request.
+func TraceDataServing(t *memtrace.Tracer) {
+	r := newRequestLoop(t, 6, 11)
+	for {
+		r.parse(t, 12)
+		// Key lookup: memtable + SSTable index probes.
+		r.touch(t, 34)
+		t.ALU(30) // comparator and serialisation work
+		if r.rng.Float64() < 0.5 {
+			// Update path: write the row and the commit log.
+			t.Store(t.RNG().Uint64()%r.heapBytes&^7 + r.heap)
+			t.Syscall(160, 2048) // commit log append
+		}
+		t.Syscall(220, 1500) // network reply
+	}
+}
+
+// TraceMediaStreaming models the Darwin streaming server: long sequential
+// buffer reads chunked out through the kernel, with the largest
+// instruction footprint of the suite.
+func TraceMediaStreaming(t *memtrace.Tracer) {
+	r := newRequestLoop(t, 4, 13)
+	media := t.Alloc(4 << 20) // recently served content, LLC-resident
+	pos := uint64(0)
+	for {
+		r.parse(t, 8)
+		// Packetise one chunk: read media sequentially, build RTP
+		// headers, send.
+		for pkt := 0; pkt < 4; pkt++ {
+			for i := 0; i < 6; i++ {
+				t.Load(media + pos)
+				pos = (pos + 64) % (4 << 20)
+			}
+			t.ALU(45)            // header construction, rate control
+			t.Syscall(140, 1500) // one packet out
+		}
+		r.touch(t, 3) // session bookkeeping
+	}
+}
+
+// TraceWebSearch models the Nutch index server: posting-list traversals
+// (sequential bursts over a large index) and score accumulation, with less
+// kernel time than the other services.
+func TraceWebSearch(t *memtrace.Tracer) {
+	r := newRequestLoop(t, 6, 17)
+	index := t.Alloc(5 << 20)
+	for {
+		r.parse(t, 10)
+		terms := 2 + r.rng.Intn(3)
+		for q := 0; q < terms; q++ {
+			start := r.rng.Uint64() % (5 << 20) &^ 63
+			for i := uint64(0); i < 24; i++ { // posting list scan
+				t.Load(index + (start+i*64)%(5<<20))
+				t.ALU(4)
+				r.bctr++
+				if r.bctr%24 == 0 {
+					t.BranchSite(400, r.rng.Float64() < 0.5) // score threshold
+				} else {
+					t.BranchSite(401, i < 23) // next posting
+				}
+			}
+		}
+		r.touch(t, 6)        // result heap
+		t.Syscall(700, 2048) // reply
+	}
+}
+
+// TraceWebServing models the Olio PHP front end: interpreter-style big
+// code, many small object touches, DB round trips through the kernel.
+func TraceWebServing(t *memtrace.Tracer) {
+	r := newRequestLoop(t, 6, 19)
+	for {
+		r.parse(t, 22) // template/interpreter dispatch
+		r.touch(t, 26)
+		t.Syscall(240, 1024) // memcached/DB round trip
+		r.parse(t, 14)
+		t.ALU(40)
+		t.Syscall(260, 4096) // page response
+	}
+}
+
+// TraceSoftwareTesting models Cloud9 symbolic execution: state-queue
+// search with irregular branches and object graph walks, mostly user mode.
+func TraceSoftwareTesting(t *memtrace.Tracer) {
+	r := newRequestLoop(t, 6, 23)
+	states := t.Alloc(5 << 20)
+	for {
+		// Pop a state and interpret a few instructions symbolically.
+		s := r.rng.Uint64() % (5 << 20) &^ 63
+		for i := 0; i < 10; i++ {
+			t.Load(states + (s+uint64(i)*64)%(5<<20))
+			t.ALU(8)
+			r.bctr++
+			if r.bctr%20 == 0 {
+				t.BranchSite(500, r.rng.Float64() < 0.5) // path feasibility
+			} else {
+				t.BranchSite(501+i, i < 9) // interpreter dispatch
+			}
+		}
+		// Constraint solving burst: compute heavy.
+		t.ALU(120)
+		r.touch(t, 4)
+	}
+}
+
+// TraceSPECWeb models the SPECweb2005 bank server: request parsing,
+// session state, dynamic page generation and kernel-heavy responses —
+// the traditional-server twin of the scale-out services.
+func TraceSPECWeb(t *memtrace.Tracer) {
+	r := newRequestLoop(t, 6, 29)
+	for {
+		r.parse(t, 16)
+		r.touch(t, 22)
+		t.ALU(60) // page templating
+		t.Syscall(300, 6144)
+	}
+}

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"testing"
+
+	"dcbench/internal/memtrace"
+)
+
+func collect(gen func(t *memtrace.Tracer), p memtrace.Profile) []memtrace.Inst {
+	p.MaxInstrs = 30000
+	return memtrace.Collect(memtrace.NewReader(p, gen), 30000)
+}
+
+func kernelShare(insts []memtrace.Inst) float64 {
+	k := 0
+	for _, in := range insts {
+		if in.Kernel {
+			k++
+		}
+	}
+	return float64(k) / float64(len(insts))
+}
+
+func TestServicesAreKernelHeavy(t *testing.T) {
+	// The paper's Figure 4: service workloads run >40% kernel
+	// instructions; Software Testing is the exception (user-mode compute).
+	for name, gen := range map[string]func(tr *memtrace.Tracer){
+		"dataserving":    TraceDataServing,
+		"mediastreaming": TraceMediaStreaming,
+		"webserving":     TraceWebServing,
+		"specweb":        TraceSPECWeb,
+	} {
+		insts := collect(gen, memtrace.Profile{})
+		if ks := kernelShare(insts); ks < 0.3 {
+			t.Fatalf("%s kernel share = %v, want >= 0.3", name, ks)
+		}
+	}
+	if ks := kernelShare(collect(TraceSoftwareTesting, memtrace.Profile{})); ks > 0.1 {
+		t.Fatalf("software testing kernel share = %v, want low", ks)
+	}
+}
+
+func TestServicesTouchLargeHeaps(t *testing.T) {
+	insts := collect(TraceDataServing, memtrace.Profile{})
+	pages := map[uint64]bool{}
+	for _, in := range insts {
+		if in.Op == memtrace.OpLoad && !in.Kernel {
+			pages[in.Addr>>12] = true
+		}
+	}
+	if len(pages) < 100 {
+		t.Fatalf("data serving touched only %d pages", len(pages))
+	}
+}
+
+func TestAllServiceTracesComplete(t *testing.T) {
+	for name, gen := range map[string]func(tr *memtrace.Tracer){
+		"dataserving":     TraceDataServing,
+		"mediastreaming":  TraceMediaStreaming,
+		"websearch":       TraceWebSearch,
+		"webserving":      TraceWebServing,
+		"softwaretesting": TraceSoftwareTesting,
+		"specweb":         TraceSPECWeb,
+	} {
+		insts := collect(gen, memtrace.Profile{Seed: 5})
+		if len(insts) != 30000 {
+			t.Fatalf("%s: trace length %d", name, len(insts))
+		}
+	}
+}
+
+func TestDeterministicServiceTraces(t *testing.T) {
+	a := collect(TraceWebSearch, memtrace.Profile{Seed: 2})
+	b := collect(TraceWebSearch, memtrace.Profile{Seed: 2})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("service trace nondeterministic")
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package bpred
+
+import "testing"
+
+func benchPredictor(b *testing.B, p Predictor) {
+	b.Helper()
+	x := uint64(88172645463325252)
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		pc := 0x400000 + (x & 0x3FF0)
+		taken := x&0x10000 != 0
+		p.Predict(pc)
+		p.Update(pc, taken)
+	}
+}
+
+func BenchmarkGshare(b *testing.B)     { benchPredictor(b, NewGshare(14)) }
+func BenchmarkBimodal(b *testing.B)    { benchPredictor(b, NewBimodal(14)) }
+func BenchmarkTournament(b *testing.B) { benchPredictor(b, NewTournament(14)) }

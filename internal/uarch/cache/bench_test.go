@@ -1,0 +1,29 @@
+package cache
+
+import "testing"
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New("l1", 32<<10, 8, 64)
+	c.Access(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000)
+	}
+}
+
+func BenchmarkAccessMissStream(b *testing.B) {
+	c := New("l2", 256<<10, 8, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 64)
+	}
+}
+
+func BenchmarkAccessL3Geometry(b *testing.B) {
+	// The paper's 12 MB 16-way L3 (12288 sets, non-power-of-two).
+	c := New("l3", 12<<20, 16, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*2654435761) & 0xFFFFFFF)
+	}
+}

@@ -1,0 +1,132 @@
+// Package cache implements set-associative caches with LRU replacement for
+// the core model's three-level hierarchy (Table III of the paper: 32 KB
+// L1I/L1D, 256 KB private L2, 12 MB shared L3, all 64-byte lines).
+package cache
+
+import "fmt"
+
+// Cache is one set-associative cache level. Lookups are by byte address;
+// the cache stores line tags only (no data), which is all timing simulation
+// needs.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	lineShift uint
+	tags      []uint64 // sets*ways entries; 0 = invalid
+	lru       []uint32 // per-entry last-use stamps
+	stamp     uint32
+
+	// Counters.
+	Accesses int64
+	Misses   int64
+}
+
+// New builds a cache of the given total size, associativity and line size.
+// Size must be a multiple of ways*lineSize; the set count need not be a
+// power of two (the paper's 12 MB 16-way L3 has 12288 sets).
+func New(name string, size, ways, lineSize int) *Cache {
+	if size <= 0 || ways <= 0 || lineSize <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	sets := size / (ways * lineSize)
+	if sets == 0 || sets*ways*lineSize != size {
+		panic(fmt.Sprintf("cache %s: size %d not divisible into %d-way sets of %d-byte lines",
+			name, size, ways, lineSize))
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	if 1<<shift != lineSize {
+		panic("cache: line size not a power of two")
+	}
+	return &Cache{
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		tags:      make([]uint64, sets*ways),
+		lru:       make([]uint32, sets*ways),
+	}
+}
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return 1 << c.lineShift }
+
+// line converts a byte address to a line address with a nonzero sentinel
+// (tag 0 marks invalid entries, so line addresses are offset by 1).
+func (c *Cache) line(addr uint64) uint64 { return (addr >> c.lineShift) + 1 }
+
+// Access looks up addr, filling the line on miss (LRU victim). It returns
+// true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	ln := c.line(addr)
+	set := int(ln % uint64(c.sets))
+	base := set * c.ways
+	c.stamp++
+	victim := base
+	oldest := c.lru[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == ln {
+			c.lru[i] = c.stamp
+			return true
+		}
+		if c.tags[i] == 0 {
+			// Prefer invalid entries as victims immediately.
+			victim = i
+			oldest = 0
+			continue
+		}
+		if c.lru[i] < oldest {
+			victim, oldest = i, c.lru[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = ln
+	c.lru[victim] = c.stamp
+	return false
+}
+
+// Probe reports whether addr is resident without updating state or
+// counters.
+func (c *Cache) Probe(addr uint64) bool {
+	ln := c.line(addr)
+	set := int(ln % uint64(c.sets))
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == ln {
+			return true
+		}
+	}
+	return false
+}
+
+// MissRatio returns Misses/Accesses.
+func (c *Cache) MissRatio() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.stamp = 0
+	c.Accesses = 0
+	c.Misses = 0
+}

@@ -1,0 +1,584 @@
+// Package uarch is a trace-driven timing model of a modern superscalar
+// out-of-order core — the paper's Xeon E5645 (Westmere, Table III) — with
+// software performance counters standing in for the hardware MSRs the paper
+// reads with perf.
+//
+// The model processes the instruction trace in program order, computing for
+// every instruction its fetch, rename, dispatch, issue, completion and
+// commit times under the structural constraints of the pipeline: fetch
+// width and L1I/ITLB latency in the front end, rename width and register
+// read ports at the RAT, and ROB / reservation station / load buffer /
+// store buffer occupancy at dispatch, with issue width, operand
+// dependencies, cache/TLB latencies, MSHR-limited memory-level parallelism
+// and DRAM bandwidth in the back end. Blocked cycles are attributed to the
+// limiting resource, reproducing the paper's stall breakdown methodology
+// (Section III-D, Figure 6): stalls that overlap are counted per source,
+// exactly as the hardware counters do.
+package uarch
+
+import (
+	"dcbench/internal/memtrace"
+	"dcbench/internal/uarch/bpred"
+	"dcbench/internal/uarch/cache"
+	"dcbench/internal/uarch/mmu"
+)
+
+// Config is the core's structural description. DefaultConfig matches the
+// paper's Table III.
+type Config struct {
+	FetchWidth      int
+	RenameWidth     int
+	RenameReadPorts int
+	IssueWidth      int
+	CommitWidth     int
+
+	ROB int
+	RS  int
+	LQ  int
+	SQ  int
+
+	ALULat int
+	FPULat int
+
+	// Cache geometry: size bytes / ways, 64-byte lines.
+	L1ISize, L1IWays int
+	L1DSize, L1DWays int
+	L2Size, L2Ways   int
+	L3Size, L3Ways   int
+
+	L1DLat, L2Lat, L3Lat, MemLat int
+
+	ITLBEntries, DTLBEntries, L2TLBEntries, TLBWays int
+	TLBL2Lat, WalkLat                               int
+
+	MSHRs  int
+	MemGap int // minimum cycles between DRAM transfers (bandwidth)
+
+	MispredictPenalty int
+	BTBPenalty        int
+	BTBBits           uint
+
+	// Warmup discards the first N instructions from the counter file —
+	// caches, TLBs and predictors stay warm but counters restart — the
+	// ramp-up methodology of the paper's Section III-D.
+	Warmup int64
+
+	Predictor bpred.Predictor // defaults to a 14-bit tournament
+}
+
+// DefaultConfig returns the Table III machine: 4-wide Westmere-class core,
+// 32 KB L1s, 256 KB L2, 12 MB L3, 64-entry L1 TLBs with a 512-entry L2 TLB.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:      4,
+		RenameWidth:     4,
+		RenameReadPorts: 6,
+		IssueWidth:      6,
+		CommitWidth:     4,
+		ROB:             128,
+		RS:              36,
+		LQ:              48,
+		SQ:              32,
+		ALULat:          1,
+		FPULat:          3,
+		L1ISize:         32 << 10, L1IWays: 4,
+		L1DSize: 32 << 10, L1DWays: 8,
+		L2Size: 256 << 10, L2Ways: 8,
+		L3Size: 12 << 20, L3Ways: 16,
+		L1DLat: 4, L2Lat: 10, L3Lat: 38, MemLat: 180,
+		ITLBEntries: 64, DTLBEntries: 64, L2TLBEntries: 512, TLBWays: 4,
+		TLBL2Lat: 7, WalkLat: 120,
+		MSHRs: 10, MemGap: 8,
+		MispredictPenalty: 15,
+		BTBPenalty:        6,
+		BTBBits:           11,
+	}
+}
+
+// Counters is the performance counter file after a run.
+type Counters struct {
+	Cycles             int64
+	Instructions       int64
+	KernelInstructions int64
+
+	Branches          int64
+	BranchMispredicts int64
+
+	L1IAccesses, L1IMisses int64
+	L1DAccesses, L1DMisses int64
+	L2Accesses, L2Misses   int64
+	L3Accesses, L3Misses   int64
+
+	ITLBWalks, DTLBWalks int64
+
+	// Stall cycle attribution (Figure 6 categories).
+	FetchStall    int64
+	RATStall      int64
+	LoadBufStall  int64
+	StoreBufStall int64
+	RSStall       int64
+	ROBStall      int64
+}
+
+// IPC returns instructions per cycle.
+func (c *Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// KernelShare returns the kernel-mode instruction fraction (Figure 4).
+func (c *Counters) KernelShare() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.KernelInstructions) / float64(c.Instructions)
+}
+
+// PKI scales a counter to events per kilo-instruction.
+func (c *Counters) PKI(events int64) float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(events) / float64(c.Instructions)
+}
+
+// L1IMPKI is Figure 7's metric.
+func (c *Counters) L1IMPKI() float64 { return c.PKI(c.L1IMisses) }
+
+// L2MPKI is Figure 9's metric.
+func (c *Counters) L2MPKI() float64 { return c.PKI(c.L2Misses) }
+
+// L3HitRatio is Figure 10's metric: the share of L2 misses that hit in L3.
+func (c *Counters) L3HitRatio() float64 {
+	if c.L3Accesses == 0 {
+		return 0
+	}
+	return float64(c.L3Accesses-c.L3Misses) / float64(c.L3Accesses)
+}
+
+// ITLBWalksPKI is Figure 8's metric.
+func (c *Counters) ITLBWalksPKI() float64 { return c.PKI(c.ITLBWalks) }
+
+// DTLBWalksPKI is Figure 11's metric.
+func (c *Counters) DTLBWalksPKI() float64 { return c.PKI(c.DTLBWalks) }
+
+// BranchMispredictRatio is Figure 12's metric.
+func (c *Counters) BranchMispredictRatio() float64 {
+	if c.Branches == 0 {
+		return 0
+	}
+	return float64(c.BranchMispredicts) / float64(c.Branches)
+}
+
+// StallBreakdown returns the six stall categories normalised to their sum,
+// in Figure 6's order: fetch, RAT, load buffer, RS, store buffer, ROB.
+func (c *Counters) StallBreakdown() [6]float64 {
+	v := [6]int64{c.FetchStall, c.RATStall, c.LoadBufStall, c.RSStall, c.StoreBufStall, c.ROBStall}
+	var total int64
+	for _, x := range v {
+		total += x
+	}
+	var out [6]float64
+	if total == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = float64(x) / float64(total)
+	}
+	return out
+}
+
+// Core is one simulated core plus its private cache/TLB hierarchy.
+type Core struct {
+	cfg Config
+
+	l1i, l1d, l2, l3 *cache.Cache
+	itlb, dtlb       mmu.Hierarchy
+	pred             bpred.Predictor
+	btb              *bpred.BTB
+
+	C Counters
+
+	// Program-order rings of per-instruction times.
+	completeRing [depRing]int64 // completion times for dependency lookup
+	commitRing   []int64        // ROB slots: commit times
+	issueRing    []int64        // RS slots: issue times
+	loadRing     []int64        // LQ slots: load completion times
+	storeRing    []int64        // SQ slots: store drain times
+	mshrRing     []int64        // outstanding miss completion times
+	issueWin     []int64        // recent issue times for width throttling
+
+	idx, loadIdx, storeIdx, mshrIdx int64
+	lastStoreDrain                  int64
+
+	frontCycle    int64
+	frontCount    int
+	renameTime    int64
+	renameCnt     int
+	renameSrc     int
+	grpN          int
+	grpSrc        int
+	commitPrev    int64
+	commitCnt     int
+	lastFetchLine uint64
+	lastIMissLine uint64
+	memFree       int64
+}
+
+const depRing = 64
+
+// NewCore builds a core from cfg.
+func NewCore(cfg Config) *Core {
+	if cfg.Predictor == nil {
+		cfg.Predictor = bpred.NewTournament(14)
+	}
+	c := &Core{
+		cfg:  cfg,
+		l1i:  cache.New("L1I", cfg.L1ISize, cfg.L1IWays, 64),
+		l1d:  cache.New("L1D", cfg.L1DSize, cfg.L1DWays, 64),
+		l2:   cache.New("L2", cfg.L2Size, cfg.L2Ways, 64),
+		l3:   cache.New("L3", cfg.L3Size, cfg.L3Ways, 64),
+		pred: cfg.Predictor,
+		btb:  bpred.NewBTB(cfg.BTBBits),
+	}
+	l2tlb := mmu.NewTLB(cfg.L2TLBEntries, cfg.TLBWays)
+	c.itlb = mmu.Hierarchy{L1: mmu.NewTLB(cfg.ITLBEntries, cfg.TLBWays), L2: l2tlb,
+		WalkLatency: cfg.WalkLat, L2Latency: cfg.TLBL2Lat}
+	c.dtlb = mmu.Hierarchy{L1: mmu.NewTLB(cfg.DTLBEntries, cfg.TLBWays), L2: l2tlb,
+		WalkLatency: cfg.WalkLat, L2Latency: cfg.TLBL2Lat}
+	c.commitRing = make([]int64, cfg.ROB)
+	c.issueRing = make([]int64, cfg.RS)
+	c.loadRing = make([]int64, cfg.LQ)
+	c.storeRing = make([]int64, cfg.SQ)
+	c.mshrRing = make([]int64, cfg.MSHRs)
+	c.issueWin = make([]int64, cfg.IssueWidth)
+	return c
+}
+
+// dataAccess walks the D-side hierarchy at the given start cycle, returning
+// the completion cycle.
+func (c *Core) dataAccess(addr uint64, start int64) int64 {
+	tlbLat, walked := c.dtlb.Translate(addr)
+	if walked {
+		c.C.DTLBWalks++
+	}
+	start += int64(tlbLat)
+	if c.l1d.Access(addr) {
+		return start + int64(c.cfg.L1DLat)
+	}
+	// L1D miss: take an MSHR (FIFO approximation of the miss queue).
+	slot := c.mshrIdx % int64(len(c.mshrRing))
+	if c.mshrRing[slot] > start {
+		start = c.mshrRing[slot]
+	}
+	var done int64
+	switch {
+	case c.l2.Access(addr):
+		done = start + int64(c.cfg.L2Lat)
+	case c.l3.Access(addr):
+		done = start + int64(c.cfg.L3Lat)
+	default:
+		// DRAM: respect the bandwidth gap between transfers.
+		if start < c.memFree {
+			start = c.memFree
+		}
+		c.memFree = start + int64(c.cfg.MemGap)
+		done = start + int64(c.cfg.MemLat)
+	}
+	c.mshrRing[slot] = done
+	c.mshrIdx++
+	return done
+}
+
+// instAccess walks the I-side hierarchy, returning added fetch latency.
+// Sequential code misses are largely hidden by the L1I streaming
+// prefetcher (as on Westmere): a miss on the line right after the previous
+// miss costs only a short re-steer, though it still counts as a miss.
+func (c *Core) instAccess(pc uint64) int64 {
+	lat, walked := c.itlb.Translate(pc)
+	if walked {
+		c.C.ITLBWalks++
+	}
+	extra := int64(lat)
+	if !c.l1i.Access(pc) {
+		line := pc >> 6
+		sequential := line == c.lastIMissLine+1
+		c.lastIMissLine = line
+		if sequential {
+			// The prefetcher still moved the line up the hierarchy.
+			if !c.l2.Access(pc) {
+				c.l3.Access(pc)
+			}
+			return extra + 2
+		}
+		switch {
+		case c.l2.Access(pc):
+			extra += int64(c.cfg.L2Lat)
+		case c.l3.Access(pc):
+			extra += int64(c.cfg.L3Lat)
+		default:
+			if c.memFree > c.frontCycle {
+				extra += c.memFree - c.frontCycle
+			}
+			c.memFree = c.frontCycle + extra + int64(c.cfg.MemGap)
+			extra += int64(c.cfg.MemLat)
+		}
+	}
+	return extra
+}
+
+// Run consumes the whole trace and fills the counter file. If the config
+// sets Warmup, counters cover only the post-warmup portion.
+func (c *Core) Run(r memtrace.Reader) *Counters {
+	buf := make([]memtrace.Inst, 8192)
+	var warmed bool
+	var base Counters
+	var baseCycle int64
+	for {
+		n := r.Read(buf)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			c.step(&buf[i])
+			if !warmed && c.cfg.Warmup > 0 && c.C.Instructions >= c.cfg.Warmup {
+				warmed = true
+				c.syncCacheCounters()
+				base = c.C
+				baseCycle = c.commitPrev
+			}
+		}
+	}
+	c.C.Cycles = c.commitPrev + 1
+	c.syncCacheCounters()
+	if warmed {
+		c.C = subtractCounters(c.C, base)
+		c.C.Cycles = c.commitPrev - baseCycle
+	}
+	return &c.C
+}
+
+// subtractCounters returns a-b field-wise (Cycles handled by the caller).
+func subtractCounters(a, b Counters) Counters {
+	return Counters{
+		Cycles:             a.Cycles,
+		Instructions:       a.Instructions - b.Instructions,
+		KernelInstructions: a.KernelInstructions - b.KernelInstructions,
+		Branches:           a.Branches - b.Branches,
+		BranchMispredicts:  a.BranchMispredicts - b.BranchMispredicts,
+		L1IAccesses:        a.L1IAccesses - b.L1IAccesses,
+		L1IMisses:          a.L1IMisses - b.L1IMisses,
+		L1DAccesses:        a.L1DAccesses - b.L1DAccesses,
+		L1DMisses:          a.L1DMisses - b.L1DMisses,
+		L2Accesses:         a.L2Accesses - b.L2Accesses,
+		L2Misses:           a.L2Misses - b.L2Misses,
+		L3Accesses:         a.L3Accesses - b.L3Accesses,
+		L3Misses:           a.L3Misses - b.L3Misses,
+		ITLBWalks:          a.ITLBWalks - b.ITLBWalks,
+		DTLBWalks:          a.DTLBWalks - b.DTLBWalks,
+		FetchStall:         a.FetchStall - b.FetchStall,
+		RATStall:           a.RATStall - b.RATStall,
+		LoadBufStall:       a.LoadBufStall - b.LoadBufStall,
+		StoreBufStall:      a.StoreBufStall - b.StoreBufStall,
+		RSStall:            a.RSStall - b.RSStall,
+		ROBStall:           a.ROBStall - b.ROBStall,
+	}
+}
+
+func (c *Core) syncCacheCounters() {
+	c.C.L1IAccesses, c.C.L1IMisses = c.l1i.Accesses, c.l1i.Misses
+	c.C.L1DAccesses, c.C.L1DMisses = c.l1d.Accesses, c.l1d.Misses
+	c.C.L2Accesses, c.C.L2Misses = c.l2.Accesses, c.l2.Misses
+	c.C.L3Accesses, c.C.L3Misses = c.l3.Accesses, c.l3.Misses
+}
+
+// step advances the model by one instruction.
+func (c *Core) step(in *memtrace.Inst) {
+	cfg := &c.cfg
+	c.C.Instructions++
+	if in.Kernel {
+		c.C.KernelInstructions++
+	}
+
+	// ---- Fetch ----
+	if c.frontCount >= cfg.FetchWidth {
+		c.frontCycle++
+		c.frontCount = 0
+	}
+	if line := in.PC >> 6; line != c.lastFetchLine {
+		c.lastFetchLine = line
+		if extra := c.instAccess(in.PC); extra > 0 {
+			// The decoupled front end's fetch/decode queues absorb short
+			// bubbles; only the excess starves rename.
+			extra -= 8
+			if extra > 0 {
+				c.C.FetchStall += extra
+				c.frontCycle += extra
+				c.frontCount = 0
+			}
+		}
+	}
+	fetchTime := c.frontCycle
+	c.frontCount++
+
+	// ---- Rename (RAT) ----
+	if c.renameTime < fetchTime {
+		c.renameTime = fetchTime
+		c.renameCnt = 0
+		c.renameSrc = 0
+	}
+	if c.renameCnt >= cfg.RenameWidth {
+		c.renameTime++
+		c.renameCnt = 0
+		c.renameSrc = 0
+	}
+	if c.renameSrc+int(in.NSrc) > cfg.RenameReadPorts && c.renameCnt > 0 {
+		// Register read port conflict: the group closes early.
+		c.renameTime++
+		c.renameCnt = 0
+		c.renameSrc = 0
+	}
+	c.renameCnt++
+	c.renameSrc += int(in.NSrc)
+	renameTime := c.renameTime
+
+	// RAT stall accounting is occupancy-style, like the hardware
+	// RAT_STALLS events: every architectural rename group whose register
+	// read demand exceeds the ports is charged the excess cycles, whether
+	// or not rename happened to be the critical path (stall counters
+	// overlap; Section III-D).
+	c.grpSrc += int(in.NSrc)
+	c.grpN++
+	if c.grpN >= cfg.RenameWidth {
+		if c.grpSrc > cfg.RenameReadPorts {
+			c.C.RATStall += int64(c.grpSrc - cfg.RenameReadPorts)
+		}
+		c.grpN, c.grpSrc = 0, 0
+	}
+	if in.NSrc >= 3 {
+		// Three-source ops (flag merges, partial-register reads) insert a
+		// RAT serialisation bubble on this class of core.
+		c.C.RATStall++
+	}
+
+	// ---- Dispatch: ROB / RS / LQ / SQ availability ----
+	// Every full resource is charged for the cycles it blocks, even when
+	// several block simultaneously: hardware stall counters overlap, and
+	// the paper normalises by the total (Section III-D).
+	dispatch := renameTime
+	consider := func(free int64, counter *int64) {
+		if free > renameTime {
+			*counter += free - renameTime
+		}
+		if free > dispatch {
+			dispatch = free
+		}
+	}
+	consider(c.commitRing[c.idx%int64(cfg.ROB)], &c.C.ROBStall)
+	consider(c.issueRing[c.idx%int64(cfg.RS)], &c.C.RSStall)
+	isLoad := in.Op == memtrace.OpLoad
+	isStore := in.Op == memtrace.OpStore
+	if isLoad {
+		consider(c.loadRing[c.loadIdx%int64(cfg.LQ)], &c.C.LoadBufStall)
+	}
+	if isStore {
+		consider(c.storeRing[c.storeIdx%int64(cfg.SQ)], &c.C.StoreBufStall)
+	}
+	// Back-pressure: a blocked dispatch holds the rename stage, so later
+	// instructions measure their stalls from the caught-up point rather
+	// than re-counting the same gap.
+	if dispatch > c.renameTime {
+		c.renameTime = dispatch
+	}
+
+	// ---- Ready: operand dependencies ----
+	ready := dispatch + 1
+	if in.Dep1 > 0 && int64(in.Dep1) <= c.idx {
+		if t := c.completeRing[(c.idx-int64(in.Dep1))%depRing]; t > ready {
+			ready = t
+		}
+	}
+	if in.Dep2 > 0 && int64(in.Dep2) <= c.idx {
+		if t := c.completeRing[(c.idx-int64(in.Dep2))%depRing]; t > ready {
+			ready = t
+		}
+	}
+
+	// ---- Issue: width-limited ----
+	issue := ready
+	if w := c.issueWin[c.idx%int64(cfg.IssueWidth)]; issue <= w {
+		issue = w + 1
+	}
+	c.issueWin[c.idx%int64(cfg.IssueWidth)] = issue
+	// The RS entry is held from dispatch until issue.
+	c.issueRing[c.idx%int64(cfg.RS)] = issue
+
+	// ---- Execute ----
+	var complete int64
+	switch in.Op {
+	case memtrace.OpLoad:
+		complete = c.dataAccess(in.Addr, issue)
+		c.loadRing[c.loadIdx%int64(cfg.LQ)] = complete
+		c.loadIdx++
+	case memtrace.OpStore:
+		// Stores complete for dependents immediately; the cache write
+		// happens at drain time, charged below against the SQ.
+		complete = issue + 1
+	case memtrace.OpFPU:
+		complete = issue + int64(cfg.FPULat)
+	case memtrace.OpBranch:
+		complete = issue + int64(cfg.ALULat)
+		c.C.Branches++
+		pred := c.pred.Predict(in.PC)
+		c.pred.Update(in.PC, in.Taken)
+		if pred != in.Taken {
+			c.C.BranchMispredicts++
+			// Redirect: the front end refetches after resolution. The
+			// wasted cycles show up as lost IPC, not as IFU stall events
+			// (Figure 6 counts i-cache/iTLB fetch stalls separately from
+			// speculation waste).
+			redirect := complete + int64(cfg.MispredictPenalty)
+			if redirect > c.frontCycle {
+				c.frontCycle = redirect
+				c.frontCount = 0
+			}
+		} else if in.Taken && !c.btb.Lookup(in.PC, in.Target) {
+			// Correct direction but unknown target: short redirect.
+			c.frontCycle += int64(cfg.BTBPenalty)
+			c.frontCount = 0
+		}
+	default:
+		complete = issue + int64(cfg.ALULat)
+	}
+	c.completeRing[c.idx%depRing] = complete
+
+	// ---- Commit: in-order, width-limited ----
+	commit := complete
+	if commit <= c.commitPrev {
+		commit = c.commitPrev
+		c.commitCnt++
+		if c.commitCnt >= cfg.CommitWidth {
+			commit++
+			c.commitCnt = 0
+		}
+	} else {
+		c.commitCnt = 1
+	}
+	c.commitPrev = commit
+	c.commitRing[c.idx%int64(cfg.ROB)] = commit
+
+	// Store drain: after commit, the store writes the cache, holding its
+	// SQ entry until done. Drains retire in order.
+	if isStore {
+		drain := c.dataAccess(in.Addr, commit)
+		if drain < c.lastStoreDrain {
+			drain = c.lastStoreDrain
+		}
+		c.lastStoreDrain = drain
+		c.storeRing[c.storeIdx%int64(cfg.SQ)] = drain
+		c.storeIdx++
+	}
+	c.idx++
+}

@@ -1,0 +1,222 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcbench/internal/memtrace"
+)
+
+// randomTrace generates a mixed workload trace from a seed for property
+// testing the core model's counter invariants.
+func randomTrace(seed uint64, n int64) memtrace.Reader {
+	p := memtrace.Profile{
+		Seed:      seed,
+		MaxInstrs: n,
+		CodeKB:    int(64 + seed%512),
+		HotCodeKB: int(8 + seed%32),
+		ColdJumpP: float64(seed%10) / 50,
+	}
+	if seed%3 == 0 {
+		p.FrameworkEvery = 400
+		p.FrameworkInstrs = 80
+		p.HeapMB = 4
+	}
+	return memtrace.NewReader(p, func(tr *memtrace.Tracer) {
+		rng := tr.RNG()
+		data := tr.Alloc(int64(1+seed%64) << 20)
+		size := uint64(1+seed%64) << 20
+		var pos uint64
+		for i := 0; ; i++ {
+			switch i % 5 {
+			case 0:
+				tr.Load(data + pos%size)
+				pos += 64
+			case 1:
+				tr.Store(data + rng.Uint64()%size&^7)
+			case 2:
+				tr.ALU(3)
+			case 3:
+				tr.BranchSite(i%7, rng.Float64() < 0.7)
+			case 4:
+				if i%64 == 4 {
+					tr.Syscall(60, 512)
+				} else {
+					tr.FPU(2)
+				}
+			}
+		}
+	})
+}
+
+// TestCounterInvariants checks structural relations that must hold for any
+// trace whatsoever.
+func TestCounterInvariants(t *testing.T) {
+	check := func(seed uint64) bool {
+		cfg := DefaultConfig()
+		c := NewCore(cfg).Run(randomTrace(seed, 120_000))
+
+		// Instruction accounting.
+		if c.Instructions != 120_000 || c.KernelInstructions > c.Instructions {
+			return false
+		}
+		// A 4-wide machine cannot beat 4 IPC.
+		if c.IPC() <= 0 || c.IPC() > 4 {
+			return false
+		}
+		// Cache hierarchy flow: the L3 sees exactly the L2's misses, and
+		// the L2 sees the L1 misses (I-side prefetches included).
+		if c.L3Accesses != c.L2Misses {
+			return false
+		}
+		if c.L2Accesses < c.L1DMisses || c.L2Accesses < c.L1IMisses {
+			return false
+		}
+		if c.L1IMisses > c.L1IAccesses || c.L2Misses > c.L2Accesses ||
+			c.L3Misses > c.L3Accesses || c.L1DMisses > c.L1DAccesses {
+			return false
+		}
+		// Branch accounting.
+		if c.BranchMispredicts > c.Branches || c.Branches > c.Instructions {
+			return false
+		}
+		// Stall counters are cycle counts: non-negative.
+		for _, s := range []int64{c.FetchStall, c.RATStall, c.LoadBufStall,
+			c.StoreBufStall, c.RSStall, c.ROBStall} {
+			if s < 0 {
+				return false
+			}
+		}
+		// Ratios in range.
+		if r := c.L3HitRatio(); r < 0 || r > 1 {
+			return false
+		}
+		if r := c.BranchMispredictRatio(); r < 0 || r > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmupSubtraction: with warmup, measured instructions equal the
+// post-warmup count and rates reflect steady state (no cold-start misses).
+func TestWarmupSubtraction(t *testing.T) {
+	gen := func(tr *memtrace.Tracer) {
+		a := tr.Alloc(1 << 20) // 1 MB: cold misses then steady hits in L3
+		for {
+			for i := uint64(0); i < (1<<20)/64; i++ {
+				tr.Load(a + i*64)
+			}
+		}
+	}
+	cold := DefaultConfig()
+	coldC := NewCore(cold).Run(memtrace.NewReader(memtrace.Profile{Seed: 3, MaxInstrs: 400_000}, gen))
+
+	warm := DefaultConfig()
+	warm.Warmup = 200_000
+	warmC := NewCore(warm).Run(memtrace.NewReader(memtrace.Profile{Seed: 3, MaxInstrs: 400_000}, gen))
+
+	if warmC.Instructions != 200_000 {
+		t.Fatalf("measured instructions = %d, want 200000", warmC.Instructions)
+	}
+	// Steady state must show a better L3 hit ratio than the cold run that
+	// includes compulsory misses.
+	if warmC.L3HitRatio() <= coldC.L3HitRatio() {
+		t.Fatalf("warmup did not improve L3 hit ratio: %v vs %v",
+			warmC.L3HitRatio(), coldC.L3HitRatio())
+	}
+	if warmC.Cycles <= 0 || warmC.Cycles >= coldC.Cycles {
+		t.Fatalf("warm cycles %d vs cold %d", warmC.Cycles, coldC.Cycles)
+	}
+}
+
+// TestSmallerROBLowersIPC: structural resources must matter monotonically.
+func TestSmallerROBLowersIPC(t *testing.T) {
+	gen := func(tr *memtrace.Tracer) {
+		a := tr.Alloc(64 << 20)
+		for {
+			for i := uint64(0); i < 1<<19; i++ {
+				tr.Load(a + i*64) // independent long-latency misses
+				tr.ALU(2)
+			}
+		}
+	}
+	big := DefaultConfig()
+	big.ROB = 256
+	small := DefaultConfig()
+	small.ROB = 16
+	bigC := NewCore(big).Run(memtrace.NewReader(memtrace.Profile{Seed: 5, MaxInstrs: 150_000}, gen))
+	smallC := NewCore(small).Run(memtrace.NewReader(memtrace.Profile{Seed: 5, MaxInstrs: 150_000}, gen))
+	if smallC.IPC() >= bigC.IPC() {
+		t.Fatalf("ROB 16 IPC %v >= ROB 256 IPC %v", smallC.IPC(), bigC.IPC())
+	}
+	if smallC.ROBStall <= bigC.ROBStall {
+		t.Fatalf("ROB 16 stalls %d <= ROB 256 stalls %d", smallC.ROBStall, bigC.ROBStall)
+	}
+}
+
+// TestRATPortPressure: three-source-heavy traces must show more RAT stall
+// events than single-source traces.
+func TestRATPortPressure(t *testing.T) {
+	gen := func(tr *memtrace.Tracer) {
+		for {
+			tr.ALU(50)
+		}
+	}
+	lean := memtrace.Profile{Seed: 6, MaxInstrs: 100_000, NSrc2P: 0.1, NSrc3P: 0.001}
+	fat := memtrace.Profile{Seed: 6, MaxInstrs: 100_000, NSrc2P: 0.3, NSrc3P: 0.6}
+	leanC := NewCore(DefaultConfig()).Run(memtrace.NewReader(lean, gen))
+	fatC := NewCore(DefaultConfig()).Run(memtrace.NewReader(fat, gen))
+	if fatC.RATStall <= leanC.RATStall*2 {
+		t.Fatalf("RAT stalls: fat %d vs lean %d, want >2x", fatC.RATStall, leanC.RATStall)
+	}
+}
+
+// TestLargerL3CatchesMore: L3 sizing must monotonically improve the hit
+// ratio for an L3-boundary working set.
+func TestLargerL3CatchesMore(t *testing.T) {
+	gen := func(tr *memtrace.Tracer) {
+		a := tr.Alloc(8 << 20)
+		for {
+			for i := uint64(0); i < (8<<20)/64; i++ {
+				tr.Load(a + i*64)
+			}
+		}
+	}
+	run := func(mb int) float64 {
+		cfg := DefaultConfig()
+		cfg.L3Size = mb << 20
+		cfg.Warmup = 400_000
+		c := NewCore(cfg).Run(memtrace.NewReader(memtrace.Profile{Seed: 7, MaxInstrs: 900_000}, gen))
+		return c.L3HitRatio()
+	}
+	small, big := run(3), run(24)
+	if big <= small {
+		t.Fatalf("L3 24MB hit %v <= 3MB hit %v", big, small)
+	}
+}
+
+// TestKernelCodePollutesICache: syscall-heavy traces must raise L1I misses
+// relative to the same trace without syscalls (OS path pollution).
+func TestKernelCodePollutesICache(t *testing.T) {
+	withSys := func(tr *memtrace.Tracer) {
+		for {
+			tr.ALU(200)
+			tr.Syscall(300, 4096)
+		}
+	}
+	without := func(tr *memtrace.Tracer) {
+		for {
+			tr.ALU(200)
+		}
+	}
+	p := memtrace.Profile{Seed: 8, MaxInstrs: 200_000, CodeKB: 48, HotCodeKB: 24, KernelKB: 512}
+	a := NewCore(DefaultConfig()).Run(memtrace.NewReader(p, withSys))
+	b := NewCore(DefaultConfig()).Run(memtrace.NewReader(p, without))
+	if a.L1IMPKI() <= b.L1IMPKI() {
+		t.Fatalf("syscalls did not pollute L1I: %v vs %v", a.L1IMPKI(), b.L1IMPKI())
+	}
+}

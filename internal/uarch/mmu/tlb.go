@@ -1,0 +1,95 @@
+// Package mmu models the paper's two-level TLB hierarchy (Table III):
+// 4-way 64-entry ITLB and DTLB backed by a 4-way 512-entry unified L2 TLB,
+// with page walks on L2 misses. Completed page walks per kilo-instruction
+// are the metrics of the paper's Figures 8 and 11.
+package mmu
+
+// PageShift is log2 of the 4 KB page size.
+const PageShift = 12
+
+// TLB is one set-associative translation buffer with LRU replacement.
+type TLB struct {
+	sets  int
+	ways  int
+	tags  []uint64
+	lru   []uint32
+	stamp uint32
+
+	// Counters.
+	Accesses int64
+	Misses   int64
+}
+
+// NewTLB builds a TLB with the given entry count and associativity.
+func NewTLB(entries, ways int) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("mmu: bad TLB geometry")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("mmu: TLB set count must be a power of two")
+	}
+	return &TLB{
+		sets: sets,
+		ways: ways,
+		tags: make([]uint64, entries),
+		lru:  make([]uint32, entries),
+	}
+}
+
+// vpn converts an address to a nonzero virtual page number.
+func vpn(addr uint64) uint64 { return (addr >> PageShift) + 1 }
+
+// Access looks up the page of addr, inserting it on miss. Returns hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.Accesses++
+	p := vpn(addr)
+	set := int(p % uint64(t.sets))
+	base := set * t.ways
+	t.stamp++
+	victim, oldest := base, t.lru[base]
+	for i := base; i < base+t.ways; i++ {
+		if t.tags[i] == p {
+			t.lru[i] = t.stamp
+			return true
+		}
+		if t.tags[i] == 0 {
+			victim, oldest = i, 0
+			continue
+		}
+		if t.lru[i] < oldest {
+			victim, oldest = i, t.lru[i]
+		}
+	}
+	t.Misses++
+	t.tags[victim] = p
+	t.lru[victim] = t.stamp
+	return false
+}
+
+// Hierarchy is an L1 TLB backed by a shared L2 TLB with a page walker.
+type Hierarchy struct {
+	L1 *TLB
+	L2 *TLB // shared; may be aliased by the I- and D-side hierarchies
+
+	// WalkLatency is the page walk cost in cycles.
+	WalkLatency int
+	// L2Latency is the extra cost of an L1-miss/L2-hit in cycles.
+	L2Latency int
+
+	// Walks counts completed page walks (L2 TLB misses).
+	Walks int64
+}
+
+// Translate looks up addr, returning the added latency in cycles (0 on an
+// L1 hit) and whether a full page walk occurred.
+func (h *Hierarchy) Translate(addr uint64) (latency int, walked bool) {
+	if h.L1.Access(addr) {
+		return 0, false
+	}
+	if h.L2.Access(addr) {
+		return h.L2Latency, false
+	}
+	h.Walks++
+	return h.L2Latency + h.WalkLatency, true
+}

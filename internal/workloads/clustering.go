@@ -1,0 +1,235 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"dcbench/internal/analysis"
+	"dcbench/internal/datagen"
+	"dcbench/internal/mapreduce"
+)
+
+const (
+	kmeansK         = 4
+	kmeansDim       = 8
+	kmeansIters     = 5
+	pointsPerSplit  = 40
+	fuzzinessFactor = 2.0
+)
+
+// clusterShard deterministically generates one split's points.
+func clusterShard(seed uint64, split int) [][]float64 {
+	pts, _ := datagen.Vectors(splitSeed(seed, split), pointsPerSplit, kmeansDim, kmeansK)
+	return pts
+}
+
+// allClusterPoints regenerates every split's points for serial verification.
+func allClusterPoints(seed uint64, splits int) [][]float64 {
+	var pts [][]float64
+	for s := 0; s < splits; s++ {
+		pts = append(pts, clusterShard(seed, s)...)
+	}
+	return pts
+}
+
+// KMeansWorkload is Mahout-style distributed K-means: each iteration is a
+// MapReduce job whose map tasks assign their shard's points to the nearest
+// broadcast centroid and emit partial sums, a combiner pre-aggregates, and
+// the reduce side computes the new centroids. The driver verifies that the
+// distributed iteration matches the serial Lloyd step bit-for-bit (up to
+// floating-point summation order).
+func KMeansWorkload() *Workload {
+	return &Workload{
+		Name:      "K-means",
+		InputGB:   150,
+		Domains:   []string{"search engine", "social network", "electronic commerce"},
+		Scenarios: []string{"Image processing", "High-resolution landform classification"},
+		Run: func(env *Env) (*Stats, error) {
+			st := env.newStats("K-means")
+			simBytes := int64(150 * GB * env.Scale)
+			file := env.DFS.AddFile("kmeans-input", simBytes)
+			input := newGenInput(simBytes, func(split int) []mapreduce.KV {
+				return []mapreduce.KV{{Key: strconv.Itoa(split), Value: ""}}
+			})
+			// Initial centroids: the first k points of split 0.
+			centroids := make([][]float64, kmeansK)
+			for i, p := range clusterShard(env.Seed, 0)[:kmeansK] {
+				centroids[i] = append([]float64(nil), p...)
+			}
+
+			var results []*mapreduce.Result
+			for iter := 1; iter <= kmeansIters; iter++ {
+				snap := make([][]float64, len(centroids))
+				for i := range centroids {
+					snap[i] = append([]float64(nil), centroids[i]...)
+				}
+				job := &mapreduce.Job{
+					Name:  fmt.Sprintf("kmeans-iter-%d", iter),
+					Input: input, InputFile: file,
+					Mapper: mapreduce.MapperFunc(func(kv mapreduce.KV, emit mapreduce.Emit) {
+						split, _ := strconv.Atoi(kv.Key)
+						for _, p := range clusterShard(env.Seed, split) {
+							c, _ := analysis.NearestCentroid(p, snap)
+							emit("c|"+strconv.Itoa(c), "1|"+encodeVec(p))
+						}
+					}),
+					Combiner:    vecSumReducer,
+					Reducer:     vecSumReducer,
+					NumReducers: env.Reducers(),
+					Cost:        mapreduce.CostModel{MapCPUPerByte: 2.3e-9, ReduceCPUPerByte: 0.3e-9, OutputRatio: 0.001},
+				}
+				res, err := env.RT.Run(job)
+				if err != nil {
+					return nil, err
+				}
+				results = append(results, res)
+				for _, kv := range res.Flat() {
+					c, _ := strconv.Atoi(strings.TrimPrefix(kv.Key, "c|"))
+					n, sum := decodeWeightedVec(kv.Value)
+					for j := range sum {
+						sum[j] /= n
+					}
+					centroids[c] = sum
+				}
+			}
+			// Verify against the serial algorithm on identical data.
+			pts := allClusterPoints(env.Seed, input.NumSplits())
+			serial := make([][]float64, kmeansK)
+			for i, p := range clusterShard(env.Seed, 0)[:kmeansK] {
+				serial[i] = append([]float64(nil), p...)
+			}
+			for it := 0; it < kmeansIters; it++ {
+				serial, _, _ = analysis.KMeansStep(pts, serial)
+			}
+			st.Quality["serial_divergence"] = maxCentroidDiff(centroids, serial)
+			_, _, cost := analysis.KMeansStep(pts, centroids)
+			st.Quality["objective"] = cost
+			return env.finishStats(st, results...), nil
+		},
+	}
+}
+
+// FuzzyKMeansWorkload distributes fuzzy C-means the same way, with
+// membership-weighted partial sums. Its per-byte CPU cost is ~5x K-means
+// (Table I: 15470 vs 3227 billions of instructions on the same input size).
+func FuzzyKMeansWorkload() *Workload {
+	return &Workload{
+		Name:      "Fuzzy K-means",
+		InputGB:   150,
+		Domains:   []string{"search engine", "social network", "electronic commerce"},
+		Scenarios: []string{"Image processing", "Speech recognition"},
+		Run: func(env *Env) (*Stats, error) {
+			st := env.newStats("Fuzzy K-means")
+			simBytes := int64(150 * GB * env.Scale)
+			file := env.DFS.AddFile("fkm-input", simBytes)
+			input := newGenInput(simBytes, func(split int) []mapreduce.KV {
+				return []mapreduce.KV{{Key: strconv.Itoa(split), Value: ""}}
+			})
+			centroids := make([][]float64, kmeansK)
+			for i, p := range clusterShard(env.Seed, 0)[:kmeansK] {
+				centroids[i] = append([]float64(nil), p...)
+			}
+			var results []*mapreduce.Result
+			for iter := 1; iter <= kmeansIters; iter++ {
+				snap := make([][]float64, len(centroids))
+				for i := range centroids {
+					snap[i] = append([]float64(nil), centroids[i]...)
+				}
+				job := &mapreduce.Job{
+					Name:  fmt.Sprintf("fkm-iter-%d", iter),
+					Input: input, InputFile: file,
+					Mapper: mapreduce.MapperFunc(func(kv mapreduce.KV, emit mapreduce.Emit) {
+						split, _ := strconv.Atoi(kv.Key)
+						pts := clusterShard(env.Seed, split)
+						_, memb, _ := analysis.FuzzyKMeansStep(pts, snap, fuzzinessFactor)
+						for i, p := range pts {
+							for c := 0; c < kmeansK; c++ {
+								w := math.Pow(memb[i][c], fuzzinessFactor)
+								if w == 0 {
+									continue
+								}
+								wp := make([]float64, len(p))
+								for j := range p {
+									wp[j] = w * p[j]
+								}
+								emit("c|"+strconv.Itoa(c),
+									strconv.FormatFloat(w, 'g', -1, 64)+"|"+encodeVec(wp))
+							}
+						}
+					}),
+					Combiner:    vecSumReducer,
+					Reducer:     vecSumReducer,
+					NumReducers: env.Reducers(),
+					Cost:        mapreduce.CostModel{MapCPUPerByte: 1.1e-8, ReduceCPUPerByte: 1e-9, OutputRatio: 0.001},
+				}
+				res, err := env.RT.Run(job)
+				if err != nil {
+					return nil, err
+				}
+				results = append(results, res)
+				for _, kv := range res.Flat() {
+					c, _ := strconv.Atoi(strings.TrimPrefix(kv.Key, "c|"))
+					n, sum := decodeWeightedVec(kv.Value)
+					for j := range sum {
+						sum[j] /= n
+					}
+					centroids[c] = sum
+				}
+			}
+			pts := allClusterPoints(env.Seed, input.NumSplits())
+			serial := make([][]float64, kmeansK)
+			for i, p := range clusterShard(env.Seed, 0)[:kmeansK] {
+				serial[i] = append([]float64(nil), p...)
+			}
+			for it := 0; it < kmeansIters; it++ {
+				serial, _, _ = analysis.FuzzyKMeansStep(pts, serial, fuzzinessFactor)
+			}
+			st.Quality["serial_divergence"] = maxCentroidDiff(centroids, serial)
+			return env.finishStats(st, results...), nil
+		},
+	}
+}
+
+// vecSumReducer folds "weight|vector" values into their component-wise sum,
+// serving as both combiner and reducer for the clustering jobs.
+var vecSumReducer = mapreduce.ReducerFunc(func(key string, values []string, emit mapreduce.Emit) {
+	var n float64
+	var sum []float64
+	for _, v := range values {
+		w, vec := decodeWeightedVec(v)
+		n += w
+		if sum == nil {
+			sum = make([]float64, len(vec))
+		}
+		for j := range vec {
+			sum[j] += vec[j]
+		}
+	}
+	emit(key, strconv.FormatFloat(n, 'g', -1, 64)+"|"+encodeVec(sum))
+})
+
+// decodeWeightedVec parses "weight|v1,v2,...".
+func decodeWeightedVec(s string) (float64, []float64) {
+	sep := strings.IndexByte(s, '|')
+	w, err := strconv.ParseFloat(s[:sep], 64)
+	if err != nil {
+		panic(fmt.Sprintf("workloads: bad weighted vector %q", s))
+	}
+	return w, decodeVec(s[sep+1:])
+}
+
+// maxCentroidDiff returns the largest absolute coordinate difference
+// between two centroid sets.
+func maxCentroidDiff(a, b [][]float64) float64 {
+	worst := 0.0
+	for i := range a {
+		for j := range a[i] {
+			if d := math.Abs(a[i][j] - b[i][j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,6 @@
+// Package dcbench is a from-scratch Go reproduction of "Characterizing
+// Data Analysis Workloads in Data Centers" (Jia et al., IISWC 2013) — the
+// DCBench paper. See README.md for the architecture overview; the library
+// lives under internal/ and the benchmark harness in bench_test.go
+// regenerates every table and figure of the paper's evaluation.
+package dcbench
