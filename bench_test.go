@@ -12,10 +12,12 @@
 package dcbench
 
 import (
+	"context"
 	"testing"
 
 	"dcbench/internal/core"
 	"dcbench/internal/report"
+	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
 	"dcbench/internal/uarch/bpred"
 	"dcbench/internal/workloads"
@@ -30,15 +32,12 @@ func benchOptions() report.Options {
 	return o
 }
 
-// sweep caches one characterization sweep across benchmarks of one run.
-var sweepCache []*core.Result
-
-func sweep(b *testing.B) []*core.Result {
+// characterized returns the shared characterization sweep: the sweep
+// engine's memo table caches it across benchmarks of one run, so only the
+// first caller pays for simulation.
+func characterized(b *testing.B) []*core.Result {
 	b.Helper()
-	if sweepCache == nil {
-		sweepCache = report.Characterized(benchOptions())
-	}
-	return sweepCache
+	return report.Characterized(benchOptions())
 }
 
 func daAvg(rs []*core.Result, f func(*uarch.Counters) float64) float64 {
@@ -61,9 +60,9 @@ func BenchmarkFigure1DomainShares(b *testing.B) {
 
 func BenchmarkTable1RetiredInstructions(b *testing.B) {
 	o := benchOptions()
-	rs := sweep(b)
+	rs := characterized(b)
 	for i := 0; i < b.N; i++ {
-		t, err := report.Table1(o, rs)
+		t, err := report.Table1(context.Background(), o, rs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +88,7 @@ func BenchmarkTable3Config(b *testing.B) {
 func BenchmarkFigure2Speedup(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		t, err := report.Figure2(o)
+		t, err := report.Figure2(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +117,7 @@ func BenchmarkFigure2Speedup(b *testing.B) {
 func BenchmarkFigure5DiskWrites(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		t, err := report.Figure5(o)
+		t, err := report.Figure5(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +132,7 @@ func BenchmarkFigure5DiskWrites(b *testing.B) {
 // --- Figures 3-12: counter metrics over the 26-workload sweep ---
 
 func BenchmarkFigure3IPC(b *testing.B) {
-	rs := sweep(b)
+	rs := characterized(b)
 	for i := 0; i < b.N; i++ {
 		report.Figure3(rs)
 	}
@@ -143,7 +142,7 @@ func BenchmarkFigure3IPC(b *testing.B) {
 }
 
 func BenchmarkFigure4KernelShare(b *testing.B) {
-	rs := sweep(b)
+	rs := characterized(b)
 	for i := 0; i < b.N; i++ {
 		report.Figure4(rs)
 	}
@@ -153,7 +152,7 @@ func BenchmarkFigure4KernelShare(b *testing.B) {
 }
 
 func BenchmarkFigure6Stalls(b *testing.B) {
-	rs := sweep(b)
+	rs := characterized(b)
 	for i := 0; i < b.N; i++ {
 		report.Figure6(rs)
 	}
@@ -166,7 +165,7 @@ func BenchmarkFigure6Stalls(b *testing.B) {
 }
 
 func BenchmarkFigure7L1IMPKI(b *testing.B) {
-	rs := sweep(b)
+	rs := characterized(b)
 	for i := 0; i < b.N; i++ {
 		report.Figure7(rs)
 	}
@@ -174,7 +173,7 @@ func BenchmarkFigure7L1IMPKI(b *testing.B) {
 }
 
 func BenchmarkFigure8ITLBWalks(b *testing.B) {
-	rs := sweep(b)
+	rs := characterized(b)
 	for i := 0; i < b.N; i++ {
 		report.Figure8(rs)
 	}
@@ -182,7 +181,7 @@ func BenchmarkFigure8ITLBWalks(b *testing.B) {
 }
 
 func BenchmarkFigure9L2MPKI(b *testing.B) {
-	rs := sweep(b)
+	rs := characterized(b)
 	for i := 0; i < b.N; i++ {
 		report.Figure9(rs)
 	}
@@ -192,7 +191,7 @@ func BenchmarkFigure9L2MPKI(b *testing.B) {
 }
 
 func BenchmarkFigure10L3HitRatio(b *testing.B) {
-	rs := sweep(b)
+	rs := characterized(b)
 	for i := 0; i < b.N; i++ {
 		report.Figure10(rs)
 	}
@@ -200,7 +199,7 @@ func BenchmarkFigure10L3HitRatio(b *testing.B) {
 }
 
 func BenchmarkFigure11DTLBWalks(b *testing.B) {
-	rs := sweep(b)
+	rs := characterized(b)
 	for i := 0; i < b.N; i++ {
 		report.Figure11(rs)
 	}
@@ -208,7 +207,7 @@ func BenchmarkFigure11DTLBWalks(b *testing.B) {
 }
 
 func BenchmarkFigure12BranchMisprediction(b *testing.B) {
-	rs := sweep(b)
+	rs := characterized(b)
 	for i := 0; i < b.N; i++ {
 		report.Figure12(rs)
 	}
@@ -306,6 +305,36 @@ func BenchmarkAblationMSHR(b *testing.B) {
 		}
 	}
 }
+
+// --- Sweep engine: serial vs parallel ---
+
+// benchSweep runs the full 26-workload characterization sweep at the given
+// parallelism with memoization off, so every iteration pays the whole
+// simulation cost — the serial/parallel pair quantifies the engine's
+// speedup (and its counters are bit-identical either way).
+func benchSweep(b *testing.B, workers int) {
+	o := benchOptions()
+	jobs := core.RegistryJobs()
+	cfg := uarch.DefaultConfig()
+	cfg.Warmup = o.Warmup
+	eng := sweep.NewEngine()
+	instrs := o.Warmup + o.Instrs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counters, err := eng.Run(context.Background(), jobs, cfg, instrs,
+			sweep.RunOptions{Workers: workers, NoMemo: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(counters) != len(jobs) {
+			b.Fatalf("got %d results, want %d", len(counters), len(jobs))
+		}
+	}
+	b.ReportMetric(float64(len(jobs)*int(instrs)*b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+func BenchmarkSweepSerial(b *testing.B)    { benchSweep(b, 1) }
+func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4) }
 
 // BenchmarkClusterWordCount measures the end-to-end simulated MapReduce
 // stack itself (engine throughput, not workload metrics).

@@ -16,11 +16,16 @@
 //	-seed n     generator seed (default 42)
 //	-instrs n   measured instructions per workload trace (default 650000)
 //	-warmup n   ramp-up instructions excluded from counters (default 250000)
+//	-j n        sweep parallelism; 0 = one worker per host core (default 0)
 //	-csv        emit CSV instead of tables
 //	-chart      append an ASCII bar chart to single-metric figures
+//
+// Sweeps are deterministic at any -j: parallel runs produce bit-identical
+// counters to -j 1 at the same seed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,11 +42,13 @@ func main() {
 	seed := flag.Uint64("seed", opts.Seed, "generator seed")
 	instrs := flag.Int64("instrs", opts.Instrs, "measured instructions per trace")
 	warmup := flag.Int64("warmup", opts.Warmup, "ramp-up instructions excluded from counters")
+	jobs := flag.Int("j", opts.Jobs, "sweep parallelism; 0 = one worker per host core")
 	csv := flag.Bool("csv", false, "emit CSV")
 	chart := flag.Bool("chart", false, "append ASCII bar charts")
 	jsonOut := flag.Bool("json", false, "emit the characterization sweep as JSON (figure/all)")
 	flag.Parse()
 	opts.Scale, opts.Seed, opts.Instrs, opts.Warmup = *scale, *seed, *instrs, *warmup
+	opts.Jobs = *jobs
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -158,14 +165,14 @@ func figure(num string, o report.Options, csv, chart bool) error {
 		emit(report.Figure1(), csv, chart)
 		return nil
 	case 2:
-		t, err := report.Figure2(o)
+		t, err := report.Figure2(context.Background(), o)
 		if err != nil {
 			return err
 		}
 		emit(t, csv, chart)
 		return nil
 	case 5:
-		t, err := report.Figure5(o)
+		t, err := report.Figure5(context.Background(), o)
 		if err != nil {
 			return err
 		}
@@ -186,7 +193,7 @@ func table(num string, o report.Options, csv bool) error {
 	switch num {
 	case "1":
 		results := report.Characterized(o)
-		t, err := report.Table1(o, results)
+		t, err := report.Table1(context.Background(), o, results)
 		if err != nil {
 			return err
 		}
@@ -205,18 +212,18 @@ func all(o report.Options, csv, chart bool) error {
 	emit(report.Figure1(), csv, chart)
 	fmt.Println(report.Table2())
 	fmt.Println(report.Table3())
-	t2, err := report.Figure2(o)
+	t2, err := report.Figure2(context.Background(), o)
 	if err != nil {
 		return err
 	}
 	emit(t2, csv, chart)
-	t5, err := report.Figure5(o)
+	t5, err := report.Figure5(context.Background(), o)
 	if err != nil {
 		return err
 	}
 	emit(t5, csv, chart)
 	results := report.Characterized(o)
-	t1, err := report.Table1(o, results)
+	t1, err := report.Table1(context.Background(), o, results)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module dcbench
+
+go 1.24

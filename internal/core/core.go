@@ -3,7 +3,7 @@
 // Workloads in Data Centers" (IISWC 2013) and the DCBench workload
 // registry it produced.
 //
-// The registry holds all 27 workloads of the paper's evaluation: the eleven
+// The registry holds all 26 workloads of the paper's evaluation: the eleven
 // DCBench data analysis workloads (Table I), the five CloudSuite service
 // workloads, SPECFP/SPECINT/SPECweb, and the seven HPCC benchmarks. Each
 // entry couples a memtrace generator (the workload's genuine inner-loop
@@ -13,9 +13,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dcbench/internal/memtrace"
+	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
 )
 
@@ -89,11 +91,51 @@ func Characterize(w *Workload, cfg uarch.Config, maxInstrs int64) *Result {
 	return &Result{Workload: w, Counters: counters}
 }
 
-// CharacterizeAll runs the full registry.
+// defaultEngine backs CharacterizeAll: one process-wide sweep engine, so
+// every figure render, table render and benchmark in a process shares the
+// same memoized sweeps and pooled cores.
+var defaultEngine = sweep.NewEngine()
+
+// DefaultEngine returns the process-wide sweep engine.
+func DefaultEngine() *sweep.Engine { return defaultEngine }
+
+// RegistryJobs maps the registry onto sweep jobs, in registry order.
+func RegistryJobs() []sweep.Job {
+	ws := Registry()
+	jobs := make([]sweep.Job, len(ws))
+	for i, w := range ws {
+		jobs[i] = sweep.Job{Name: w.Name, Profile: w.Profile, Gen: w.Gen}
+	}
+	return jobs
+}
+
+// CharacterizeSweep runs the full registry through the process-wide sweep
+// engine: fanned out over opt.Workers goroutines, memoized across calls
+// (unless opt.NoMemo), results in registry order. At a fixed seed the
+// counters are bit-identical to a serial CharacterizeAll.
+func CharacterizeSweep(ctx context.Context, cfg uarch.Config, maxInstrs int64, opt sweep.RunOptions) ([]*Result, error) {
+	ws := Registry()
+	counters, err := defaultEngine.Run(ctx, RegistryJobs(), cfg, maxInstrs, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(ws))
+	for i, w := range ws {
+		out[i] = &Result{Workload: w, Counters: counters[i]}
+	}
+	return out, nil
+}
+
+// CharacterizeAll runs the full registry, delegating to the sweep engine at
+// full host parallelism. The counters are shared with the engine's memo
+// table: treat them as read-only.
 func CharacterizeAll(cfg uarch.Config, maxInstrs int64) []*Result {
-	var out []*Result
-	for _, w := range Registry() {
-		out = append(out, Characterize(w, cfg, maxInstrs))
+	out, err := CharacterizeSweep(context.Background(), cfg, maxInstrs, sweep.RunOptions{})
+	if err != nil {
+		// Registry generators do not fail and the context cannot be
+		// cancelled, so this mirrors the panic the serial path would have
+		// propagated from a broken generator.
+		panic(err)
 	}
 	return out
 }

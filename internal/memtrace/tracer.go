@@ -1,6 +1,10 @@
 package memtrace
 
-import "dcbench/internal/sim"
+import (
+	"sync"
+
+	"dcbench/internal/sim"
+)
 
 // Profile parameterises the Tracer's code, framework and instruction-mix
 // models for one workload class. Zero values get sensible defaults from
@@ -119,7 +123,32 @@ type Tracer struct {
 
 type abortTrace struct{}
 
+// TracePanic wraps a panic that escaped a trace generator. The generator
+// runs in its own goroutine, so the panic is re-raised inside the consuming
+// goroutine's Read call once the trace ends; the wrapper lets consumers
+// distinguish "the generator blew up" (its goroutine has already exited)
+// from a panic in their own simulation code (the generator may still be
+// producing).
+type TracePanic struct{ Val any }
+
 const batchSize = 8192
+
+// batchPool recycles instruction batches between the generator goroutine
+// and the consuming reader. A full characterization sweep moves hundreds of
+// millions of instructions through these batches; pooling takes the
+// per-batch allocation (and the GC churn it feeds) off the trace hot path.
+// Batches return to the pool in (*chanReader).Read once fully consumed.
+var batchPool = sync.Pool{
+	New: func() any { return make([]Inst, 0, batchSize) },
+}
+
+func newBatch() []Inst { return batchPool.Get().([]Inst)[:0] }
+
+func recycleBatch(b []Inst) {
+	if cap(b) == batchSize {
+		batchPool.Put(b[:0])
+	}
+}
 
 // NewReader runs gen(t) in a generator goroutine and returns the resulting
 // instruction stream. Generation ends when gen returns or the profile's
@@ -130,6 +159,7 @@ func NewReader(p Profile, gen func(t *Tracer)) Reader {
 		prof:      p,
 		rng:       sim.NewRNG(p.Seed),
 		out:       make(chan []Inst, 4),
+		buf:       newBatch(),
 		heapBytes: int64(p.HeapMB) << 20,
 		allocNext: heapBase,
 	}
@@ -145,11 +175,18 @@ func NewReader(p Profile, gen func(t *Tracer)) Reader {
 	t.coldZipf = sim.NewZipf(t.rng, t.nBlocks, 1.05)
 	t.kernZipf = sim.NewZipf(t.rng, t.kernBlocks, 1.4)
 	t.kernelBufs = kernelDataBase
+	r := &chanReader{ch: t.out}
 	go func() {
 		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(abortTrace); !ok {
-					panic(r)
+			if rec := recover(); rec != nil {
+				if _, ok := rec.(abortTrace); !ok {
+					// Hand the panic to the consuming goroutine: the write
+					// happens before close(t.out), which happens before the
+					// reader observes the closed channel. Re-panicking on
+					// the consumer side keeps adapter bugs loud while
+					// letting sweep workers recover them as per-workload
+					// errors instead of killing the whole process.
+					r.genPanic = rec
 				}
 			}
 			if len(t.buf) > 0 {
@@ -159,21 +196,32 @@ func NewReader(p Profile, gen func(t *Tracer)) Reader {
 		}()
 		gen(t)
 	}()
-	return &chanReader{ch: t.out}
+	return r
 }
 
 type chanReader struct {
-	ch      chan []Inst
-	pending []Inst
+	ch       chan []Inst
+	batch    []Inst // current batch, recycled once pending drains
+	pending  []Inst
+	genPanic any // generator panic, re-raised at end of trace
 }
 
-// Read implements Reader.
+// Read implements Reader. Instructions are copied into buf, so the batch
+// they arrived in can go back to the pool as soon as it is drained.
 func (r *chanReader) Read(buf []Inst) int {
 	for len(r.pending) == 0 {
+		if r.batch != nil {
+			recycleBatch(r.batch)
+			r.batch = nil
+		}
 		batch, ok := <-r.ch
 		if !ok {
+			if r.genPanic != nil {
+				panic(TracePanic{r.genPanic})
+			}
 			return 0
 		}
+		r.batch = batch
 		r.pending = batch
 	}
 	n := copy(buf, r.pending)
@@ -201,7 +249,7 @@ func (t *Tracer) push(i Inst) {
 	t.buf = append(t.buf, i)
 	if len(t.buf) >= batchSize {
 		t.out <- t.buf
-		t.buf = make([]Inst, 0, batchSize)
+		t.buf = newBatch()
 	}
 	t.emitted++
 	if t.emitted >= t.prof.MaxInstrs {

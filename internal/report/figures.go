@@ -1,9 +1,12 @@
 package report
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"dcbench/internal/core"
+	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
 	"dcbench/internal/workloads"
 )
@@ -19,10 +22,15 @@ type Options struct {
 	// counter-level experiments (Figures 3-12); Warmup precedes it.
 	Instrs int64
 	Warmup int64
+	// Jobs is the sweep parallelism (the CLI's -j flag); <= 0 means one
+	// worker per host core. Results are independent of Jobs: the sweeps are
+	// deterministic at any width.
+	Jobs int
 }
 
 // DefaultOptions balances fidelity against runtime (a full `dcbench all`
-// takes tens of seconds).
+// takes tens of seconds serially; the parallel sweep divides that by the
+// host core count).
 func DefaultOptions() Options {
 	return Options{Scale: 0.05, Seed: 42, Instrs: 650_000, Warmup: 250_000}
 }
@@ -33,10 +41,23 @@ func (o Options) coreConfig() uarch.Config {
 	return cfg
 }
 
-// Characterized runs the full 26-workload registry once (Figures 3-12 all
-// read from the same sweep).
+// Characterized runs the full 26-workload registry once through the sweep
+// engine (Figures 3-12 all read from the same sweep). Repeated calls with
+// the same options reuse the engine's memoized counters instead of
+// re-simulating.
 func Characterized(o Options) []*core.Result {
-	return core.CharacterizeAll(o.coreConfig(), o.Warmup+o.Instrs)
+	rs, err := CharacterizedCtx(context.Background(), o)
+	if err != nil {
+		panic(err) // background context: only a broken generator lands here
+	}
+	return rs
+}
+
+// CharacterizedCtx is Characterized with cancellation (per-workload
+// granularity) and error reporting.
+func CharacterizedCtx(ctx context.Context, o Options) ([]*core.Result, error) {
+	return core.CharacterizeSweep(ctx, o.coreConfig(), o.Warmup+o.Instrs,
+		sweep.RunOptions{Workers: o.Jobs})
 }
 
 // Figure1 reproduces the top-sites domain share survey (static data from
@@ -59,7 +80,7 @@ func Figure1() *Table {
 
 // Figure2 reruns the speedup experiment: all eleven workloads on simulated
 // clusters of 1, 4 and 8 slaves, normalised to the 1-slave makespan.
-func Figure2(o Options) (*Table, error) {
+func Figure2(ctx context.Context, o Options) (*Table, error) {
 	slaveCounts := []int{1, 4, 8}
 	t := &Table{
 		Title:     fmt.Sprintf("Figure 2: speedup vs slave count (scale=%.3f of paper input sizes)", o.Scale),
@@ -67,18 +88,14 @@ func Figure2(o Options) (*Table, error) {
 		Precision: 2,
 		Notes:     []string{"paper: 8-slave speedups range 3.3-8.2; Naive Bayes 6.6"},
 	}
-	for _, w := range workloads.All() {
-		base := 0.0
+	all, err := workloads.SlaveSweepAll(ctx, workloads.All(), slaveCounts, o.Scale, o.Seed, o.Jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure 2: %w", err)
+	}
+	for i, w := range workloads.All() {
 		row := Row{Label: w.Name}
-		for _, slaves := range slaveCounts {
-			env := workloads.NewEnv(slaves, o.Scale, o.Seed)
-			st, err := w.Run(env)
-			if err != nil {
-				return nil, fmt.Errorf("figure 2: %s on %d slaves: %w", w.Name, slaves, err)
-			}
-			if slaves == 1 {
-				base = st.Makespan
-			}
+		base := all[i][0].Makespan // slaveCounts[0] == 1 normalises the row
+		for _, st := range all[i] {
 			row.Values = append(row.Values, base/st.Makespan)
 		}
 		t.Rows = append(t.Rows, row)
@@ -87,28 +104,72 @@ func Figure2(o Options) (*Table, error) {
 }
 
 // Figure5 reruns the disk-write-rate experiment on the 4-slave cluster.
-func Figure5(o Options) (*Table, error) {
+func Figure5(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		Title:     fmt.Sprintf("Figure 5: disk writes per second per slave (4 slaves, scale=%.3f)", o.Scale),
 		Columns:   []string{"writes_per_sec"},
 		Precision: 1,
 		Notes:     []string{"paper: Sort has by far the highest write rate of the eleven"},
 	}
-	for _, w := range workloads.All() {
-		env := workloads.NewEnv(4, o.Scale, o.Seed)
-		st, err := w.Run(env)
-		if err != nil {
-			return nil, fmt.Errorf("figure 5: %s: %w", w.Name, err)
-		}
-		t.Rows = append(t.Rows, Row{Label: w.Name, Values: []float64{st.DiskWritesPerSecond()}})
+	stats, err := clusterStats(ctx, o)
+	if err != nil {
+		return nil, fmt.Errorf("figure 5: %w", err)
+	}
+	for i, w := range workloads.All() {
+		t.Rows = append(t.Rows, Row{Label: w.Name, Values: []float64{stats[i].DiskWritesPerSecond()}})
 	}
 	return t, nil
+}
+
+// clusterMemo caches the 4-slave cluster experiment per (scale, seed): the
+// results are deterministic in those two inputs alone (Jobs only changes
+// scheduling), and Figure 5 and Table I both read the same experiment, so
+// `dcbench all` simulates the cluster once instead of twice.
+var clusterMemo sync.Map // clusterKey -> *clusterEntry
+
+type clusterKey struct {
+	scale float64
+	seed  uint64
+}
+
+type clusterEntry struct {
+	once  sync.Once
+	stats []*workloads.Stats
+	err   error
+}
+
+// clusterStats runs every cluster workload on its own 4-slave environment
+// concurrently (one worker per host core at Jobs <= 0), returning stats in
+// workloads.All order — the shared experiment behind Figure 5 and Table I.
+// Results are memoized per (Scale, Seed) and shared: treat them as
+// read-only. A failed attempt (cancellation included) is not cached, so a
+// later call retries.
+func clusterStats(ctx context.Context, o Options) ([]*workloads.Stats, error) {
+	key := clusterKey{o.Scale, o.Seed}
+	v, _ := clusterMemo.LoadOrStore(key, &clusterEntry{})
+	en := v.(*clusterEntry)
+	en.once.Do(func() {
+		ws := workloads.All()
+		en.stats, en.err = sweep.Collect(ctx, o.Jobs, len(ws), func(i int) (*workloads.Stats, error) {
+			env := workloads.NewEnv(4, o.Scale, o.Seed)
+			st, err := ws[i].Run(env)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", ws[i].Name, err)
+			}
+			return st, nil
+		})
+	})
+	if en.err != nil {
+		clusterMemo.Delete(key)
+		return nil, en.err
+	}
+	return en.stats, nil
 }
 
 // Table1 reproduces Table I: input sizes and estimated retired
 // instructions per workload, extrapolated from the simulated run's busy
 // core-seconds at the paper's clock rate and the workload's simulated IPC.
-func Table1(o Options, results []*core.Result) (*Table, error) {
+func Table1(ctx context.Context, o Options, results []*core.Result) (*Table, error) {
 	t := &Table{
 		Title:     fmt.Sprintf("Table I: workloads, input sizes and estimated retired instructions (scale=%.3f run, extrapolated to scale 1)", o.Scale),
 		Columns:   []string{"input_GB", "instr_1e9_est", "instr_1e9_paper"},
@@ -119,12 +180,11 @@ func Table1(o Options, results []*core.Result) (*Table, error) {
 		"SVM": 2051, "K-means": 3227, "Fuzzy K-means": 15470, "IBCF": 32340,
 		"HMM": 1841, "PageRank": 18470, "Hive-bench": 3659,
 	}
-	for _, w := range workloads.All() {
-		env := workloads.NewEnv(4, o.Scale, o.Seed)
-		st, err := w.Run(env)
-		if err != nil {
-			return nil, fmt.Errorf("table 1: %s: %w", w.Name, err)
-		}
+	stats, err := clusterStats(ctx, o)
+	if err != nil {
+		return nil, fmt.Errorf("table 1: %w", err)
+	}
+	for i, w := range workloads.All() {
 		ipc := 0.78 // class average fallback
 		for _, r := range results {
 			if r.Workload.Name == w.Name {
@@ -132,7 +192,7 @@ func Table1(o Options, results []*core.Result) (*Table, error) {
 			}
 		}
 		// busy core-seconds x 2.4 GHz x IPC, rescaled to the full input.
-		est := st.CoreSeconds / o.Scale * 2.4 * ipc
+		est := stats[i].CoreSeconds / o.Scale * 2.4 * ipc
 		t.Rows = append(t.Rows, Row{Label: w.Name,
 			Values: []float64{w.InputGB, est, paperInstr[w.Name]}})
 	}

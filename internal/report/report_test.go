@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -85,7 +86,7 @@ func TestFigure2SpeedupShape(t *testing.T) {
 	}
 	o := DefaultOptions()
 	o.Scale = 0.01
-	f, err := Figure2(o)
+	f, err := Figure2(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestFigure5SortHighest(t *testing.T) {
 	}
 	o := DefaultOptions()
 	o.Scale = 0.01
-	f, err := Figure5(o)
+	f, err := Figure5(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,301 @@
+// Package sweep is the concurrent characterization pipeline: it fans a set
+// of workload traces out over a worker pool of reusable core models,
+// returning counter files in deterministic input order.
+//
+// The paper's evaluation is one big sweep — 26 registry workloads through
+// the uarch core model for Figures 3-12 — and the engine makes that sweep
+// scale with the host instead of running on one goroutine. Three mechanisms
+// carry the speedup without changing results:
+//
+//   - a bounded worker pool (Each) hands jobs to GOMAXPROCS workers by
+//     index, so results land in registry order no matter which worker
+//     finishes first;
+//   - a per-configuration pool of uarch.Core instances recycled with
+//     (*Core).Reset, so workers reuse ~13 MB of simulated cache/TLB/
+//     predictor state instead of reallocating it per workload;
+//   - a memo table keyed by (workload name, profile, config fingerprint,
+//     trace length), so repeated figure and table renders share one sweep
+//     instead of re-simulating.
+//
+// Every job runs its own tracer with its own seeded RNG against a core that
+// Reset has returned to the fresh-core state, so at a fixed seed the
+// parallel sweep is bit-identical to the serial one (the equivalence test
+// in this package pins that down).
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dcbench/internal/memtrace"
+	"dcbench/internal/uarch"
+)
+
+// Job is one unit of sweep work: a named workload trace to run through the
+// core model. core.Workload entries map to Jobs one-to-one.
+//
+// (Name, Profile) must uniquely identify the generated trace: the engine's
+// memo table cannot hash the Gen closure, so two Jobs sharing a name and
+// profile but generating different traces would share one cached result.
+type Job struct {
+	Name    string
+	Profile memtrace.Profile
+	Gen     func(*memtrace.Tracer)
+}
+
+// RunOptions tunes one engine run.
+type RunOptions struct {
+	// Workers is the fan-out width; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// NoMemo bypasses the result cache, forcing a full re-simulation
+	// (benchmarks measuring sweep cost set this).
+	NoMemo bool
+}
+
+func (o RunOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// memoKey identifies one simulation's full input: the workload (name plus
+// its entire trace profile, which embeds the seed; the Gen closure itself
+// is not hashable, hence Job's uniqueness contract) and the machine (config
+// fingerprint, which embeds the warmup) at a given trace length.
+type memoKey struct {
+	name   string
+	prof   memtrace.Profile
+	cfgFP  uint64
+	instrs int64
+}
+
+// memoEntry is a singleflight cell: concurrent requests for the same key
+// share one simulation.
+type memoEntry struct {
+	once     sync.Once
+	counters *uarch.Counters
+	err      error
+}
+
+// Engine runs characterization sweeps. It is safe for concurrent use; the
+// memo table and core pools are shared across runs, so a long-lived engine
+// amortises both simulation and allocation across every figure render.
+type Engine struct {
+	mu    sync.Mutex
+	memo  map[memoKey]*memoEntry
+	pools map[uint64]*sync.Pool // reusable cores keyed by config fingerprint
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		memo:  make(map[memoKey]*memoEntry),
+		pools: make(map[uint64]*sync.Pool),
+	}
+}
+
+// pool returns the core pool for the given config fingerprint. Pooled cores
+// always carry the fingerprint's geometry, so Reset never rebuilds.
+func (e *Engine) pool(fp uint64) *sync.Pool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.pools[fp]
+	if !ok {
+		p = &sync.Pool{}
+		e.pools[fp] = p
+	}
+	return p
+}
+
+// Run characterizes every job under cfg, capping each trace at maxInstrs
+// (0 keeps each profile's own cap), and returns one counter file per job in
+// job order. Cancellation is per-workload: a cancelled context stops new
+// jobs from starting and Run returns ctx.Err(); in-flight jobs finish
+// first. A job that fails (a panicking generator, say) yields a nil entry
+// and its error — wrapped with the job name — joined into the returned
+// error, while the remaining jobs still run.
+//
+// Returned counters may be shared with other callers through the memo
+// table: treat them as read-only.
+//
+// A cfg carrying an explicit Predictor instance cannot be fanned out (every
+// core would share, and race on, that one instance), so such sweeps run on
+// a single worker with unpooled cores and no memo, preserving the legacy
+// serial semantics exactly.
+func (e *Engine) Run(ctx context.Context, jobs []Job, cfg uarch.Config, maxInstrs int64, opt RunOptions) ([]*uarch.Counters, error) {
+	out := make([]*uarch.Counters, len(jobs))
+	errs := make([]error, len(jobs))
+	if cfg.Predictor != nil {
+		for i, j := range jobs {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			out[i], errs[i] = simulate(j, cfg, maxInstrs, nil)
+		}
+		return out, joinJobErrors(jobs, errs)
+	}
+	fp := cfg.Fingerprint()
+	pool := e.pool(fp)
+	err := Each(ctx, opt.workers(), len(jobs), func(i int) {
+		if opt.NoMemo {
+			out[i], errs[i] = simulate(jobs[i], cfg, maxInstrs, pool)
+		} else {
+			out[i], errs[i] = e.memoized(jobs[i], cfg, fp, maxInstrs, pool)
+		}
+	})
+	if err != nil {
+		return out, err
+	}
+	return out, joinJobErrors(jobs, errs)
+}
+
+// joinJobErrors wraps each failed job's error with its name.
+func joinJobErrors(jobs []Job, errs []error) error {
+	var wrapped []error
+	for i, err := range errs {
+		if err != nil {
+			wrapped = append(wrapped, fmt.Errorf("%s: %w", jobs[i].Name, err))
+		}
+	}
+	return errors.Join(wrapped...)
+}
+
+// memoized returns the cached counters for the job, simulating at most once
+// per key even under concurrent callers.
+func (e *Engine) memoized(job Job, cfg uarch.Config, fp uint64, maxInstrs int64, pool *sync.Pool) (*uarch.Counters, error) {
+	key := memoKey{name: job.Name, prof: job.Profile, cfgFP: fp, instrs: maxInstrs}
+	e.mu.Lock()
+	en, ok := e.memo[key]
+	if !ok {
+		en = &memoEntry{}
+		e.memo[key] = en
+	}
+	e.mu.Unlock()
+	en.once.Do(func() {
+		en.counters, en.err = simulate(job, cfg, maxInstrs, pool)
+	})
+	return en.counters, en.err
+}
+
+// simulate runs one job through a core drawn from pool (or a fresh core
+// when pool is nil), returning a private copy of the counter file so the
+// core can be recycled immediately. Panics come back as errors: a
+// generator panic arrives wrapped in memtrace.TracePanic after its
+// goroutine has exited, while a core-model panic leaves the generator
+// goroutine mid-trace, so the abandoned reader is drained in the
+// background to let that goroutine finish and be collected.
+func simulate(job Job, cfg uarch.Config, maxInstrs int64, pool *sync.Pool) (counters *uarch.Counters, err error) {
+	p := job.Profile
+	if maxInstrs > 0 {
+		p.MaxInstrs = maxInstrs
+	}
+	r := memtrace.NewReader(p, job.Gen)
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		// Either way the core is abandoned rather than repooled: it may
+		// hold partial state, and Reset on next Get would not run.
+		if tp, ok := rec.(memtrace.TracePanic); ok {
+			err = fmt.Errorf("trace generation panicked: %v", tp.Val)
+			return
+		}
+		go drain(r)
+		err = fmt.Errorf("core model panicked: %v", rec)
+	}()
+	var c *uarch.Core
+	if pool != nil {
+		if v := pool.Get(); v != nil {
+			c = v.(*uarch.Core)
+			c.Reset(cfg)
+		}
+	}
+	if c == nil {
+		c = uarch.NewCore(cfg)
+	}
+	snap := *c.Run(r)
+	if pool != nil {
+		pool.Put(c)
+	}
+	return &snap, nil
+}
+
+// drain consumes an abandoned trace to completion (bounded by the
+// profile's MaxInstrs cap) so the generator goroutine can exit instead of
+// blocking forever on a full channel.
+func drain(r memtrace.Reader) {
+	defer func() { recover() }() // the generator may itself panic at the end
+	var buf [512]memtrace.Inst
+	for r.Read(buf[:]) != 0 {
+	}
+}
+
+// Each runs fn(i) for i in [0, n) on a pool of at most workers goroutines,
+// handing out indices in order. A cancelled ctx stops new indices from
+// being claimed and Each returns ctx.Err() once in-flight calls finish;
+// per-index failures belong in caller-side slices, not in fn's control
+// flow. Each returns nil when every index ran.
+func Each(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Collect fans fn(i) for i in [0, n) over at most workers goroutines
+// (<= 0 means runtime.GOMAXPROCS(0), matching the engine's and the -j
+// flag's convention) and gathers results in index order. Cancellation
+// returns ctx.Err() alone; otherwise every index runs and the first
+// per-index error (by index) is returned alongside the partial results.
+func Collect[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if err := Each(ctx, workers, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

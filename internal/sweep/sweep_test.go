@@ -1,0 +1,256 @@
+package sweep_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dcbench/internal/core"
+	"dcbench/internal/memtrace"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+// testJobs builds small synthetic workloads with distinct profiles.
+func testJobs(n int) []sweep.Job {
+	jobs := make([]sweep.Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = sweep.Job{
+			Name: "job-" + string(rune('A'+i)),
+			Profile: memtrace.Profile{
+				Seed:      uint64(1000 + i),
+				MaxInstrs: 40_000,
+				CodeKB:    64 + 32*i,
+				HeapMB:    4,
+			},
+			Gen: func(t *memtrace.Tracer) {
+				base := t.Alloc(1 << 20)
+				for {
+					for off := uint64(0); off < 1<<20; off += 64 {
+						t.Load(base + off)
+						t.BranchSite(i, off%128 == 0)
+					}
+				}
+			},
+		}
+	}
+	return jobs
+}
+
+// TestParallelMatchesSerial is the engine's core guarantee: at a fixed seed
+// the fanned-out sweep produces counters bit-identical to one worker.
+func TestParallelMatchesSerial(t *testing.T) {
+	jobs := testJobs(6)
+	cfg := uarch.DefaultConfig()
+	cfg.Warmup = 10_000
+
+	serial, err := sweep.NewEngine().Run(context.Background(), jobs, cfg, 0,
+		sweep.RunOptions{Workers: 1, NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sweep.NewEngine().Run(context.Background(), jobs, cfg, 0,
+		sweep.RunOptions{Workers: 4, NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s: parallel counters diverge from serial\nserial:   %+v\nparallel: %+v",
+				jobs[i].Name, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestRegistrySerialVsParallel runs the real 26-workload registry serially
+// and with 4 workers at the default seed and asserts bit-identical
+// uarch.Counters per workload — the -j determinism contract of the CLI.
+func TestRegistrySerialVsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep")
+	}
+	jobs := core.RegistryJobs()
+	cfg := uarch.DefaultConfig()
+	cfg.Warmup = 40_000
+	const instrs = 120_000
+
+	serial, err := sweep.NewEngine().Run(context.Background(), jobs, cfg, instrs,
+		sweep.RunOptions{Workers: 1, NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sweep.NewEngine().Run(context.Background(), jobs, cfg, instrs,
+		sweep.RunOptions{Workers: 4, NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s: -j 4 counters diverge from serial\nserial:   %+v\nparallel: %+v",
+				j.Name, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestMemoization: a second Run with identical inputs must not re-simulate,
+// and NoMemo must.
+func TestMemoization(t *testing.T) {
+	var gens atomic.Int64
+	jobs := testJobs(3)
+	for i := range jobs {
+		inner := jobs[i].Gen
+		jobs[i].Gen = func(tr *memtrace.Tracer) {
+			gens.Add(1)
+			inner(tr)
+		}
+	}
+	cfg := uarch.DefaultConfig()
+	eng := sweep.NewEngine()
+
+	first, err := eng.Run(context.Background(), jobs, cfg, 0, sweep.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gens.Load(); got != 3 {
+		t.Fatalf("first run: %d generator invocations, want 3", got)
+	}
+	second, err := eng.Run(context.Background(), jobs, cfg, 0, sweep.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gens.Load(); got != 3 {
+		t.Errorf("memoized rerun re-simulated: %d generator invocations, want 3", got)
+	}
+	for i := range jobs {
+		if first[i] != second[i] {
+			t.Errorf("%s: memoized rerun returned a different counter file", jobs[i].Name)
+		}
+	}
+	if _, err := eng.Run(context.Background(), jobs, cfg, 0, sweep.RunOptions{NoMemo: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := gens.Load(); got != 6 {
+		t.Errorf("NoMemo run did not re-simulate: %d generator invocations, want 6", got)
+	}
+
+	// A different trace length is a different key.
+	if _, err := eng.Run(context.Background(), jobs, cfg, 20_000, sweep.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := gens.Load(); got != 9 {
+		t.Errorf("shorter trace reused the full-length memo entry: %d invocations, want 9", got)
+	}
+}
+
+// TestCancellation: a cancelled context aborts the sweep with ctx.Err().
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sweep.NewEngine().Run(ctx, testJobs(4), uarch.DefaultConfig(), 0, sweep.RunOptions{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestErrorCapture: a panicking generator becomes a per-job error carrying
+// the job name, and the other jobs still produce counters.
+func TestErrorCapture(t *testing.T) {
+	jobs := testJobs(3)
+	jobs[1].Name = "exploding"
+	jobs[1].Gen = func(tr *memtrace.Tracer) {
+		tr.ALU(100)
+		panic("boom")
+	}
+	out, err := sweep.NewEngine().Run(context.Background(), jobs, uarch.DefaultConfig(), 0,
+		sweep.RunOptions{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "exploding") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic from job %q", err, "exploding")
+	}
+	if out[1] != nil {
+		t.Errorf("failed job returned counters")
+	}
+	for _, i := range []int{0, 2} {
+		if out[i] == nil || out[i].Instructions == 0 {
+			t.Errorf("job %d did not complete despite sibling failure", i)
+		}
+	}
+}
+
+// TestExplicitPredictorFallsBackToSerial: a shared predictor instance must
+// not be fanned out; the legacy serial semantics (state carried across jobs
+// in order) are preserved instead.
+func TestExplicitPredictorFallsBackToSerial(t *testing.T) {
+	jobs := testJobs(3)
+	mkCfg := func() uarch.Config {
+		c := uarch.DefaultConfig()
+		c.Predictor = newCountingPredictor()
+		return c
+	}
+
+	cfgA := mkCfg()
+	got, err := sweep.NewEngine().Run(context.Background(), jobs, cfgA, 0,
+		sweep.RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legacy comparison: NewCore per job with the same shared instance.
+	cfgB := mkCfg()
+	want := make([]*uarch.Counters, len(jobs))
+	for i, j := range jobs {
+		p := j.Profile
+		c := uarch.NewCore(cfgB)
+		want[i] = c.Run(memtrace.NewReader(p, j.Gen))
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(*got[i], *want[i]) {
+			t.Errorf("%s: explicit-predictor sweep diverges from legacy serial path", jobs[i].Name)
+		}
+	}
+}
+
+// countingPredictor is a minimal deterministic stateful predictor.
+type countingPredictor struct{ n uint64 }
+
+func newCountingPredictor() *countingPredictor { return &countingPredictor{} }
+
+func (p *countingPredictor) Predict(pc uint64) bool { return (pc>>2+p.n)%3 == 0 }
+func (p *countingPredictor) Update(pc uint64, taken bool) {
+	if taken {
+		p.n++
+	}
+}
+func (p *countingPredictor) Name() string { return "counting" }
+func (p *countingPredictor) Reset()       { p.n = 0 }
+
+// TestEach checks ordering-independence and bounded fan-out of the pool
+// primitive.
+func TestEach(t *testing.T) {
+	const n = 100
+	seen := make([]int32, n)
+	var inFlight, peak atomic.Int32
+	err := sweep.Each(context.Background(), 4, n, func(i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&seen[i], 1)
+		inFlight.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+	if p := peak.Load(); p > 4 {
+		t.Errorf("peak concurrency %d exceeds 4 workers", p)
+	}
+}

@@ -12,6 +12,10 @@ type Predictor interface {
 	Update(pc uint64, taken bool)
 	// Name identifies the predictor in reports.
 	Name() string
+	// Reset clears all learned state, returning the predictor to its
+	// just-constructed condition so a pooled core can be reused across
+	// workloads without history leaking between runs.
+	Reset()
 }
 
 // Gshare is a global-history predictor: 2-bit counters indexed by
@@ -57,6 +61,12 @@ func (g *Gshare) Update(pc uint64, taken bool) {
 	g.history = ((g.history << 1) | b2u(taken)) & g.mask
 }
 
+// Reset implements Predictor.
+func (g *Gshare) Reset() {
+	g.history = 0
+	clear(g.table)
+}
+
 // Bimodal is a per-PC 2-bit counter table without global history.
 type Bimodal struct {
 	mask  uint64
@@ -85,6 +95,9 @@ func (b *Bimodal) Update(pc uint64, taken bool) {
 		b.table[i]--
 	}
 }
+
+// Reset implements Predictor.
+func (b *Bimodal) Reset() { clear(b.table) }
 
 // Tournament combines a bimodal predictor (instant convergence on biased
 // branches) with gshare (pattern capture) under a per-PC chooser, the
@@ -136,6 +149,13 @@ func (t *Tournament) Update(pc uint64, taken bool) {
 	t.gshare.Update(pc, taken)
 }
 
+// Reset implements Predictor.
+func (t *Tournament) Reset() {
+	t.bimodal.Reset()
+	t.gshare.Reset()
+	clear(t.meta)
+}
+
 // Static always predicts not taken.
 type Static struct{}
 
@@ -147,6 +167,9 @@ func (Static) Predict(uint64) bool { return false }
 
 // Update implements Predictor.
 func (Static) Update(uint64, bool) {}
+
+// Reset implements Predictor.
+func (Static) Reset() {}
 
 func b2u(b bool) uint64 {
 	if b {
@@ -186,4 +209,12 @@ func (b *BTB) Lookup(pc, target uint64) bool {
 	b.tags[i] = pc + 1
 	b.targets[i] = target
 	return false
+}
+
+// Reset clears all cached targets and counters.
+func (b *BTB) Reset() {
+	clear(b.tags)
+	clear(b.targets)
+	b.Hits = 0
+	b.Misses = 0
 }

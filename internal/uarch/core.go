@@ -17,6 +17,9 @@
 package uarch
 
 import (
+	"encoding/binary"
+	"hash/fnv"
+
 	"dcbench/internal/memtrace"
 	"dcbench/internal/uarch/bpred"
 	"dcbench/internal/uarch/cache"
@@ -64,6 +67,40 @@ type Config struct {
 	Warmup int64
 
 	Predictor bpred.Predictor // defaults to a 14-bit tournament
+}
+
+// Fingerprint hashes every simulation-relevant Config field (plus the
+// predictor's kind) into a stable 64-bit key, so sweep caches and core
+// pools can recognise equivalent configurations. For nil-Predictor configs,
+// equal fingerprints produce identical simulations for identical traces;
+// new Config fields must be folded in here. An explicit Predictor is
+// hashed by Name() only — two instances of the same kind but different
+// capacity or training collide — so predictor-carrying configs must not be
+// used as cache keys (the sweep engine routes them around its memo and
+// pools for exactly this reason).
+func (cfg Config) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, v := range []int{
+		cfg.FetchWidth, cfg.RenameWidth, cfg.RenameReadPorts, cfg.IssueWidth,
+		cfg.CommitWidth, cfg.ROB, cfg.RS, cfg.LQ, cfg.SQ, cfg.ALULat,
+		cfg.FPULat, cfg.L1ISize, cfg.L1IWays, cfg.L1DSize, cfg.L1DWays,
+		cfg.L2Size, cfg.L2Ways, cfg.L3Size, cfg.L3Ways, cfg.L1DLat, cfg.L2Lat,
+		cfg.L3Lat, cfg.MemLat, cfg.ITLBEntries, cfg.DTLBEntries,
+		cfg.L2TLBEntries, cfg.TLBWays, cfg.TLBL2Lat, cfg.WalkLat, cfg.MSHRs,
+		cfg.MemGap, cfg.MispredictPenalty, cfg.BTBPenalty, int(cfg.BTBBits),
+	} {
+		put(int64(v))
+	}
+	put(cfg.Warmup)
+	if cfg.Predictor != nil {
+		h.Write([]byte(cfg.Predictor.Name()))
+	}
+	return h.Sum64()
 }
 
 // DefaultConfig returns the Table III machine: 4-wide Westmere-class core,
@@ -225,13 +262,17 @@ type Core struct {
 	lastFetchLine uint64
 	lastIMissLine uint64
 	memFree       int64
+
+	defaultPred bool // predictor was built by NewCore, not supplied
+	runBuf      []memtrace.Inst
 }
 
 const depRing = 64
 
 // NewCore builds a core from cfg.
 func NewCore(cfg Config) *Core {
-	if cfg.Predictor == nil {
+	defaultPred := cfg.Predictor == nil
+	if defaultPred {
 		cfg.Predictor = bpred.NewTournament(14)
 	}
 	c := &Core{
@@ -254,7 +295,89 @@ func NewCore(cfg Config) *Core {
 	c.storeRing = make([]int64, cfg.SQ)
 	c.mshrRing = make([]int64, cfg.MSHRs)
 	c.issueWin = make([]int64, cfg.IssueWidth)
+	c.defaultPred = defaultPred
 	return c
+}
+
+// sameGeometry reports whether cfg allocates the same array shapes as the
+// core's current configuration, so Reset can recycle them in place.
+func (c *Core) sameGeometry(cfg Config) bool {
+	o := c.cfg
+	return cfg.L1ISize == o.L1ISize && cfg.L1IWays == o.L1IWays &&
+		cfg.L1DSize == o.L1DSize && cfg.L1DWays == o.L1DWays &&
+		cfg.L2Size == o.L2Size && cfg.L2Ways == o.L2Ways &&
+		cfg.L3Size == o.L3Size && cfg.L3Ways == o.L3Ways &&
+		cfg.ITLBEntries == o.ITLBEntries && cfg.DTLBEntries == o.DTLBEntries &&
+		cfg.L2TLBEntries == o.L2TLBEntries && cfg.TLBWays == o.TLBWays &&
+		cfg.ROB == o.ROB && cfg.RS == o.RS && cfg.LQ == o.LQ && cfg.SQ == o.SQ &&
+		cfg.MSHRs == o.MSHRs && cfg.IssueWidth == o.IssueWidth &&
+		cfg.BTBBits == o.BTBBits
+}
+
+// Reset returns the core to the state NewCore(cfg) would produce from a
+// fresh predictor, reusing the existing cache, TLB, predictor and ring
+// allocations whenever the geometry is unchanged — the default machine
+// carries ~13 MB of simulated tag state, so pooled cores skip that churn
+// entirely. A geometry change falls back to a full rebuild. Unlike NewCore,
+// which adopts an explicitly supplied Predictor with whatever training it
+// carries, Reset always clears the predictor's learned state: a reset core
+// starts cold. Runs on a reset core are bit-identical to runs on a fresh
+// core; reset_test pins that down.
+func (c *Core) Reset(cfg Config) {
+	reuseDefault := cfg.Predictor == nil && c.defaultPred
+	if !c.sameGeometry(cfg) {
+		if cfg.Predictor != nil {
+			cfg.Predictor.Reset()
+		}
+		fresh := NewCore(cfg)
+		fresh.runBuf = c.runBuf
+		if reuseDefault {
+			c.pred.Reset()
+			fresh.cfg.Predictor = c.pred
+			fresh.pred = c.pred
+		}
+		*c = *fresh
+		return
+	}
+	if cfg.Predictor == nil {
+		if c.defaultPred {
+			cfg.Predictor = c.pred
+		} else {
+			cfg.Predictor = bpred.NewTournament(14)
+		}
+		c.defaultPred = true
+	} else {
+		c.defaultPred = false
+	}
+	c.cfg = cfg
+	c.pred = cfg.Predictor
+	c.pred.Reset()
+	c.l1i.Reset()
+	c.l1d.Reset()
+	c.l2.Reset()
+	c.l3.Reset()
+	c.itlb.Reset()
+	c.dtlb.Reset()
+	c.itlb.L2.Reset() // shared by both hierarchies: reset exactly once
+	c.itlb.WalkLatency, c.itlb.L2Latency = cfg.WalkLat, cfg.TLBL2Lat
+	c.dtlb.WalkLatency, c.dtlb.L2Latency = cfg.WalkLat, cfg.TLBL2Lat
+	c.btb.Reset()
+	c.C = Counters{}
+	clear(c.completeRing[:])
+	clear(c.commitRing)
+	clear(c.issueRing)
+	clear(c.loadRing)
+	clear(c.storeRing)
+	clear(c.mshrRing)
+	clear(c.issueWin)
+	c.idx, c.loadIdx, c.storeIdx, c.mshrIdx = 0, 0, 0, 0
+	c.lastStoreDrain = 0
+	c.frontCycle, c.frontCount = 0, 0
+	c.renameTime, c.renameCnt, c.renameSrc = 0, 0, 0
+	c.grpN, c.grpSrc = 0, 0
+	c.commitPrev, c.commitCnt = 0, 0
+	c.lastFetchLine, c.lastIMissLine = 0, 0
+	c.memFree = 0
 }
 
 // dataAccess walks the D-side hierarchy at the given start cycle, returning
@@ -332,7 +455,10 @@ func (c *Core) instAccess(pc uint64) int64 {
 // Run consumes the whole trace and fills the counter file. If the config
 // sets Warmup, counters cover only the post-warmup portion.
 func (c *Core) Run(r memtrace.Reader) *Counters {
-	buf := make([]memtrace.Inst, 8192)
+	if c.runBuf == nil {
+		c.runBuf = make([]memtrace.Inst, 8192)
+	}
+	buf := c.runBuf
 	var warmed bool
 	var base Counters
 	var baseCycle int64

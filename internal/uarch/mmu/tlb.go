@@ -67,6 +67,18 @@ func (t *TLB) Access(addr uint64) bool {
 	return false
 }
 
+// Entries returns the TLB's total entry count.
+func (t *TLB) Entries() int { return t.sets * t.ways }
+
+// Reset clears contents and counters.
+func (t *TLB) Reset() {
+	clear(t.tags)
+	clear(t.lru)
+	t.stamp = 0
+	t.Accesses = 0
+	t.Misses = 0
+}
+
 // Hierarchy is an L1 TLB backed by a shared L2 TLB with a page walker.
 type Hierarchy struct {
 	L1 *TLB
@@ -79,6 +91,14 @@ type Hierarchy struct {
 
 	// Walks counts completed page walks (L2 TLB misses).
 	Walks int64
+}
+
+// Reset clears the private L1 TLB and the walk counter. The shared L2 is
+// left alone: it may be aliased by the sibling hierarchy, so the owner of
+// both hierarchies resets it exactly once.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.Walks = 0
 }
 
 // Translate looks up addr, returning the added latency in cycles (0 on an

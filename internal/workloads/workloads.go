@@ -16,6 +16,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"dcbench/internal/cluster"
 	"dcbench/internal/dfs"
 	"dcbench/internal/mapreduce"
+	"dcbench/internal/sweep"
 )
 
 // GB is 10^9 bytes, the unit of the paper's Table I input sizes.
@@ -169,6 +171,45 @@ func All() []*Workload {
 		PageRankWorkload(),
 		HiveBenchWorkload(),
 	}
+}
+
+// SlaveSweepAll runs every workload across every slave count — Figure 2's
+// full experiment matrix — with each of the len(ws) x len(slaveCounts)
+// independent cluster environments a separate unit of fan-out, so an
+// 8-core host keeps 8 environments in flight rather than being capped at
+// one workload's slave counts. Workers <= 0 means one per host core (the
+// -j convention). Stats come back as [workload][slaveCount], both in input
+// order; every environment is seeded identically, so results match the
+// serial loops bit for bit. The first failed run's error (wrapped with its
+// workload and slave count) is returned after all runs finish.
+func SlaveSweepAll(ctx context.Context, ws []*Workload, slaveCounts []int, scale float64, seed uint64, workers int) ([][]*Stats, error) {
+	n := len(ws) * len(slaveCounts)
+	flat, err := sweep.Collect(ctx, workers, n, func(i int) (*Stats, error) {
+		w, slaves := ws[i/len(slaveCounts)], slaveCounts[i%len(slaveCounts)]
+		env := NewEnv(slaves, scale, seed)
+		st, err := w.Run(env)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %d slaves: %w", w.Name, slaves, err)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*Stats, len(ws))
+	for i := range ws {
+		out[i] = flat[i*len(slaveCounts) : (i+1)*len(slaveCounts)]
+	}
+	return out, nil
+}
+
+// SlaveSweep is SlaveSweepAll for a single workload.
+func SlaveSweep(ctx context.Context, w *Workload, slaveCounts []int, scale float64, seed uint64, workers int) ([]*Stats, error) {
+	all, err := SlaveSweepAll(ctx, []*Workload{w}, slaveCounts, scale, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	return all[0], nil
 }
 
 // ByName returns the named workload or nil.

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+	"reflect"
 	"testing"
 )
 
@@ -177,5 +179,34 @@ func TestDeterminism(t *testing.T) {
 	if a.Makespan != b.Makespan || a.DiskWriteOps != b.DiskWriteOps {
 		t.Fatalf("nondeterministic run: %v/%v vs %v/%v",
 			a.Makespan, a.DiskWriteOps, b.Makespan, b.DiskWriteOps)
+	}
+}
+
+// TestSlaveSweepMatchesSerial: the concurrent slave-count sweep must
+// reproduce the serial loop's stats exactly — every environment is
+// independent and identically seeded.
+func TestSlaveSweepMatchesSerial(t *testing.T) {
+	w := WordCountWorkload()
+	counts := []int{1, 4, 8}
+
+	var serial []*Stats
+	for _, slaves := range counts {
+		env := NewEnv(slaves, testScale, 12345)
+		st, err := w.Run(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, st)
+	}
+
+	concurrent, err := SlaveSweep(context.Background(), w, counts, testScale, 12345, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, slaves := range counts {
+		if !reflect.DeepEqual(serial[i], concurrent[i]) {
+			t.Errorf("%d slaves: concurrent stats diverge from serial\nserial:     %+v\nconcurrent: %+v",
+				slaves, serial[i], concurrent[i])
+		}
 	}
 }
