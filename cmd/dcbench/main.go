@@ -12,7 +12,7 @@
 //
 // Flags:
 //
-//	-scale f    fraction of the paper's input sizes for cluster runs (default 0.02)
+//	-scale f    fraction of the paper's input sizes for cluster runs (default 0.05)
 //	-seed n     generator seed (default 42)
 //	-instrs n   measured instructions per workload trace (default 650000)
 //	-warmup n   ramp-up instructions excluded from counters (default 250000)
@@ -36,19 +36,22 @@ import (
 	"dcbench/internal/workloads"
 )
 
+// registerFlags declares the CLI's flags on fs (the shared run-parameter
+// flags plus dcbench's output flags), defaulted from *opts and written
+// back on Parse. Split out of main so tests can pin the usage text to the
+// real defaults.
+func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut *bool) {
+	report.RegisterFlags(fs, opts)
+	csv = fs.Bool("csv", false, "emit CSV")
+	chart = fs.Bool("chart", false, "append ASCII bar charts")
+	jsonOut = fs.Bool("json", false, "emit the characterization sweep as JSON (figure/all)")
+	return csv, chart, jsonOut
+}
+
 func main() {
 	opts := report.DefaultOptions()
-	scale := flag.Float64("scale", opts.Scale, "fraction of the paper's input sizes")
-	seed := flag.Uint64("seed", opts.Seed, "generator seed")
-	instrs := flag.Int64("instrs", opts.Instrs, "measured instructions per trace")
-	warmup := flag.Int64("warmup", opts.Warmup, "ramp-up instructions excluded from counters")
-	jobs := flag.Int("j", opts.Jobs, "sweep parallelism; 0 = one worker per host core")
-	csv := flag.Bool("csv", false, "emit CSV")
-	chart := flag.Bool("chart", false, "append ASCII bar charts")
-	jsonOut := flag.Bool("json", false, "emit the characterization sweep as JSON (figure/all)")
+	csv, chart, jsonOut := registerFlags(flag.CommandLine, &opts)
 	flag.Parse()
-	opts.Scale, opts.Seed, opts.Instrs, opts.Warmup = *scale, *seed, *instrs, *warmup
-	opts.Jobs = *jobs
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -157,54 +160,31 @@ func emit(t *report.Table, csv, chart bool) {
 
 func figure(num string, o report.Options, csv, chart bool) error {
 	n, err := strconv.Atoi(num)
-	if err != nil || n < 1 || n > 12 {
+	if err != nil {
 		return fmt.Errorf("figure number must be 1..12")
 	}
-	switch n {
-	case 1:
-		emit(report.Figure1(), csv, chart)
-		return nil
-	case 2:
-		t, err := report.Figure2(context.Background(), o)
-		if err != nil {
-			return err
-		}
-		emit(t, csv, chart)
-		return nil
-	case 5:
-		t, err := report.Figure5(context.Background(), o)
-		if err != nil {
-			return err
-		}
-		emit(t, csv, chart)
-		return nil
+	t, err := report.FigureByNumber(context.Background(), o, n)
+	if err != nil {
+		return err
 	}
-	results := report.Characterized(o)
-	builders := map[int]func([]*core.Result) *report.Table{
-		3: report.Figure3, 4: report.Figure4, 6: report.Figure6,
-		7: report.Figure7, 8: report.Figure8, 9: report.Figure9,
-		10: report.Figure10, 11: report.Figure11, 12: report.Figure12,
-	}
-	emit(builders[n](results), csv, chart)
+	emit(t, csv, chart)
 	return nil
 }
 
 func table(num string, o report.Options, csv bool) error {
-	switch num {
-	case "1":
-		results := report.Characterized(o)
-		t, err := report.Table1(context.Background(), o, results)
-		if err != nil {
-			return err
-		}
-		emit(t, csv, false)
-	case "2":
-		fmt.Println(report.Table2())
-	case "3":
-		fmt.Println(report.Table3())
-	default:
+	n, err := strconv.Atoi(num)
+	if err != nil {
 		return fmt.Errorf("table number must be 1..3")
 	}
+	t, text, err := report.TableByNumber(context.Background(), o, n)
+	if err != nil {
+		return err
+	}
+	if t != nil {
+		emit(t, csv, false)
+		return nil
+	}
+	fmt.Println(text)
 	return nil
 }
 

@@ -1,0 +1,74 @@
+// Command dcserved serves the paper's characterization results over HTTP:
+// the figures and tables of "Characterizing Data Analysis Workloads in
+// Data Centers" (IISWC 2013), computed on demand by the concurrent sweep
+// engine and persisted in an on-disk result store, so warm results survive
+// restarts and are shared across processes.
+//
+// Endpoints (JSON by default; ?format=csv or Accept: text/csv where a
+// table shape exists):
+//
+//	GET /healthz                        liveness, request stats, store size
+//	GET /v1/workloads                   the 26-workload registry
+//	GET /v1/workloads/{name}/counters   one workload's counter file
+//	GET /v1/figures/{1..12}             the paper's figures
+//	GET /v1/tables/{1..3}               the paper's tables
+//
+// Flags:
+//
+//	-addr   listen address (default :8337)
+//	-store  result store directory; "" disables persistence (default dcserved.store)
+//	-grace  shutdown grace period for in-flight requests (default 15s)
+//	-scale, -seed, -instrs, -warmup, -j   as in dcbench
+//
+// Responses carry ETag/Cache-Control derived from (seed, scale, config
+// fingerprint), and concurrent cold requests for the same resource
+// coalesce into one sweep. SIGINT/SIGTERM shut down gracefully; sweeps
+// still in flight after the grace period are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dcbench/internal/report"
+	"dcbench/internal/serve"
+	"dcbench/internal/store"
+)
+
+func main() {
+	opts := report.DefaultOptions()
+	addr := flag.String("addr", ":8337", "listen address")
+	storeDir := flag.String("store", "dcserved.store", "result store directory; empty disables persistence")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period")
+	report.RegisterFlags(flag.CommandLine, &opts)
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	slog.SetDefault(log)
+
+	cfg := serve.Config{Options: opts, Logger: log}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcserved:", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := serve.New(cfg)
+	if err := srv.Run(ctx, *addr, *grace); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dcserved:", err)
+		os.Exit(1)
+	}
+}

@@ -114,8 +114,19 @@ func RegistryJobs() []sweep.Job {
 // (unless opt.NoMemo), results in registry order. At a fixed seed the
 // counters are bit-identical to a serial CharacterizeAll.
 func CharacterizeSweep(ctx context.Context, cfg uarch.Config, maxInstrs int64, opt sweep.RunOptions) ([]*Result, error) {
+	return CharacterizeSweepOn(ctx, nil, cfg, maxInstrs, opt)
+}
+
+// CharacterizeSweepOn is CharacterizeSweep on a caller-owned engine (nil
+// falls back to the process-wide one) — long-lived services run their own
+// engine so a persistent memo backend and a private memo table can be
+// attached without leaking into unrelated callers.
+func CharacterizeSweepOn(ctx context.Context, e *sweep.Engine, cfg uarch.Config, maxInstrs int64, opt sweep.RunOptions) ([]*Result, error) {
+	if e == nil {
+		e = defaultEngine
+	}
 	ws := Registry()
-	counters, err := defaultEngine.Run(ctx, RegistryJobs(), cfg, maxInstrs, opt)
+	counters, err := e.Run(ctx, RegistryJobs(), cfg, maxInstrs, opt)
 	if err != nil {
 		return nil, err
 	}

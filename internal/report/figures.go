@@ -2,6 +2,7 @@ package report
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"sync"
 
@@ -26,6 +27,11 @@ type Options struct {
 	// worker per host core. Results are independent of Jobs: the sweeps are
 	// deterministic at any width.
 	Jobs int
+	// Engine, when non-nil, runs the characterization sweeps instead of the
+	// process-wide default — the dcserved service sets this so its memo
+	// table (and persistent backend) are its own rather than shared process
+	// state, and so tests can model a cold restart with a fresh engine.
+	Engine *sweep.Engine
 }
 
 // DefaultOptions balances fidelity against runtime (a full `dcbench all`
@@ -35,7 +41,23 @@ func DefaultOptions() Options {
 	return Options{Scale: 0.05, Seed: 42, Instrs: 650_000, Warmup: 250_000}
 }
 
-func (o Options) coreConfig() uarch.Config {
+// RegisterFlags declares the run-parameter flags on fs, defaulted from *o
+// and written back on Parse. It is the single definition of these flags
+// for every binary (dcbench, dcserved), so their names, help text and
+// defaults cannot drift apart — the usage-pinning tests in cmd/dcbench
+// guard the defaults once, for all users.
+func RegisterFlags(fs *flag.FlagSet, o *Options) {
+	fs.Float64Var(&o.Scale, "scale", o.Scale, "fraction of the paper's input sizes")
+	fs.Uint64Var(&o.Seed, "seed", o.Seed, "generator seed")
+	fs.Int64Var(&o.Instrs, "instrs", o.Instrs, "measured instructions per trace")
+	fs.Int64Var(&o.Warmup, "warmup", o.Warmup, "ramp-up instructions excluded from counters")
+	fs.IntVar(&o.Jobs, "j", o.Jobs, "sweep parallelism; 0 = one worker per host core")
+}
+
+// CoreConfig is the simulated machine for this run: the paper's Table III
+// box with the run's warmup applied. The service derives sweep keys and
+// cache validators from its fingerprint.
+func (o Options) CoreConfig() uarch.Config {
 	cfg := uarch.DefaultConfig()
 	cfg.Warmup = o.Warmup
 	return cfg
@@ -56,8 +78,54 @@ func Characterized(o Options) []*core.Result {
 // CharacterizedCtx is Characterized with cancellation (per-workload
 // granularity) and error reporting.
 func CharacterizedCtx(ctx context.Context, o Options) ([]*core.Result, error) {
-	return core.CharacterizeSweep(ctx, o.coreConfig(), o.Warmup+o.Instrs,
+	return core.CharacterizeSweepOn(ctx, o.Engine, o.CoreConfig(), o.Warmup+o.Instrs,
 		sweep.RunOptions{Workers: o.Jobs})
+}
+
+// FigureByNumber renders figure n (1..12) — the dispatch shared by the CLI
+// and the dcserved service. Figures 3-12 run (or reuse) the
+// characterization sweep; 2 and 5 run the cluster experiments.
+func FigureByNumber(ctx context.Context, o Options, n int) (*Table, error) {
+	switch n {
+	case 1:
+		return Figure1(), nil
+	case 2:
+		return Figure2(ctx, o)
+	case 5:
+		return Figure5(ctx, o)
+	case 3, 4, 6, 7, 8, 9, 10, 11, 12:
+		results, err := CharacterizedCtx(ctx, o)
+		if err != nil {
+			return nil, err
+		}
+		builders := map[int]func([]*core.Result) *Table{
+			3: Figure3, 4: Figure4, 6: Figure6, 7: Figure7, 8: Figure8,
+			9: Figure9, 10: Figure10, 11: Figure11, 12: Figure12,
+		}
+		return builders[n](results), nil
+	default:
+		return nil, fmt.Errorf("figure number must be 1..12, got %d", n)
+	}
+}
+
+// TableByNumber renders table n (1..3). Table I comes back as a *Table;
+// Tables II and III are prose, returned as text with a nil *Table.
+func TableByNumber(ctx context.Context, o Options, n int) (*Table, string, error) {
+	switch n {
+	case 1:
+		results, err := CharacterizedCtx(ctx, o)
+		if err != nil {
+			return nil, "", err
+		}
+		t, err := Table1(ctx, o, results)
+		return t, "", err
+	case 2:
+		return nil, Table2(), nil
+	case 3:
+		return nil, Table3(), nil
+	default:
+		return nil, "", fmt.Errorf("table number must be 1..3, got %d", n)
+	}
 }
 
 // Figure1 reproduces the top-sites domain share survey (static data from

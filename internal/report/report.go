@@ -1,6 +1,6 @@
 // Package report renders experiment results as aligned ASCII tables, bar
-// charts and CSV — the output layer of the dcbench CLI and benchmark
-// harness.
+// charts, CSV and JSON — the output layer shared by the dcbench CLI, the
+// dcserved HTTP service and the benchmark harness.
 package report
 
 import (
@@ -79,31 +79,6 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
-}
-
-// CSV renders the table as comma-separated values.
-func (t *Table) CSV() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "workload,%s\n", strings.Join(t.Columns, ","))
-	for _, r := range t.Rows {
-		b.WriteString(csvEscape(r.Label))
-		for j := range t.Columns {
-			if j < len(r.Values) {
-				fmt.Fprintf(&b, ",%.*f", t.prec(), r.Values[j])
-			} else {
-				b.WriteByte(',')
-			}
-		}
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-func csvEscape(s string) string {
-	if strings.ContainsAny(s, ",\"\n") {
-		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
-	}
-	return s
 }
 
 // BarChart renders a horizontal ASCII bar chart of the first value column.

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup is a minimal singleflight: concurrent calls for the same key
+// share one execution and its result. Unlike a cache, nothing is retained —
+// once the last sharer returns, the key is gone and the next request
+// re-renders (cheaply, against the engine's warm memo).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+	// onJoin fires when a caller is about to wait on an in-flight call —
+	// at join time, not completion, so coalescing is observable while the
+	// shared render is still running.
+	onJoin func()
+}
+
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// do runs fn once per key among concurrent callers.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) ([]byte, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		if g.onJoin != nil {
+			g.onJoin()
+		}
+		<-c.done
+		return c.body, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// Cleanup must survive a panicking fn: net/http recovers handler
+	// panics, so without this every sharer (and all future callers of the
+	// key) would block forever on a done channel nobody closes.
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				c.err = fmt.Errorf("render panicked: %v", rec)
+			}
+			close(c.done)
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+		}()
+		c.body, c.err = fn()
+	}()
+	return c.body, c.err
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightPanicDoesNotWedge: a panicking render must surface as an error
+// to every sharer and leave the key usable — without the cleanup running
+// under defer, one panic would hang the endpoint forever.
+func TestFlightPanicDoesNotWedge(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	joined := make(chan struct{})
+	g.onJoin = func() { close(joined) }
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make([]error, 2)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = g.do("k", func() ([]byte, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-started
+	go func() {
+		defer wg.Done()
+		_, errs[1] = g.do("k", func() ([]byte, error) {
+			t.Error("joiner must share the first call, not start its own")
+			return nil, nil
+		})
+	}()
+	<-joined
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("caller %d error = %v, want the converted panic", i, err)
+		}
+	}
+
+	// The key must be free again.
+	body, err := g.do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(body) != "ok" {
+		t.Fatalf("post-panic call = %q, %v; the key is wedged", body, err)
+	}
+}

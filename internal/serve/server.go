@@ -1,0 +1,477 @@
+// Package serve is dcserved's HTTP layer: it exposes the paper's figures,
+// tables and per-workload counter files over a versioned JSON/CSV API,
+// backed by the concurrent sweep engine and (optionally) the persistent
+// result store.
+//
+// Design points, in the order requests meet them:
+//
+//   - structured slog request logging around every handler;
+//   - ETag/Cache-Control validators derived from the run parameters
+//     (seed, scale, instrs, warmup, config fingerprint), so a client or
+//     proxy revalidating an unchanged deployment never triggers a render;
+//   - singleflight coalescing per (endpoint, format), so a thundering herd
+//     on a cold figure runs exactly one render — and the engine's memo
+//     coalesces the underlying sweep a second time below that;
+//   - renders run under the server's base context, not the request's: a
+//     coalesced sweep must not die with whichever client happened to start
+//     it, and shutdown (Close) cancels the base context to stop in-flight
+//     sweeps once the grace period expires.
+package serve
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dcbench/internal/core"
+	"dcbench/internal/report"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+	"dcbench/internal/workloads"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Options are the run parameters every response is computed under; the
+	// zero value means report.DefaultOptions(). Options.Engine is ignored —
+	// the server always runs its own engine.
+	Options report.Options
+	// Store, when non-nil, persists sweep results across restarts and
+	// processes.
+	Store *store.Store
+	// Backend overrides Store as the engine's memo backend (tests wrap the
+	// store in counting shims through this).
+	Backend sweep.MemoBackend
+	// Logger defaults to slog.Default().
+	Logger *slog.Logger
+}
+
+// Stats are the server's monotonic request counters.
+type Stats struct {
+	Requests  int64 `json:"requests"`
+	Coalesced int64 `json:"coalesced"`
+	Errors    int64 `json:"errors"`
+}
+
+// Server is the dcserved HTTP service. Create with New, expose with
+// Handler or Run, stop with Close.
+type Server struct {
+	opts    report.Options
+	engine  *sweep.Engine
+	store   *store.Store
+	log     *slog.Logger
+	mux     *http.ServeMux
+	flight  flightGroup
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	started time.Time
+
+	requests  atomic.Int64
+	coalesced atomic.Int64
+	errors    atomic.Int64
+}
+
+// New builds a Server with its own sweep engine (plus the configured memo
+// backend) wired into every render.
+func New(cfg Config) *Server {
+	opts := cfg.Options
+	if opts == (report.Options{}) {
+		opts = report.DefaultOptions()
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	engine := sweep.NewEngine()
+	backend := cfg.Backend
+	if backend == nil && cfg.Store != nil {
+		backend = cfg.Store.Backend(log)
+	}
+	if backend != nil {
+		engine.SetMemoBackend(backend)
+	}
+	opts.Engine = engine
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		engine:  engine,
+		store:   cfg.Store,
+		log:     log,
+		mux:     http.NewServeMux(),
+		baseCtx: ctx,
+		cancel:  cancel,
+		started: time.Now(),
+	}
+	s.flight.onJoin = func() { s.coalesced.Add(1) }
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/workloads/{name}/counters", s.handleCounters)
+	s.mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
+	return s
+}
+
+// Close cancels the server's base context, aborting in-flight sweeps.
+// Call it after (not instead of) http.Server.Shutdown: Shutdown drains
+// politely, Close is the hard stop for whatever outlived the grace period.
+func (s *Server) Close() { s.cancel() }
+
+// Stats snapshots the request counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:  s.requests.Load(),
+		Coalesced: s.coalesced.Load(),
+		Errors:    s.errors.Load(),
+	}
+}
+
+// Handler returns the service's root handler: the v1 mux wrapped in
+// request logging.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		s.mux.ServeHTTP(rec, r)
+		if rec.status >= 500 {
+			s.errors.Add(1)
+		}
+		lvl := slog.LevelInfo
+		if r.URL.Path == "/healthz" {
+			lvl = slog.LevelDebug // probes would drown real traffic
+		}
+		s.log.Log(r.Context(), lvl, "request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"dur", time.Since(start).Round(time.Microsecond),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// Run serves on addr until ctx is cancelled, then shuts down: new
+// connections stop immediately, in-flight requests get grace to finish,
+// and after that the base context is cancelled so remaining sweeps abort
+// with 503s. Run returns once the listener is fully drained or torn down.
+func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	s.log.Info("dcserved listening", "addr", addr,
+		"scale", s.opts.Scale, "seed", s.opts.Seed,
+		"instrs", s.opts.Instrs, "warmup", s.opts.Warmup,
+		"store", s.store != nil)
+	select {
+	case err := <-errc:
+		return err // listener died before shutdown was asked for
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down", "grace", grace)
+	shctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := hs.Shutdown(shctx)
+	s.Close() // hard-stop sweeps that outlived the grace period
+	if errors.Is(err, context.DeadlineExceeded) {
+		err = hs.Close()
+	}
+	return err
+}
+
+// statusRecorder captures what the handler wrote for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// wantCSV is the content negotiation rule: ?format=csv|json wins, then an
+// Accept header naming text/csv; JSON is the default.
+func wantCSV(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "csv":
+		return true
+	case "json":
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/csv")
+}
+
+// etag derives the entity validator for an endpoint: every response is a
+// pure function of the run parameters (seed, scale, instrs, warmup, config
+// fingerprint — the warmup rides inside the fingerprint too) and the
+// endpoint identity, so that tuple is the entity.
+func (s *Server) etag(key string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%g|%d|%d|%d|%s",
+		s.opts.Seed, s.opts.Scale, s.opts.Instrs, s.opts.Warmup,
+		s.opts.CoreConfig().Fingerprint(), key)
+	return fmt.Sprintf(`"%016x"`, h.Sum64())
+}
+
+// serveBody runs render (coalesced per key), and writes it with cache
+// validators. A request bearing a matching If-None-Match never renders.
+// The validators go out only on 304 and 200 — a failed render must not
+// hand a shared cache a storable error.
+func (s *Server) serveBody(w http.ResponseWriter, r *http.Request, key, contentType string, render func(ctx context.Context) ([]byte, error)) {
+	tag := s.etag(key)
+	setValidators := func() {
+		w.Header().Set("Cache-Control", "public, max-age=86400")
+		w.Header().Set("Etag", tag)
+		// One URL serves two representations (wantCSV honours Accept), so
+		// a shared cache must key on the Accept header too.
+		w.Header().Set("Vary", "Accept")
+	}
+	if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, tag) {
+		setValidators()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body, err := s.flight.do(key, func() ([]byte, error) {
+		// Base context, not r.Context(): a coalesced render must survive
+		// the starting client's disconnect, and shutdown cancels it.
+		return render(s.baseCtx)
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		s.log.Error("render failed", "key", key, "err", err)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	setValidators()
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// serveTable negotiates a table's encoding and serves it.
+func (s *Server) serveTable(w http.ResponseWriter, r *http.Request, key string, build func(ctx context.Context) (*report.Table, error)) {
+	if wantCSV(r) {
+		s.serveBody(w, r, key+"?csv", "text/csv; charset=utf-8", func(ctx context.Context) ([]byte, error) {
+			t, err := build(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return []byte(t.CSV()), nil
+		})
+		return
+	}
+	s.serveBody(w, r, key+"?json", "application/json", func(ctx context.Context) ([]byte, error) {
+		t, err := build(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return t.JSON()
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := struct {
+		Status       string  `json:"status"`
+		UptimeSec    float64 `json:"uptime_sec"`
+		Stats        Stats   `json:"stats"`
+		StoreRecords int     `json:"store_records,omitempty"`
+	}{Status: "ok", UptimeSec: time.Since(s.started).Seconds(), Stats: s.Stats()}
+	if s.store != nil {
+		if n, err := s.store.Len(); err == nil {
+			h.StoreRecords = n
+		}
+	}
+	writeJSON(w, h)
+}
+
+// workloadInfo is one row of the /v1/workloads listing. Cluster-capable
+// workloads (the eleven Table I apps) carry their input size and Table II
+// domains/scenarios.
+type workloadInfo struct {
+	Name      string   `json:"name"`
+	Suite     string   `json:"suite"`
+	Class     string   `json:"class"`
+	InputGB   float64  `json:"input_gb,omitempty"`
+	Domains   []string `json:"domains,omitempty"`
+	Scenarios []string `json:"scenarios,omitempty"`
+}
+
+func workloadList() []workloadInfo {
+	cluster := make(map[string]*workloads.Workload)
+	for _, w := range workloads.All() {
+		cluster[w.Name] = w
+	}
+	var out []workloadInfo
+	for _, w := range core.Registry() {
+		info := workloadInfo{Name: w.Name, Suite: w.Suite, Class: w.Class.String()}
+		if cw, ok := cluster[w.Name]; ok {
+			info.InputGB = cw.InputGB
+			info.Domains = cw.Domains
+			info.Scenarios = cw.Scenarios
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if wantCSV(r) {
+		s.serveBody(w, r, "workloads?csv", "text/csv; charset=utf-8", func(context.Context) ([]byte, error) {
+			var b strings.Builder
+			cw := csv.NewWriter(&b)
+			cw.Write([]string{"workload", "suite", "class", "input_gb"})
+			for _, info := range workloadList() {
+				gb := ""
+				if info.InputGB > 0 {
+					gb = strconv.FormatFloat(info.InputGB, 'f', -1, 64)
+				}
+				cw.Write([]string{info.Name, info.Suite, info.Class, gb})
+			}
+			cw.Flush()
+			return []byte(b.String()), cw.Error()
+		})
+		return
+	}
+	s.serveBody(w, r, "workloads?json", "application/json", func(context.Context) ([]byte, error) {
+		data, err := json.MarshalIndent(struct {
+			Workloads []workloadInfo `json:"workloads"`
+		}{workloadList()}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return append(data, '\n'), nil
+	})
+}
+
+func (s *Server) handleCounters(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	wl, err := core.ByName(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	key := "workloads/" + name + "/counters"
+	build := func(ctx context.Context) (*core.Result, error) {
+		jobs := []sweep.Job{{Name: wl.Name, Profile: wl.Profile, Gen: wl.Gen}}
+		cs, err := s.engine.Run(ctx, jobs, s.opts.CoreConfig(),
+			s.opts.Warmup+s.opts.Instrs, sweep.RunOptions{Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		return &core.Result{Workload: wl, Counters: cs[0]}, nil
+	}
+	if wantCSV(r) {
+		s.serveBody(w, r, key+"?csv", "text/csv; charset=utf-8", func(ctx context.Context) ([]byte, error) {
+			res, err := build(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return []byte(metricsTable(res).CSV()), nil
+		})
+		return
+	}
+	s.serveBody(w, r, key+"?json", "application/json", func(ctx context.Context) ([]byte, error) {
+		res, err := build(ctx)
+		if err != nil {
+			return nil, err
+		}
+		data, err := json.MarshalIndent(res.ToRecord(), "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return append(data, '\n'), nil
+	})
+}
+
+// metricsTable flattens one result into a single-row table of the derived
+// Figure 3-12 metrics — the CSV shape of the counters endpoint.
+func metricsTable(res *core.Result) *report.Table {
+	c := res.Counters
+	return &report.Table{
+		Title: res.Workload.Name + " derived metrics",
+		Columns: []string{"ipc", "kernel_share", "l1i_mpki", "itlb_walks_pki",
+			"l2_mpki", "l3_hit_ratio", "dtlb_walks_pki", "branch_misp_ratio"},
+		Precision: 6,
+		Rows: []report.Row{{Label: res.Workload.Name, Values: []float64{
+			c.IPC(), c.KernelShare(), c.L1IMPKI(), c.ITLBWalksPKI(),
+			c.L2MPKI(), c.L3HitRatio(), c.DTLBWalksPKI(), c.BranchMispredictRatio(),
+		}}},
+	}
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil || n < 1 || n > 12 {
+		http.Error(w, "figure number must be 1..12", http.StatusBadRequest)
+		return
+	}
+	s.serveTable(w, r, fmt.Sprintf("figures/%d", n), func(ctx context.Context) (*report.Table, error) {
+		return report.FigureByNumber(ctx, s.opts, n)
+	})
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil || n < 1 || n > 3 {
+		http.Error(w, "table number must be 1..3", http.StatusBadRequest)
+		return
+	}
+	if n == 1 {
+		s.serveTable(w, r, "tables/1", func(ctx context.Context) (*report.Table, error) {
+			t, _, err := report.TableByNumber(ctx, s.opts, 1)
+			return t, err
+		})
+		return
+	}
+	// Tables II and III are prose: JSON wraps the text, CSV has no natural
+	// shape and is refused rather than faked.
+	if wantCSV(r) {
+		http.Error(w, fmt.Sprintf("table %d is prose; request JSON or text", n), http.StatusNotAcceptable)
+		return
+	}
+	s.serveBody(w, r, fmt.Sprintf("tables/%d?json", n), "application/json", func(ctx context.Context) ([]byte, error) {
+		_, text, err := report.TableByNumber(ctx, s.opts, n)
+		if err != nil {
+			return nil, err
+		}
+		data, err := json.MarshalIndent(struct {
+			Title string `json:"title"`
+			Text  string `json:"text"`
+		}{strings.SplitN(text, "\n", 2)[0], text}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return append(data, '\n'), nil
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

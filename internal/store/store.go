@@ -1,0 +1,225 @@
+// Package store is a persistent, content-addressed result store for
+// characterization sweeps: it persists uarch.Counters keyed by the sweep
+// memo key (workload name, trace profile, config fingerprint, trace
+// length) to an on-disk layout with a versioned schema, so warm results
+// survive process restarts and are shared across processes.
+//
+// Layout under the root directory:
+//
+//	root/SCHEMA            the schema version ("1\n"); a mismatch refuses
+//	                       to open rather than misread old bytes
+//	root/v1/ab/<hash>.json one record per key, sharded by the first hash
+//	                       byte; <hash> is the fnv64a of the canonical
+//	                       (JSON) key encoding
+//
+// Records are written to a temp file and renamed into place, so concurrent
+// readers — including other processes — observe either the whole record or
+// none of it. Each record embeds its full key; Get verifies the stored key
+// against the requested one, so a (vanishingly unlikely) hash collision or
+// a corrupted record degrades to a miss instead of returning the wrong
+// workload's counters.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dcbench/internal/memtrace"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+// SchemaVersion is the on-disk schema this package reads and writes.
+// Records carry it too, so a future reader can tell v1 bytes apart without
+// trusting the directory name.
+const SchemaVersion = 1
+
+// Store is an on-disk result store. It is safe for concurrent use by any
+// number of goroutines and processes sharing one root directory.
+type Store struct {
+	root string // the versioned data directory, root/v1
+}
+
+// Open opens (creating if needed) the store rooted at dir. Validation runs
+// before any write: a directory holding a different schema version, or a
+// non-empty directory that is not a store at all (a mistyped -store path,
+// say), is refused untouched — refusing is safer than guessing, and the
+// caller can point at a fresh directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty root directory")
+	}
+	marker := filepath.Join(dir, "SCHEMA")
+	want := fmt.Sprintf("%d\n", SchemaVersion)
+	switch got, err := os.ReadFile(marker); {
+	case err == nil:
+		if strings.TrimSpace(string(got)) != strings.TrimSpace(want) {
+			return nil, fmt.Errorf("store: %s holds schema version %q, this build reads %q",
+				dir, strings.TrimSpace(string(got)), strings.TrimSpace(want))
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		if entries, derr := os.ReadDir(dir); derr == nil && len(entries) > 0 {
+			return nil, fmt.Errorf("store: %s is non-empty but carries no SCHEMA marker; refusing to initialise a store over it", dir)
+		} else if derr != nil && !errors.Is(derr, fs.ErrNotExist) {
+			return nil, fmt.Errorf("store: %w", derr)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := os.WriteFile(marker, []byte(want), 0o644); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	versioned := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
+	if err := os.MkdirAll(versioned, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{root: versioned}, nil
+}
+
+// keyJSON is sweep.Key with stable wire names; it doubles as the canonical
+// encoding the content address is hashed from. memtrace.Profile is a flat
+// struct of scalars, so its default JSON encoding is deterministic.
+type keyJSON struct {
+	Name      string           `json:"name"`
+	Profile   memtrace.Profile `json:"profile"`
+	ConfigFP  uint64           `json:"config_fp"`
+	MaxInstrs int64            `json:"max_instrs"`
+}
+
+// record is the on-disk form of one result.
+type record struct {
+	Schema   int            `json:"schema"`
+	Key      keyJSON        `json:"key"`
+	Counters uarch.Counters `json:"counters"`
+}
+
+// path returns the record path for a key: sharded by the first address
+// byte so a large store does not pile every record into one directory.
+func (s *Store) path(k sweep.Key) (string, error) {
+	canon, err := json.Marshal(keyJSON{k.Name, k.Profile, k.ConfigFP, k.MaxInstrs})
+	if err != nil {
+		return "", fmt.Errorf("store: encode key: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(canon)
+	addr := fmt.Sprintf("%016x", h.Sum64())
+	return filepath.Join(s.root, addr[:2], addr+".json"), nil
+}
+
+// Get loads the counters stored under k. A missing, corrupt, or
+// key-mismatched record is a plain miss (false, nil error); an error means
+// the store itself misbehaved (unreadable file, bad permissions).
+func (s *Store) Get(k sweep.Key) (*uarch.Counters, bool, error) {
+	p, err := s.path(k)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false, nil // torn or corrupt record: treat as a miss
+	}
+	if rec.Schema != SchemaVersion ||
+		rec.Key != (keyJSON{k.Name, k.Profile, k.ConfigFP, k.MaxInstrs}) {
+		return nil, false, nil // collision or foreign record: miss
+	}
+	c := rec.Counters
+	return &c, true, nil
+}
+
+// Put persists counters under k, atomically replacing any prior record.
+func (s *Store) Put(k sweep.Key, c *uarch.Counters) error {
+	p, err := s.path(k)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	data, err := json.Marshal(record{
+		Schema:   SchemaVersion,
+		Key:      keyJSON{k.Name, k.Profile, k.ConfigFP, k.MaxInstrs},
+		Counters: *c,
+	})
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Len walks the store and counts records — an observability helper for
+// tests and the service's health endpoint, not a hot path.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// Backend adapts the store to the sweep engine's MemoBackend contract:
+// failures are logged and swallowed, so a broken disk degrades the engine
+// to plain re-simulation instead of failing sweeps.
+func (s *Store) Backend(log *slog.Logger) sweep.MemoBackend {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &backend{s: s, log: log}
+}
+
+type backend struct {
+	s   *Store
+	log *slog.Logger
+}
+
+func (b *backend) Load(k sweep.Key) (*uarch.Counters, bool) {
+	c, ok, err := b.s.Get(k)
+	if err != nil {
+		b.log.Warn("store load failed; re-simulating", "workload", k.Name, "err", err)
+		return nil, false
+	}
+	return c, ok
+}
+
+func (b *backend) Store(k sweep.Key, c *uarch.Counters) {
+	if err := b.s.Put(k, c); err != nil {
+		b.log.Warn("store put failed; result not persisted", "workload", k.Name, "err", err)
+	}
+}

@@ -1,0 +1,162 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcbench/internal/memtrace"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+func testKey(name string, seed uint64) sweep.Key {
+	return sweep.Key{
+		Name:      name,
+		Profile:   memtrace.Profile{Seed: seed, MaxInstrs: 50_000, CodeKB: 128},
+		ConfigFP:  uarch.DefaultConfig().Fingerprint(),
+		MaxInstrs: 50_000,
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("sort", 42)
+	want := &uarch.Counters{Cycles: 123, Instructions: 456, L2Misses: 7}
+	if _, ok, err := s.Get(k); err != nil || ok {
+		t.Fatalf("empty store Get = ok=%v err=%v, want miss", ok, err)
+	}
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(k)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if *got != *want {
+		t.Fatalf("Get = %+v, want %+v", got, want)
+	}
+	// A different key — even differing only in seed — must miss.
+	if _, ok, _ := s.Get(testKey("sort", 43)); ok {
+		t.Fatal("Get with different seed hit the wrong record")
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+// TestSharedAcrossOpens is the cross-process contract, approximated with
+// two Store handles on one directory.
+func TestSharedAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	a, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("grep", 1)
+	if err := a.Put(k, &uarch.Counters{Cycles: 9}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok, err := b.Get(k); err != nil || !ok || c.Cycles != 9 {
+		t.Fatalf("second handle Get = %+v ok=%v err=%v", c, ok, err)
+	}
+}
+
+func TestSchemaMismatchRefusedUntouched(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "SCHEMA"), []byte("99\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(dir); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("Open on schema 99 = %v, want schema error", err)
+	}
+	// Refusal must leave no side effects: a future-schema store must not
+	// grow this build's v1 directory inside it.
+	if _, err := os.Stat(filepath.Join(dir, "v1")); !os.IsNotExist(err) {
+		t.Fatalf("Open planted v1/ inside a refused store (stat err = %v)", err)
+	}
+}
+
+func TestForeignDirRefusedUntouched(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(dir); err == nil || !strings.Contains(err.Error(), "SCHEMA") {
+		t.Fatalf("Open on a non-empty non-store dir = %v, want refusal", err)
+	}
+	for _, planted := range []string{"SCHEMA", "v1"} {
+		if _, err := os.Stat(filepath.Join(dir, planted)); !os.IsNotExist(err) {
+			t.Fatalf("Open planted %s in a refused directory", planted)
+		}
+	}
+}
+
+func TestCorruptRecordIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("hmm", 5)
+	if err := s.Put(k, &uarch.Counters{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the record in place: Get must degrade to a miss, not fail.
+	var recPath string
+	filepath.Walk(filepath.Join(dir, "v1"), func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(p, ".json") {
+			recPath = p
+		}
+		return nil
+	})
+	if recPath == "" {
+		t.Fatal("no record file written")
+	}
+	if err := os.WriteFile(recPath, []byte(`{"schema":1,"key"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(k); err != nil || ok {
+		t.Fatalf("corrupt record Get = ok=%v err=%v, want clean miss", ok, err)
+	}
+	// And Put must repair it.
+	if err := s.Put(k, &uarch.Counters{Cycles: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok, _ := s.Get(k); !ok || c.Cycles != 2 {
+		t.Fatalf("Get after repair = %+v ok=%v", c, ok)
+	}
+}
+
+// TestBackendSwallowsFailure: the MemoBackend adapter must degrade a broken
+// store to plain misses, never break the sweep.
+func TestBackendSwallowsFailure(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Backend(nil)
+	// Remove the data directory out from under the store: Store fails
+	// internally, Load reports a miss; neither panics nor errors out.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("pagerank", 2)
+	b.Store(k, &uarch.Counters{Cycles: 3})
+	if _, ok := b.Load(k); ok {
+		t.Fatal("Load on a broken store reported a hit")
+	}
+}

@@ -1,0 +1,107 @@
+package sweep_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+// memBackend is an in-memory MemoBackend that counts traffic, standing in
+// for the persistent store.
+type memBackend struct {
+	mu     sync.Mutex
+	m      map[sweep.Key]*uarch.Counters
+	hits   int
+	misses int
+	stores int
+}
+
+func newMemBackend() *memBackend { return &memBackend{m: map[sweep.Key]*uarch.Counters{}} }
+
+func (b *memBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.m[k]
+	if ok {
+		b.hits++
+	} else {
+		b.misses++
+	}
+	return c, ok
+}
+
+func (b *memBackend) Store(k sweep.Key, c *uarch.Counters) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[k] = c
+	b.stores++
+}
+
+func (b *memBackend) counts() (hits, misses, stores int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits, b.misses, b.stores
+}
+
+// TestMemoBackendRoundTrip pins the backend contract: a cold engine fills
+// the backend (one Store per key), and a second, fresh engine sharing the
+// backend serves every job from it without simulating — the restart
+// scenario dcserved's persistent store builds on.
+func TestMemoBackendRoundTrip(t *testing.T) {
+	jobs := testJobs(5)
+	cfg := uarch.DefaultConfig()
+	cfg.Warmup = 10_000
+	b := newMemBackend()
+
+	cold := sweep.NewEngine()
+	cold.SetMemoBackend(b)
+	first, err := cold.Run(context.Background(), jobs, cfg, 0, sweep.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, stores := b.counts(); hits != 0 || misses != len(jobs) || stores != len(jobs) {
+		t.Fatalf("cold run: hits=%d misses=%d stores=%d, want 0/%d/%d", hits, misses, stores, len(jobs), len(jobs))
+	}
+
+	// A second run on the same engine resolves in-memory: no new traffic.
+	if _, err := cold.Run(context.Background(), jobs, cfg, 0, sweep.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, stores := b.counts(); hits != 0 || misses != len(jobs) || stores != len(jobs) {
+		t.Fatalf("warm memo run touched the backend: hits=%d misses=%d stores=%d", hits, misses, stores)
+	}
+
+	// A fresh engine ("restarted process") loads everything, stores nothing.
+	warm := sweep.NewEngine()
+	warm.SetMemoBackend(b)
+	second, err := warm.Run(context.Background(), jobs, cfg, 0, sweep.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _, stores := b.counts(); hits != len(jobs) || stores != len(jobs) {
+		t.Fatalf("warm-backend run: hits=%d stores=%d, want %d/%d", hits, stores, len(jobs), len(jobs))
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("backend-served counters diverge from the simulated ones")
+	}
+}
+
+// TestNoMemoBypassesBackend: NoMemo runs must not read or write the
+// backend (benchmarks depend on forcing real simulations).
+func TestNoMemoBypassesBackend(t *testing.T) {
+	jobs := testJobs(3)
+	cfg := uarch.DefaultConfig()
+	b := newMemBackend()
+	e := sweep.NewEngine()
+	e.SetMemoBackend(b)
+	if _, err := e.Run(context.Background(), jobs, cfg, 0, sweep.RunOptions{NoMemo: true}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, stores := b.counts(); hits+misses+stores != 0 {
+		t.Fatalf("NoMemo touched the backend: hits=%d misses=%d stores=%d", hits, misses, stores)
+	}
+}

@@ -63,15 +63,32 @@ func (o RunOptions) workers() int {
 	return o.Workers
 }
 
-// memoKey identifies one simulation's full input: the workload (name plus
-// its entire trace profile, which embeds the seed; the Gen closure itself
-// is not hashable, hence Job's uniqueness contract) and the machine (config
-// fingerprint, which embeds the warmup) at a given trace length.
-type memoKey struct {
-	name   string
-	prof   memtrace.Profile
-	cfgFP  uint64
-	instrs int64
+// Key identifies one simulation's full input: the workload (name plus its
+// entire trace profile, which embeds the seed; the Gen closure itself is
+// not hashable, hence Job's uniqueness contract) and the machine (config
+// fingerprint, which embeds the warmup) at a given trace length. It is the
+// engine's memo key and the address a MemoBackend persists results under.
+type Key struct {
+	Name      string
+	Profile   memtrace.Profile
+	ConfigFP  uint64
+	MaxInstrs int64
+}
+
+// MemoBackend is a second-level result cache behind the engine's in-memory
+// memo table — typically a persistent store shared across processes, so
+// warm results survive restarts. The engine consults it only on an
+// in-memory miss and writes through after each successful simulation, both
+// under the key's singleflight cell, so a backend sees at most one Load and
+// one Store per key per process.
+//
+// Backends swallow their own failures (a broken store must degrade to
+// re-simulation, not break the sweep): Load reports a miss, Store drops the
+// write. Counters handed to and from the backend are shared with the memo
+// table — treat them as read-only.
+type MemoBackend interface {
+	Load(Key) (*uarch.Counters, bool)
+	Store(Key, *uarch.Counters)
 }
 
 // memoEntry is a singleflight cell: concurrent requests for the same key
@@ -86,17 +103,27 @@ type memoEntry struct {
 // memo table and core pools are shared across runs, so a long-lived engine
 // amortises both simulation and allocation across every figure render.
 type Engine struct {
-	mu    sync.Mutex
-	memo  map[memoKey]*memoEntry
-	pools map[uint64]*sync.Pool // reusable cores keyed by config fingerprint
+	mu      sync.Mutex
+	memo    map[Key]*memoEntry
+	pools   map[uint64]*sync.Pool // reusable cores keyed by config fingerprint
+	backend MemoBackend
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
 	return &Engine{
-		memo:  make(map[memoKey]*memoEntry),
+		memo:  make(map[Key]*memoEntry),
 		pools: make(map[uint64]*sync.Pool),
 	}
+}
+
+// SetMemoBackend installs (or, with nil, removes) the engine's second-level
+// result cache. Keys already resolved through the in-memory memo are not
+// re-read from the backend, so install it before the first Run.
+func (e *Engine) SetMemoBackend(b MemoBackend) {
+	e.mu.Lock()
+	e.backend = b
+	e.mu.Unlock()
 }
 
 // pool returns the core pool for the given config fingerprint. Pooled cores
@@ -166,18 +193,30 @@ func joinJobErrors(jobs []Job, errs []error) error {
 }
 
 // memoized returns the cached counters for the job, simulating at most once
-// per key even under concurrent callers.
+// per key even under concurrent callers. On an in-memory miss the backend
+// (when installed) is consulted first, and a fresh simulation is written
+// through to it — both inside the key's singleflight cell.
 func (e *Engine) memoized(job Job, cfg uarch.Config, fp uint64, maxInstrs int64, pool *sync.Pool) (*uarch.Counters, error) {
-	key := memoKey{name: job.Name, prof: job.Profile, cfgFP: fp, instrs: maxInstrs}
+	key := Key{Name: job.Name, Profile: job.Profile, ConfigFP: fp, MaxInstrs: maxInstrs}
 	e.mu.Lock()
 	en, ok := e.memo[key]
 	if !ok {
 		en = &memoEntry{}
 		e.memo[key] = en
 	}
+	backend := e.backend
 	e.mu.Unlock()
 	en.once.Do(func() {
+		if backend != nil {
+			if c, ok := backend.Load(key); ok {
+				en.counters = c
+				return
+			}
+		}
 		en.counters, en.err = simulate(job, cfg, maxInstrs, pool)
+		if backend != nil && en.err == nil {
+			backend.Store(key, en.counters)
+		}
 	})
 	return en.counters, en.err
 }

@@ -69,9 +69,17 @@ type Config struct {
 	Predictor bpred.Predictor // defaults to a 14-bit tournament
 }
 
+// ModelVersion identifies the simulator's behaviour, not its API: bump it
+// whenever a change makes any workload's Counters differ at a fixed seed
+// and Config. It is hashed into every Fingerprint, so bumping it atomically
+// invalidates the sweep memo tables, the on-disk result store and
+// dcserved's ETags — without it, a deploy that changes results would keep
+// serving pre-deploy bytes out of warm stores and 304 revalidations.
+const ModelVersion = 1
+
 // Fingerprint hashes every simulation-relevant Config field (plus the
-// predictor's kind) into a stable 64-bit key, so sweep caches and core
-// pools can recognise equivalent configurations. For nil-Predictor configs,
+// predictor's kind and the package ModelVersion) into a stable 64-bit key,
+// so sweep caches and core pools can recognise equivalent configurations. For nil-Predictor configs,
 // equal fingerprints produce identical simulations for identical traces;
 // new Config fields must be folded in here. An explicit Predictor is
 // hashed by Name() only — two instances of the same kind but different
@@ -81,6 +89,11 @@ type Config struct {
 func (cfg Config) Fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
+	// ModelVersion first: a simulator change invalidates every derived
+	// cache (sweep memos, the persistent store, dcserved ETags) through
+	// this one hash.
+	binary.LittleEndian.PutUint64(buf[:], ModelVersion)
+	h.Write(buf[:])
 	put := func(v int64) {
 		binary.LittleEndian.PutUint64(buf[:], uint64(v))
 		h.Write(buf[:])
