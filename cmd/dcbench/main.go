@@ -19,6 +19,9 @@
 //	-j n        sweep parallelism; 0 = one worker per host core (default 0)
 //	-csv        emit CSV instead of tables
 //	-chart      append an ASCII bar chart to single-metric figures
+//	-store dir  persist sweep and cluster results in dir across runs, sharing
+//	            warm results with dcserved; with -store-shards,
+//	            -store-max-records and -store-max-age as in dcserved
 //
 // Sweeps are deterministic at any -j: parallel runs produce bit-identical
 // counters to -j 1 at the same seed.
@@ -33,25 +36,54 @@ import (
 
 	"dcbench/internal/core"
 	"dcbench/internal/report"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
 	"dcbench/internal/workloads"
 )
 
 // registerFlags declares the CLI's flags on fs (the shared run-parameter
-// flags plus dcbench's output flags), defaulted from *opts and written
-// back on Parse. Split out of main so tests can pin the usage text to the
-// real defaults.
-func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut *bool) {
+// flags, the shared store flags, plus dcbench's output flags), defaulted
+// from *opts and written back on Parse. Split out of main so tests can pin
+// the usage text to the real defaults.
+func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut *bool, storeDir *string, storeOpts *store.OpenOptions) {
 	report.RegisterFlags(fs, opts)
+	storeOpts = &store.OpenOptions{}
+	store.RegisterFlags(fs, storeOpts)
+	storeDir = fs.String("store", "", "persist results in this store directory across runs; empty disables")
 	csv = fs.Bool("csv", false, "emit CSV")
 	chart = fs.Bool("chart", false, "append ASCII bar charts")
 	jsonOut = fs.Bool("json", false, "emit the characterization sweep as JSON (figure/all)")
-	return csv, chart, jsonOut
+	return csv, chart, jsonOut, storeDir, storeOpts
+}
+
+// openStore wires a persistent store into opts: sweep results go through a
+// dedicated engine's memo backend, cluster results through a store-backed
+// cluster cache — the same two seams dcserved uses.
+func openStore(dir string, storeOpts store.OpenOptions, opts *report.Options) (*store.Store, error) {
+	st, err := store.OpenWith(dir, storeOpts)
+	if err != nil {
+		return nil, err
+	}
+	engine := sweep.NewEngine()
+	engine.SetMemoBackend(st.Backend(nil))
+	opts.Engine = engine
+	opts.Cluster = workloads.NewStatsCache(st.StatsBackend(nil))
+	return st, nil
 }
 
 func main() {
 	opts := report.DefaultOptions()
-	csv, chart, jsonOut := registerFlags(flag.CommandLine, &opts)
+	csv, chart, jsonOut, storeDir, storeOpts := registerFlags(flag.CommandLine, &opts)
 	flag.Parse()
+
+	if *storeDir != "" {
+		st, err := openStore(*storeDir, *storeOpts, &opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcbench:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {

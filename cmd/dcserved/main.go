@@ -7,7 +7,8 @@
 // Endpoints (JSON by default; ?format=csv or Accept: text/csv where a
 // table shape exists):
 //
-//	GET /healthz                        liveness, request stats, store size
+//	GET /healthz                        liveness, request stats, store counters
+//	GET /metrics                        Prometheus text exposition
 //	GET /v1/workloads                   the 26-workload registry
 //	GET /v1/workloads/{name}/counters   one workload's counter file
 //	GET /v1/figures/{1..12}             the paper's figures
@@ -17,8 +18,17 @@
 //
 //	-addr   listen address (default :8337)
 //	-store  result store directory; "" disables persistence (default dcserved.store)
+//	-store-shards n        shard count when creating a store (default 16)
+//	-store-max-records n   LRU-evict records beyond this count; 0 = unlimited
+//	-store-max-age d       evict records unused for longer than d; 0 = keep forever
 //	-grace  shutdown grace period for in-flight requests (default 15s)
 //	-scale, -seed, -instrs, -warmup, -j   as in dcbench
+//
+// The store is sharded on disk and carries a persisted manifest; a store
+// directory written by the previous flat layout (schema 1) is migrated in
+// place on startup. Both sweep counters and the cluster-experiment stats
+// (Figures 2/5, Table I) persist, so a restarted server re-simulates
+// nothing that is already on disk.
 //
 // Responses carry ETag/Cache-Control derived from (seed, scale, config
 // fingerprint), and concurrent cold requests for the same resource
@@ -45,10 +55,12 @@ import (
 
 func main() {
 	opts := report.DefaultOptions()
+	var storeOpts store.OpenOptions
 	addr := flag.String("addr", ":8337", "listen address")
 	storeDir := flag.String("store", "dcserved.store", "result store directory; empty disables persistence")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period")
 	report.RegisterFlags(flag.CommandLine, &opts)
+	store.RegisterFlags(flag.CommandLine, &storeOpts)
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
@@ -56,11 +68,13 @@ func main() {
 
 	cfg := serve.Config{Options: opts, Logger: log}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		storeOpts.Log = log
+		st, err := store.OpenWith(*storeDir, storeOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcserved:", err)
 			os.Exit(1)
 		}
+		defer st.Close()
 		cfg.Store = st
 	}
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"sync"
 
 	"dcbench/internal/core"
 	"dcbench/internal/sweep"
@@ -32,6 +31,24 @@ type Options struct {
 	// table (and persistent backend) are its own rather than shared process
 	// state, and so tests can model a cold restart with a fresh engine.
 	Engine *sweep.Engine
+	// Cluster, when non-nil, memoizes the cluster-level experiments
+	// (Figures 2 and 5, Table I) instead of the process-wide default cache —
+	// dcserved and dcbench -store point it at a store-backed cache so
+	// restarts skip the cluster simulations too.
+	Cluster *workloads.StatsCache
+}
+
+// defaultClusterCache memoizes cluster runs for callers that don't bring
+// their own cache — `dcbench all` simulates the cluster once, not three
+// times, across Figure 2, Figure 5 and Table I.
+var defaultClusterCache = workloads.NewStatsCache(nil)
+
+// clusterCache resolves the cluster memo for this run.
+func (o Options) clusterCache() *workloads.StatsCache {
+	if o.Cluster != nil {
+		return o.Cluster
+	}
+	return defaultClusterCache
 }
 
 // DefaultOptions balances fidelity against runtime (a full `dcbench all`
@@ -156,7 +173,7 @@ func Figure2(ctx context.Context, o Options) (*Table, error) {
 		Precision: 2,
 		Notes:     []string{"paper: 8-slave speedups range 3.3-8.2; Naive Bayes 6.6"},
 	}
-	all, err := workloads.SlaveSweepAll(ctx, workloads.All(), slaveCounts, o.Scale, o.Seed, o.Jobs)
+	all, err := workloads.SlaveSweepMemo(ctx, o.clusterCache(), workloads.All(), slaveCounts, o.Scale, o.Seed, o.Jobs)
 	if err != nil {
 		return nil, fmt.Errorf("figure 2: %w", err)
 	}
@@ -189,49 +206,24 @@ func Figure5(ctx context.Context, o Options) (*Table, error) {
 	return t, nil
 }
 
-// clusterMemo caches the 4-slave cluster experiment per (scale, seed): the
-// results are deterministic in those two inputs alone (Jobs only changes
-// scheduling), and Figure 5 and Table I both read the same experiment, so
-// `dcbench all` simulates the cluster once instead of twice.
-var clusterMemo sync.Map // clusterKey -> *clusterEntry
-
-type clusterKey struct {
-	scale float64
-	seed  uint64
-}
-
-type clusterEntry struct {
-	once  sync.Once
-	stats []*workloads.Stats
-	err   error
-}
-
 // clusterStats runs every cluster workload on its own 4-slave environment
 // concurrently (one worker per host core at Jobs <= 0), returning stats in
 // workloads.All order — the shared experiment behind Figure 5 and Table I.
-// Results are memoized per (Scale, Seed) and shared: treat them as
-// read-only. A failed attempt (cancellation included) is not cached, so a
-// later call retries.
+// Results are memoized per (workload, slaves, Scale, Seed) through the
+// run's cluster cache (and its persistent backend, when one is wired in)
+// and shared with Figure 2's 4-slave column: treat them as read-only. A
+// failed attempt (cancellation included) is not cached, so a later call
+// retries.
 func clusterStats(ctx context.Context, o Options) ([]*workloads.Stats, error) {
-	key := clusterKey{o.Scale, o.Seed}
-	v, _ := clusterMemo.LoadOrStore(key, &clusterEntry{})
-	en := v.(*clusterEntry)
-	en.once.Do(func() {
-		ws := workloads.All()
-		en.stats, en.err = sweep.Collect(ctx, o.Jobs, len(ws), func(i int) (*workloads.Stats, error) {
-			env := workloads.NewEnv(4, o.Scale, o.Seed)
-			st, err := ws[i].Run(env)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", ws[i].Name, err)
-			}
-			return st, nil
-		})
-	})
-	if en.err != nil {
-		clusterMemo.Delete(key)
-		return nil, en.err
+	all, err := workloads.SlaveSweepMemo(ctx, o.clusterCache(), workloads.All(), []int{4}, o.Scale, o.Seed, o.Jobs)
+	if err != nil {
+		return nil, err
 	}
-	return en.stats, nil
+	stats := make([]*workloads.Stats, len(all))
+	for i, row := range all {
+		stats[i] = row[0]
+	}
+	return stats, nil
 }
 
 // Table1 reproduces Table I: input sizes and estimated retired

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// handleMetrics renders the Prometheus text exposition (version 0.0.4) of
+// the server's request counters and, when a result store is wired in, its
+// store-level counters. The format is hand-rolled on purpose: four gauge/
+// counter families do not justify a client-library dependency, and the
+// golden test pins the output so the surface cannot drift silently.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	st := s.Stats()
+	writeMetric(&b, "dcserved_requests_total", "counter",
+		"HTTP requests handled.", float64(st.Requests))
+	writeMetric(&b, "dcserved_coalesced_total", "counter",
+		"Requests that joined an in-flight render instead of starting one.", float64(st.Coalesced))
+	writeMetric(&b, "dcserved_errors_total", "counter",
+		"Requests answered with a 5xx status.", float64(st.Errors))
+	writeMetric(&b, "dcserved_uptime_seconds", "gauge",
+		"Seconds since the server started.", time.Since(s.started).Seconds())
+	if bs, ok := s.backendStats(); ok {
+		writeMetric(&b, "dcserved_store_records", "gauge",
+			"Records currently in the result store.", float64(bs.Records))
+		writeMetric(&b, "dcserved_store_shards", "gauge",
+			"Hash shards in the result store.", float64(bs.Shards))
+		writeMetric(&b, "dcserved_store_hits_total", "counter",
+			"Store reads that returned a valid record.", float64(bs.Hits))
+		writeMetric(&b, "dcserved_store_misses_total", "counter",
+			"Store reads that found no usable record.", float64(bs.Misses))
+		writeMetric(&b, "dcserved_store_writes_total", "counter",
+			"Records written to the store.", float64(bs.Writes))
+		writeMetric(&b, "dcserved_store_evictions_total", "counter",
+			"Records removed by the eviction policy.", float64(bs.Evictions))
+		writeMetric(&b, "dcserved_store_corrupt_total", "counter",
+			"Corrupt records detected and skipped.", float64(bs.Corrupt))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(b.Len()))
+	w.Write([]byte(b.String()))
+}
+
+// writeMetric emits one single-sample metric family.
+func writeMetric(b *strings.Builder, name, typ, help string, v float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, typ, name, strconv.FormatFloat(v, 'g', -1, 64))
+}

@@ -1,0 +1,189 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dcbench/internal/core"
+	"dcbench/internal/memtrace"
+	"dcbench/internal/serve"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+	"dcbench/internal/workloads"
+)
+
+// countingStatsBackend wraps a workloads.StatsBackend and counts traffic —
+// the cluster-side sibling of countingBackend. Its runs counter is the
+// number of StoreStats calls, i.e. real cluster simulations.
+type countingStatsBackend struct {
+	inner workloads.StatsBackend
+	mu    sync.Mutex
+	hits  int
+	runs  int
+}
+
+func (b *countingStatsBackend) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) {
+	st, ok := b.inner.LoadStats(k)
+	if ok {
+		b.mu.Lock()
+		b.hits++
+		b.mu.Unlock()
+	}
+	return st, ok
+}
+
+func (b *countingStatsBackend) StoreStats(k workloads.StatsKey, st *workloads.Stats) {
+	b.mu.Lock()
+	b.runs++
+	b.mu.Unlock()
+	b.inner.StoreStats(k, st)
+}
+
+func (b *countingStatsBackend) counts() (hits, runs int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits, b.runs
+}
+
+// writeV1Store lays keyed counters down in the PR 2 flat v1 store format —
+// SCHEMA marker "1\n", records under v1/<first hash byte>/<fnv64a of the
+// canonical key JSON>.json — replicated here byte for byte so the test
+// exercises a genuine historical layout rather than anything the current
+// store writes.
+func writeV1Store(t *testing.T, dir string, records map[sweep.Key]*uarch.Counters) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "SCHEMA"), []byte("1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for k, c := range records {
+		canon, err := json.Marshal(struct {
+			Name      string           `json:"name"`
+			Profile   memtrace.Profile `json:"profile"`
+			ConfigFP  uint64           `json:"config_fp"`
+			MaxInstrs int64            `json:"max_instrs"`
+		}{k.Name, k.Profile, k.ConfigFP, k.MaxInstrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := fnv.New64a()
+		h.Write(canon)
+		addr := fmt.Sprintf("%016x", h.Sum64())
+		rec, err := json.Marshal(struct {
+			Schema   int             `json:"schema"`
+			Key      json.RawMessage `json:"key"`
+			Counters uarch.Counters  `json:"counters"`
+		}{1, canon, *c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, "v1", addr[:2], addr+".json")
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, append(rec, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestV1StoreMigratesAndServes is the migration acceptance criterion: a
+// warm PR 2 v1 store opened by this build is migrated in place and serves
+// byte-identical /v1/* responses with zero re-simulation, and a second
+// restart over the migrated store also skips the cluster experiments
+// (persisted on the first warm run) — zero simulations of either kind.
+func TestV1StoreMigratesAndServes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization + cluster sweeps")
+	}
+	opts := testOptions()
+
+	// Reference run: a storeless server renders Figure 3, and its memory
+	// backend captures exactly the key->counters records a PR 2 server
+	// would have persisted.
+	mem := newMemoryBackend()
+	srv0 := serve.New(serve.Config{Options: opts, Backend: mem, Logger: quietLog})
+	ts0 := httptest.NewServer(srv0.Handler())
+	resp0, wantFig3 := get(t, ts0, "/v1/figures/3", nil)
+	ts0.Close()
+	srv0.Close()
+	if resp0.StatusCode != 200 {
+		t.Fatalf("reference render status = %d", resp0.StatusCode)
+	}
+	if len(mem.m) != len(core.Registry()) {
+		t.Fatalf("reference run captured %d records, want %d", len(mem.m), len(core.Registry()))
+	}
+
+	// Lay those records down as a PR 2 v1 store and open it: Open migrates.
+	dir := t.TempDir()
+	writeV1Store(t, dir, mem.m)
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(filepath.Join(dir, "SCHEMA")); string(got) != "2\n" {
+		t.Fatalf("SCHEMA after migrating open = %q", got)
+	}
+	if n := st1.Len(); n != len(core.Registry()) {
+		t.Fatalf("migrated store Len = %d, want %d", n, len(core.Registry()))
+	}
+
+	warm := &countingBackend{inner: st1.Backend(quietLog)}
+	cluster1 := &countingStatsBackend{inner: st1.StatsBackend(quietLog)}
+	srv1 := serve.New(serve.Config{Options: opts, Store: st1, Backend: warm, Cluster: cluster1, Logger: quietLog})
+	ts1 := httptest.NewServer(srv1.Handler())
+	resp1, gotFig3 := get(t, ts1, "/v1/figures/3", nil)
+	if resp1.StatusCode != 200 || string(gotFig3) != string(wantFig3) {
+		t.Fatalf("migrated store served different bytes (status %d)", resp1.StatusCode)
+	}
+	if hits, sims := warm.counts(); sims != 0 || hits != len(core.Registry()) {
+		t.Fatalf("migrated store: sims=%d hits=%d, want 0 simulations and %d hits", sims, hits, len(core.Registry()))
+	}
+	// First cluster render over the migrated store: simulated once, then
+	// persisted through the same store.
+	resp5, fig5 := get(t, ts1, "/v1/figures/5", nil)
+	if resp5.StatusCode != 200 {
+		t.Fatalf("figure 5 status = %d", resp5.StatusCode)
+	}
+	if hits, runs := cluster1.counts(); hits != 0 || runs != len(workloads.All()) {
+		t.Fatalf("cold cluster render: hits=%d runs=%d, want 0 hits and %d runs", hits, runs, len(workloads.All()))
+	}
+	ts1.Close()
+	srv1.Close()
+	st1.Close()
+
+	// The restart: a fresh process over the migrated store re-simulates
+	// nothing — counters or cluster — and serves identical bytes.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	warm2 := &countingBackend{inner: st2.Backend(quietLog)}
+	cluster2 := &countingStatsBackend{inner: st2.StatsBackend(quietLog)}
+	srv2 := serve.New(serve.Config{Options: opts, Store: st2, Backend: warm2, Cluster: cluster2, Logger: quietLog})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	_, gotFig3b := get(t, ts2, "/v1/figures/3", nil)
+	if string(gotFig3b) != string(wantFig3) {
+		t.Fatal("restart over migrated store served different figure 3 bytes")
+	}
+	_, gotFig5b := get(t, ts2, "/v1/figures/5", nil)
+	if string(gotFig5b) != string(fig5) {
+		t.Fatal("restart served different figure 5 bytes")
+	}
+	if hits, sims := warm2.counts(); sims != 0 || hits != len(core.Registry()) {
+		t.Fatalf("restart: sims=%d hits=%d, want zero re-simulation", sims, hits)
+	}
+	if hits, runs := cluster2.counts(); runs != 0 || hits != len(workloads.All()) {
+		t.Fatalf("restart cluster: hits=%d runs=%d, want %d store hits and zero cluster runs", hits, runs, len(workloads.All()))
+	}
+}

@@ -1,0 +1,156 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"dcbench/internal/serve"
+	"dcbench/internal/store"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/serve -run %s -update` to cut golden files)", err, t.Name())
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from its golden file; this is the observability surface operators scrape — diff deliberately or re-cut with -update\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// storeBackedServer builds a server over a fresh store so every
+// observability field is populated.
+func storeBackedServer(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := serve.New(serve.Config{Options: testOptions(), Store: st, Logger: quietLog})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// jsonSchema flattens a decoded JSON value into sorted "path: type" lines —
+// the shape of the document with the volatile values erased.
+func jsonSchema(v any) []string {
+	var out []string
+	var walk func(path string, v any)
+	walk = func(path string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			if len(x) == 0 {
+				out = append(out, path+": object")
+				return
+			}
+			for k, child := range x {
+				walk(path+"."+k, child)
+			}
+		case []any:
+			if len(x) == 0 {
+				out = append(out, path+": array")
+				return
+			}
+			walk(path+"[]", x[0])
+		case string:
+			out = append(out, path+": string")
+		case float64:
+			out = append(out, path+": number")
+		case bool:
+			out = append(out, path+": bool")
+		case nil:
+			out = append(out, path+": null")
+		default:
+			out = append(out, fmt.Sprintf("%s: %T", path, v))
+		}
+	}
+	walk("", v)
+	sort.Strings(out)
+	return out
+}
+
+// TestHealthzSchemaGolden pins the /healthz JSON shape — every field path
+// and its type, including the store counter block — so the surface a
+// monitoring stack depends on cannot drift silently.
+func TestHealthzSchemaGolden(t *testing.T) {
+	_, ts := storeBackedServer(t)
+	resp, body := get(t, ts, "/healthz", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	var doc any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, body)
+	}
+	checkGolden(t, "healthz_schema.golden", []byte(strings.Join(jsonSchema(doc), "\n")+"\n"))
+}
+
+// metricValue matches the sample line of a metric family.
+var metricValue = regexp.MustCompile(`^([a-z_]+) [0-9][0-9.e+-]*$`)
+
+// TestMetricsGolden pins the /metrics exposition format with sample values
+// normalised: family names, HELP/TYPE lines and their order are the
+// contract a Prometheus scrape config is written against.
+func TestMetricsGolden(t *testing.T) {
+	_, ts := storeBackedServer(t)
+	resp, body := get(t, ts, "/metrics", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	var norm []string
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if m := metricValue.FindStringSubmatch(line); m != nil {
+			line = m[1] + " X"
+		}
+		norm = append(norm, line)
+	}
+	checkGolden(t, "metrics.golden", []byte(strings.Join(norm, "\n")+"\n"))
+}
+
+// TestMetricsCounts spot-checks live semantics behind the golden shape:
+// request traffic and store writes must actually move the gauges.
+func TestMetricsCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a single-workload sweep")
+	}
+	_, ts := storeBackedServer(t)
+	get(t, ts, "/v1/workloads/Sort/counters", nil)
+	_, body := get(t, ts, "/metrics", nil)
+	for _, want := range []string{
+		"dcserved_store_writes_total 1",
+		"dcserved_store_records 1",
+		"dcserved_requests_total 2",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics after a stored sweep lack %q:\n%s", want, body)
+		}
+	}
+}

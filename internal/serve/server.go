@@ -42,8 +42,10 @@ import (
 // Config assembles a Server.
 type Config struct {
 	// Options are the run parameters every response is computed under; the
-	// zero value means report.DefaultOptions(). Options.Engine is ignored —
-	// the server always runs its own engine.
+	// zero value means report.DefaultOptions(). Options.Engine and
+	// Options.Cluster are ignored — the server always runs its own engine
+	// and cluster cache (wired to Store/Backend/Cluster below), so its
+	// caches have the server's lifetime and restart semantics.
 	Options report.Options
 	// Store, when non-nil, persists sweep results across restarts and
 	// processes.
@@ -51,6 +53,9 @@ type Config struct {
 	// Backend overrides Store as the engine's memo backend (tests wrap the
 	// store in counting shims through this).
 	Backend sweep.MemoBackend
+	// Cluster overrides Store as the cluster memo's persistent backend
+	// (tests wrap the store in counting shims through this).
+	Cluster workloads.StatsBackend
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
 }
@@ -68,6 +73,7 @@ type Server struct {
 	opts    report.Options
 	engine  *sweep.Engine
 	store   *store.Store
+	backend sweep.MemoBackend
 	log     *slog.Logger
 	mux     *http.ServeMux
 	flight  flightGroup
@@ -100,11 +106,20 @@ func New(cfg Config) *Server {
 		engine.SetMemoBackend(backend)
 	}
 	opts.Engine = engine
+	// The cluster memo is the server's own (not the process-wide default),
+	// so its persistent backend — and its restart semantics — match the
+	// engine's.
+	clusterBackend := cfg.Cluster
+	if clusterBackend == nil && cfg.Store != nil {
+		clusterBackend = cfg.Store.StatsBackend(log)
+	}
+	opts.Cluster = workloads.NewStatsCache(clusterBackend)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    opts,
 		engine:  engine,
 		store:   cfg.Store,
+		backend: backend,
 		log:     log,
 		mux:     http.NewServeMux(),
 		baseCtx: ctx,
@@ -113,6 +128,7 @@ func New(cfg Config) *Server {
 	}
 	s.flight.onJoin = func() { s.coalesced.Add(1) }
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/workloads/{name}/counters", s.handleCounters)
 	s.mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
@@ -146,8 +162,8 @@ func (s *Server) Handler() http.Handler {
 			s.errors.Add(1)
 		}
 		lvl := slog.LevelInfo
-		if r.URL.Path == "/healthz" {
-			lvl = slog.LevelDebug // probes would drown real traffic
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			lvl = slog.LevelDebug // probes and scrapes would drown real traffic
 		}
 		s.log.Log(r.Context(), lvl, "request",
 			"method", r.Method,
@@ -293,17 +309,28 @@ func (s *Server) serveTable(w http.ResponseWriter, r *http.Request, key string, 
 	})
 }
 
+// backendStats resolves the store-level counters for /healthz and
+// /metrics: the engine's memo backend when it reports them (the store's
+// does, and wrappers may forward), else the configured store directly.
+func (s *Server) backendStats() (sweep.BackendStats, bool) {
+	if sr, ok := s.backend.(sweep.StatsReporter); ok {
+		return sr.BackendStats(), true
+	}
+	if s.store != nil {
+		return s.store.BackendStats(), true
+	}
+	return sweep.BackendStats{}, false
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := struct {
-		Status       string  `json:"status"`
-		UptimeSec    float64 `json:"uptime_sec"`
-		Stats        Stats   `json:"stats"`
-		StoreRecords int     `json:"store_records,omitempty"`
+		Status    string              `json:"status"`
+		UptimeSec float64             `json:"uptime_sec"`
+		Stats     Stats               `json:"stats"`
+		Store     *sweep.BackendStats `json:"store,omitempty"`
 	}{Status: "ok", UptimeSec: time.Since(s.started).Seconds(), Stats: s.Stats()}
-	if s.store != nil {
-		if n, err := s.store.Len(); err == nil {
-			h.StoreRecords = n
-		}
+	if bs, ok := s.backendStats(); ok {
+		h.Store = &bs
 	}
 	writeJSON(w, h)
 }

@@ -1,0 +1,104 @@
+package store_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"dcbench/internal/memtrace"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+// equivJobs builds a few small deterministic sweep jobs.
+func equivJobs() []sweep.Job {
+	jobs := make([]sweep.Job, 3)
+	for i := range jobs {
+		i := i
+		jobs[i] = sweep.Job{
+			Name: "equiv-" + string(rune('A'+i)),
+			Profile: memtrace.Profile{
+				Seed:      uint64(2000 + i),
+				MaxInstrs: 30_000,
+				CodeKB:    64 + 16*i,
+				HeapMB:    4,
+			},
+			Gen: func(tr *memtrace.Tracer) {
+				base := tr.Alloc(1 << 18)
+				for {
+					for off := uint64(0); off < 1<<18; off += 64 {
+						tr.Load(base + off)
+						tr.BranchSite(i, off%192 == 0)
+					}
+				}
+			},
+		}
+	}
+	return jobs
+}
+
+// TestShardedVsUnshardedEquivalence: the shard count is pure layout — a
+// 1-shard and a 32-shard store behind identical sweeps must produce
+// identical counters, cold and warm, and a warm engine over either store
+// re-simulates nothing.
+func TestShardedVsUnshardedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs small simulations")
+	}
+	jobs := equivJobs()
+	cfg := uarch.DefaultConfig()
+	cfg.Warmup = 5_000
+
+	runOn := func(s *store.Store) []*uarch.Counters {
+		t.Helper()
+		e := sweep.NewEngine()
+		e.SetMemoBackend(s.Backend(quietLog(t)))
+		out, err := e.Run(context.Background(), jobs, cfg, 0, sweep.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	baseline := func() []*uarch.Counters {
+		t.Helper()
+		out, err := sweep.NewEngine().Run(context.Background(), jobs, cfg, 0, sweep.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}()
+
+	dir1, dir32 := t.TempDir(), t.TempDir()
+	s1, err := store.OpenWith(dir1, store.OpenOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s32, err := store.OpenWith(dir32, store.OpenOptions{Shards: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s32.Close()
+
+	cold1, cold32 := runOn(s1), runOn(s32)
+	if !reflect.DeepEqual(cold1, baseline) || !reflect.DeepEqual(cold32, baseline) {
+		t.Fatal("store-backed sweep diverged from the storeless baseline")
+	}
+	// Warm pass through fresh engines ("restarted processes"): every result
+	// comes off disk, still byte-for-byte the baseline's.
+	warm1, warm32 := runOn(s1), runOn(s32)
+	if !reflect.DeepEqual(warm1, baseline) || !reflect.DeepEqual(warm32, baseline) {
+		t.Fatal("warm store read diverged from the simulated results")
+	}
+	for _, s := range []*store.Store{s1, s32} {
+		st := s.Stats()
+		if st.Writes != int64(len(jobs)) {
+			t.Fatalf("shards=%d: %d writes, want %d (warm pass must not re-simulate)", st.Shards, st.Writes, len(jobs))
+		}
+		if st.Hits < int64(len(jobs)) {
+			t.Fatalf("shards=%d: %d hits, want >= %d", st.Shards, st.Hits, len(jobs))
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dcbench/internal/uarch"
+)
+
+// v1Record is the PR 2 flat-layout record: one JSON file per key under
+// root/v1/<first hash byte>/<fnv64a>.json, no kind, no checksum.
+type v1Record struct {
+	Schema   int            `json:"schema"`
+	Key      keyJSON        `json:"key"`
+	Counters uarch.Counters `json:"counters"`
+}
+
+// migrateV1 rewrites a v1 flat store into the sharded v2 layout in place:
+// every readable v1 record is re-encoded (gaining its kind and checksum)
+// through the normal put path, corrupt records are skipped and counted,
+// and only after every record has landed is the SCHEMA marker advanced and
+// the v1 tree removed. A crash anywhere before the marker rewrite leaves
+// SCHEMA at 1, so the next Open simply migrates again — puts are
+// idempotent, so a partial first pass costs nothing but repeated work.
+func (s *Store) migrateV1(marker string) error {
+	v1 := filepath.Join(s.dir, "v1")
+	migrated, skipped, unreadable := 0, 0, 0
+	err := filepath.WalkDir(v1, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil // an empty v1 store has no data directory
+			}
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(p, ".json") {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if errors.Is(err, fs.ErrNotExist) {
+			// A concurrent migrator sharing the directory finished first
+			// and disposed of the tree under our walk; the records it
+			// carried into v2 are the same ones we were about to write.
+			return nil
+		}
+		if err != nil {
+			// One unreadable record must not brick the store: skip it,
+			// count it, and preserve the v1 tree below so nothing is
+			// deleted that was never carried over.
+			unreadable++
+			s.corrupt.Add(1)
+			s.log.Warn("store: skipping unreadable v1 record", "path", p, "err", err)
+			return nil
+		}
+		var rec v1Record
+		if json.Unmarshal(data, &rec) != nil || rec.Schema != 1 {
+			skipped++
+			s.corrupt.Add(1)
+			s.log.Warn("store: skipping corrupt v1 record", "path", p)
+			return nil
+		}
+		key, err := json.Marshal(rec.Key)
+		if err != nil {
+			return fmt.Errorf("re-encode key: %w", err)
+		}
+		payload, err := json.Marshal(rec.Counters)
+		if err != nil {
+			return fmt.Errorf("re-encode counters: %w", err)
+		}
+		if err := s.put(KindCounters, key, payload); err != nil {
+			return err
+		}
+		migrated++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: migrating v1 layout: %w", err)
+	}
+	// Dispose of the v1 tree BEFORE advancing the marker, so the commit can
+	// never outrun the preservation of unmigrated records: a crash anywhere
+	// up to the marker write re-runs the (idempotent) migration.
+	if skipped+unreadable > 0 {
+		// Those records were never carried into v2; deleting the tree would
+		// destroy their only copy, so set it aside for manual recovery. The
+		// atomic rename also disambiguates: a plain v1 dir under a schema-2
+		// store can only be a fully-migrated leftover (the RemoveAll branch
+		// failing or dying partway), so Open may delete it safely.
+		preserved := v1 + "-preserved"
+		switch err := os.Rename(v1, preserved); {
+		case err == nil:
+			s.log.Warn("store: unmigrated v1 records preserved for manual recovery",
+				"skipped", skipped, "unreadable", unreadable, "path", preserved)
+		case errors.Is(err, fs.ErrNotExist):
+			// A concurrent migrator disposed of the tree already; its
+			// disposition (preserve or remove) stands.
+		default:
+			return fmt.Errorf("store: setting aside unmigrated v1 records: %w", err)
+		}
+	} else if err := os.RemoveAll(v1); err != nil {
+		s.log.Warn("store: migrated v1 tree not fully removed", "err", err)
+	}
+	if err := writeFileAtomic(marker, []byte(fmt.Sprintf("%d\n", SchemaVersion))); err != nil {
+		return fmt.Errorf("store: committing migration: %w", err)
+	}
+	s.log.Info("store: migrated v1 layout", "records", migrated, "skipped", skipped, "unreadable", unreadable)
+	return nil
+}

@@ -1,0 +1,265 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcbench/internal/memtrace"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+// writeV1Record plants one record in the PR 2 flat v1 layout — the exact
+// bytes the previous store build wrote — so these tests exercise a true
+// historical store, not one this build produced for itself.
+func writeV1Record(t *testing.T, dir string, k sweep.Key, c *uarch.Counters) {
+	t.Helper()
+	canon, err := json.Marshal(keyJSON{k.Name, k.Profile, k.ConfigFP, k.MaxInstrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	h.Write(canon)
+	addr := fmt.Sprintf("%016x", h.Sum64())
+	rec, err := json.Marshal(struct {
+		Schema   int             `json:"schema"`
+		Key      json.RawMessage `json:"key"`
+		Counters uarch.Counters  `json:"counters"`
+	}{1, canon, *c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "v1", addr[:2], addr+".json")
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, append(rec, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newV1Store creates an empty v1-layout store directory.
+func newV1Store(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "SCHEMA"), []byte("1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func migrateKey(name string, seed uint64) sweep.Key {
+	return sweep.Key{
+		Name:      name,
+		Profile:   memtrace.Profile{Seed: seed, MaxInstrs: 50_000, CodeKB: 128},
+		ConfigFP:  uarch.DefaultConfig().Fingerprint(),
+		MaxInstrs: 50_000,
+	}
+}
+
+func TestMigrateV1(t *testing.T) {
+	dir := newV1Store(t)
+	keys := make([]sweep.Key, 10)
+	for i := range keys {
+		keys[i] = migrateKey(fmt.Sprintf("w%d", i), uint64(i))
+		writeV1Record(t, dir, keys[i], &uarch.Counters{Cycles: int64(100 + i), Instructions: int64(i)})
+	}
+	s, err := OpenWith(dir, OpenOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if n := s.Len(); n != len(keys) {
+		t.Fatalf("Len after migration = %d, want %d", n, len(keys))
+	}
+	for i, k := range keys {
+		c, ok, err := s.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("migrated key %d: ok=%v err=%v", i, ok, err)
+		}
+		if c.Cycles != int64(100+i) || c.Instructions != int64(i) {
+			t.Fatalf("migrated key %d = %+v", i, c)
+		}
+	}
+	// The migration committed: schema marker advanced, v1 tree gone.
+	if got, _ := os.ReadFile(filepath.Join(dir, "SCHEMA")); string(got) != "2\n" {
+		t.Fatalf("SCHEMA after migration = %q, want \"2\\n\"", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v1")); !os.IsNotExist(err) {
+		t.Fatalf("v1 tree survived migration (stat err = %v)", err)
+	}
+	// A reopen is a plain v2 open — no second migration, same contents.
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := s2.Len(); n != len(keys) {
+		t.Fatalf("Len after reopen = %d, want %d", n, len(keys))
+	}
+	if got := s2.ShardCount(); got != 4 {
+		t.Fatalf("migrated store ShardCount = %d, want the 4 chosen at migration", got)
+	}
+}
+
+func TestMigrateV1SkipsCorrupt(t *testing.T) {
+	dir := newV1Store(t)
+	good := migrateKey("good", 1)
+	writeV1Record(t, dir, good, &uarch.Counters{Cycles: 7})
+	bad := filepath.Join(dir, "v1", "ff", "ffffffffffffffff.json")
+	if err := os.MkdirAll(filepath.Dir(bad), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte(`{"schema":1,"key`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want the 1 readable record", n)
+	}
+	if c, ok, _ := s.Get(good); !ok || c.Cycles != 7 {
+		t.Fatalf("good record after migration = %+v ok=%v", c, ok)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("Stats.Corrupt = %d, want the skipped v1 record counted", st.Corrupt)
+	}
+	// The skipped record's only copy must survive, set aside for recovery.
+	preserved := filepath.Join(dir, "v1-preserved", "ff", "ffffffffffffffff.json")
+	if _, err := os.Stat(preserved); err != nil {
+		t.Fatalf("skipped corrupt record was not preserved at %s: %v", preserved, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v1")); !os.IsNotExist(err) {
+		t.Fatalf("v1 tree left in place would read as a crash leftover (stat err = %v)", err)
+	}
+}
+
+// TestMigrateV1SkipsUnreadable: one unreadable record file must not brick
+// the store — it is skipped and counted, and the v1 tree is preserved for
+// manual recovery instead of being deleted with data still inside.
+func TestMigrateV1SkipsUnreadable(t *testing.T) {
+	dir := newV1Store(t)
+	good := migrateKey("good", 1)
+	writeV1Record(t, dir, good, &uarch.Counters{Cycles: 7})
+	bad := filepath.Join(dir, "v1", "aa", "aaaaaaaaaaaaaaaa.json")
+	if err := os.MkdirAll(filepath.Dir(bad), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A symlink to a directory: ReadFile fails with EISDIR — a genuine read
+	// error, unlike ENOENT, which migration treats as a concurrent
+	// migrator having disposed of the tree.
+	if err := os.Symlink(dir, bad); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("an unreadable v1 record bricked the store: %v", err)
+	}
+	defer s.Close()
+	if c, ok, _ := s.Get(good); !ok || c.Cycles != 7 {
+		t.Fatalf("good record after migration = %+v ok=%v", c, ok)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("Stats.Corrupt = %d, want the unreadable record counted", st.Corrupt)
+	}
+	preserved := filepath.Join(dir, "v1-preserved", "aa", "aaaaaaaaaaaaaaaa.json")
+	if _, err := os.Lstat(preserved); err != nil {
+		t.Fatalf("unreadable record was not preserved at %s: %v", preserved, err)
+	}
+	if got, _ := os.ReadFile(filepath.Join(dir, "SCHEMA")); string(got) != "2\n" {
+		t.Fatalf("SCHEMA = %q, want the migration committed regardless", got)
+	}
+}
+
+// TestOpenCleansInterruptedV1Cleanup: a crash between the migration's
+// SCHEMA advance and its RemoveAll leaves a fully-migrated v1 tree under a
+// schema-2 store; the next Open must finish the cleanup instead of leaking
+// it forever. (Deliberately preserved unmigrated records live under
+// v1-preserved and are never touched.)
+func TestOpenCleansInterruptedV1Cleanup(t *testing.T) {
+	dir := newV1Store(t)
+	k := migrateKey("w", 1)
+	writeV1Record(t, dir, k, &uarch.Counters{Cycles: 5})
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate the interrupted cleanup: the v1 tree reappears post-commit.
+	writeV1Record(t, dir, k, &uarch.Counters{Cycles: 5})
+	preserved := filepath.Join(dir, "v1-preserved")
+	if err := os.MkdirAll(preserved, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(filepath.Join(dir, "v1")); !os.IsNotExist(err) {
+		t.Fatalf("interrupted v1 cleanup not finished (stat err = %v)", err)
+	}
+	if _, err := os.Stat(preserved); err != nil {
+		t.Fatalf("v1-preserved must never be cleaned up automatically: %v", err)
+	}
+	if c, ok, _ := s2.Get(k); !ok || c.Cycles != 5 {
+		t.Fatalf("migrated record lost during leftover cleanup: %+v ok=%v", c, ok)
+	}
+}
+
+// TestMigrateV1Resumes models a crash mid-migration: some records already
+// rewritten into v2, the SCHEMA marker still at 1. The next Open must
+// finish the job without losing or duplicating anything.
+func TestMigrateV1Resumes(t *testing.T) {
+	dir := newV1Store(t)
+	keys := make([]sweep.Key, 6)
+	for i := range keys {
+		keys[i] = migrateKey(fmt.Sprintf("w%d", i), uint64(i))
+		writeV1Record(t, dir, keys[i], &uarch.Counters{Cycles: int64(i)})
+	}
+	// First migration half-done: run it, then wind SCHEMA back to 1 and
+	// restore the v1 tree for two of the keys, as if the process had died
+	// before the commit point.
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, "SCHEMA"), []byte("1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:2] {
+		writeV1Record(t, dir, k, &uarch.Counters{Cycles: -1}) // stale pre-crash bytes
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := s2.Len(); n != len(keys) {
+		t.Fatalf("Len after resumed migration = %d, want %d", n, len(keys))
+	}
+	// The re-run overwrote with the v1 tree's bytes — last writer wins, no
+	// duplicates, nothing lost.
+	for i, k := range keys {
+		c, ok, _ := s2.Get(k)
+		if !ok {
+			t.Fatalf("key %d missing after resumed migration", i)
+		}
+		want := int64(i)
+		if i < 2 {
+			want = -1
+		}
+		if c.Cycles != want {
+			t.Fatalf("key %d = %+v, want Cycles %d", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// indexName is the per-shard append-only index file. Each line is one of
+//
+//	P <addr> <lastAccessUnixNano> <size>   record written (or adopted)
+//	T <addr> <lastAccessUnixNano>          record read (LRU touch)
+//	D <addr>                               record removed
+//
+// Replaying the log at Open rebuilds the shard's in-memory view in
+// O(index lines) — no directory walk, no per-record stat — and makes Len an
+// O(1) counter read. A torn final line (a crash mid-append) is skipped and
+// counted as corruption, never fatal: the records themselves stay the
+// source of truth and Get falls back to disk on an index miss.
+const indexName = "index.log"
+
+// compactSlack: the log is rewritten once its line count exceeds this many
+// times the live entry count (plus a floor so tiny shards never churn).
+const compactSlack = 4
+
+// entry is one record's index state.
+type entry struct {
+	lastAccess int64 // unix nanoseconds of the last Put or Get
+	size       int64 // record file size in bytes
+}
+
+// shard is one hash shard: a directory of record files plus its index. Each
+// shard has its own lock, so concurrent sweep write-through across shards
+// never serialises on a store-wide mutex.
+type shard struct {
+	dir string
+
+	mu        sync.Mutex
+	index     map[string]*entry
+	logf      *os.File // nil after a failed reopen; lazily reopened
+	closed    bool     // Store.Close called: stay shut for good
+	lines     int      // log lines since the last rewrite, live or not
+	compactAt int      // backoff floor after a failed compaction (0 = none)
+}
+
+// open creates the shard directory if needed, replays the index log into
+// memory and opens the log for appending. It reports how many malformed
+// index lines were skipped.
+func (sh *shard) open() (corrupt int, err error) {
+	if err := os.MkdirAll(sh.dir, 0o755); err != nil {
+		return 0, err
+	}
+	sh.index = make(map[string]*entry)
+	path := filepath.Join(sh.dir, indexName)
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		sh.lines++
+		if !sh.replay(line) {
+			corrupt++
+		}
+	}
+	if err := sh.reconcile(); err != nil {
+		return corrupt, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return corrupt, err
+	}
+	sh.logf = f
+	return corrupt, nil
+}
+
+// reconcile squares the replayed index with the shard directory: a record
+// whose index line was lost (a crash between the record rename and the
+// append, or a compaction racing another process's appends) is adopted so
+// it stays counted and evictable, and an index entry whose record file is
+// gone is dropped. The listing reads names only; just the rare orphan pays
+// a stat (for its size and an mtime-based LRU stamp).
+func (sh *shard) reconcile() error {
+	entries, err := os.ReadDir(sh.dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	present := make(map[string]bool, len(entries))
+	for _, de := range entries {
+		name, ok := strings.CutSuffix(de.Name(), ".json")
+		if de.IsDir() || !ok || len(name) != 16 {
+			// A stale temp file (a crash between CreateTemp and rename)
+			// has no other owner; clean it up once it is old enough that
+			// no live process can still be about to rename it.
+			if !de.IsDir() && strings.HasPrefix(de.Name(), ".") {
+				if info, err := de.Info(); err == nil && time.Since(info.ModTime()) > time.Hour {
+					os.Remove(filepath.Join(sh.dir, de.Name()))
+				}
+			}
+			continue
+		}
+		present[name] = true
+		if _, indexed := sh.index[name]; indexed {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // vanished mid-listing: it was being removed anyway
+		}
+		sh.index[name] = &entry{lastAccess: info.ModTime().UnixNano(), size: info.Size()}
+	}
+	for addr := range sh.index {
+		if !present[addr] {
+			delete(sh.index, addr)
+		}
+	}
+	return nil
+}
+
+// replay applies one index line, reporting whether it parsed.
+func (sh *shard) replay(line string) bool {
+	f := strings.Fields(line)
+	switch {
+	case len(f) == 4 && f[0] == "P":
+		last, err1 := strconv.ParseInt(f[2], 10, 64)
+		size, err2 := strconv.ParseInt(f[3], 10, 64)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sh.index[f[1]] = &entry{lastAccess: last, size: size}
+	case len(f) == 3 && f[0] == "T":
+		last, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return false
+		}
+		if e, ok := sh.index[f[1]]; ok {
+			e.lastAccess = last
+		}
+	case len(f) == 2 && f[0] == "D":
+		delete(sh.index, f[1])
+	default:
+		return false
+	}
+	return true
+}
+
+// appendLocked writes one index line and compacts the log when it has grown
+// too far past the live entry count. Callers hold sh.mu. Append failures
+// are returned for logging but never corrupt state: the in-memory index
+// stays right for this process, and a lost line only costs a reopened
+// process one disk fallback or a slightly stale LRU stamp.
+func (sh *shard) appendLocked(line string) error {
+	if sh.closed {
+		return errors.New("index log closed")
+	}
+	if sh.logf == nil {
+		// A prior reopen failed (fd pressure, say): retry here rather than
+		// freezing the on-disk index for the rest of the process lifetime.
+		f, err := os.OpenFile(filepath.Join(sh.dir, indexName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		sh.logf = f
+	}
+	_, err := sh.logf.WriteString(line)
+	sh.lines++
+	if sh.lines > compactSlack*len(sh.index)+64 && sh.lines >= sh.compactAt {
+		if rerr := sh.rewriteLocked(); rerr != nil {
+			// Back off until the log doubles: a failing disk must not turn
+			// every subsequent append into a full rewrite attempt.
+			sh.compactAt = sh.lines * 2
+			if err == nil {
+				err = rerr
+			}
+		} else {
+			sh.compactAt = 0
+		}
+	}
+	return err
+}
+
+// rewriteLocked compacts the log to one P line per live record.
+func (sh *shard) rewriteLocked() error {
+	path := filepath.Join(sh.dir, indexName)
+	var b strings.Builder
+	for addr, e := range sh.index {
+		fmt.Fprintf(&b, "P %s %d %d\n", addr, e.lastAccess, e.size)
+	}
+	if err := writeFileAtomic(path, []byte(b.String())); err != nil {
+		return err
+	}
+	old := sh.logf
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		sh.logf = nil
+		old.Close()
+		return err
+	}
+	sh.logf = f
+	sh.lines = len(sh.index)
+	return old.Close()
+}
+
+// recordPath is the record file for an address within this shard.
+func (sh *shard) recordPath(addr string) string {
+	return filepath.Join(sh.dir, addr+".json")
+}
+
+// install writes data as addr's record: the temp file is prepared outside
+// the lock, but the rename into place and the index registration happen
+// under it — an eviction pass (which also holds sh.mu to remove) can
+// therefore never delete a freshly installed record on the basis of a
+// stale last-access snapshot taken before the write.
+func (sh *shard) install(s *Store, addr string, data []byte, now int64) error {
+	tmp, err := os.CreateTemp(sh.dir, ".write-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := os.Rename(tmp.Name(), sh.recordPath(addr)); err != nil {
+		return err
+	}
+	if _, ok := sh.index[addr]; !ok {
+		s.live.Add(1)
+	}
+	sh.index[addr] = &entry{lastAccess: now, size: int64(len(data))}
+	if err := sh.appendLocked(fmt.Sprintf("P %s %d %d\n", addr, now, int64(len(data)))); err != nil {
+		s.log.Warn("store: index append failed", "shard", filepath.Base(sh.dir), "err", err)
+	}
+	return nil
+}
+
+// touch stamps a read for LRU, adopting records this process's index has
+// never seen (written by another process sharing the directory).
+func (sh *shard) touch(s *Store, addr string, now, size int64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var line string
+	if e, ok := sh.index[addr]; ok {
+		e.lastAccess = now
+		line = fmt.Sprintf("T %s %d\n", addr, now)
+	} else {
+		// The record may be gone already: an eviction pass can remove it
+		// between the caller's read and this adoption (both hold no lock in
+		// between), and evict holds sh.mu — so a stat here is race-free.
+		if _, err := os.Stat(sh.recordPath(addr)); err != nil {
+			return
+		}
+		s.live.Add(1)
+		sh.index[addr] = &entry{lastAccess: now, size: size}
+		line = fmt.Sprintf("P %s %d %d\n", addr, now, size)
+	}
+	if err := sh.appendLocked(line); err != nil {
+		s.log.Warn("store: index append failed", "shard", filepath.Base(sh.dir), "err", err)
+	}
+}
+
+// forget drops an index entry whose record file has vanished (evicted or
+// deleted by another process).
+func (sh *shard) forget(s *Store, addr string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.index[addr]; !ok {
+		return
+	}
+	// Re-check under the lock: a Put may have installed a fresh record
+	// between the caller's failed read and this cleanup (install holds
+	// sh.mu, so a stat here cannot race it) — that record must stay
+	// indexed.
+	if _, err := os.Stat(sh.recordPath(addr)); err == nil {
+		return
+	}
+	delete(sh.index, addr)
+	s.live.Add(-1)
+	if err := sh.appendLocked(fmt.Sprintf("D %s\n", addr)); err != nil {
+		s.log.Warn("store: index append failed", "shard", filepath.Base(sh.dir), "err", err)
+	}
+}
+
+// evict removes one record if its index entry still carries the last-access
+// stamp the eviction pass snapshotted — a record touched or rewritten since
+// the snapshot is spared. It reports whether the record was removed.
+func (sh *shard) evict(s *Store, addr string, lastSeen int64) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.index[addr]
+	if !ok || e.lastAccess != lastSeen {
+		return false
+	}
+	if err := os.Remove(sh.recordPath(addr)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		s.log.Warn("store: evict remove failed", "addr", addr, "err", err)
+		return false
+	}
+	delete(sh.index, addr)
+	s.live.Add(-1)
+	if err := sh.appendLocked(fmt.Sprintf("D %s\n", addr)); err != nil {
+		s.log.Warn("store: index append failed", "shard", filepath.Base(sh.dir), "err", err)
+	}
+	return true
+}
+
+// close releases the index log handle; later appends fail harmlessly.
+func (sh *shard) close() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.closed = true
+	if sh.logf == nil {
+		return nil
+	}
+	err := sh.logf.Close()
+	sh.logf = nil
+	return err
+}

@@ -1,68 +1,185 @@
 // Package store is a persistent, content-addressed result store for
 // characterization sweeps: it persists uarch.Counters keyed by the sweep
-// memo key (workload name, trace profile, config fingerprint, trace
-// length) to an on-disk layout with a versioned schema, so warm results
-// survive process restarts and are shared across processes.
+// memo key and workloads.Stats keyed by the cluster run key to an on-disk
+// layout with a versioned schema, so warm results survive process restarts
+// and are shared across processes.
 //
 // Layout under the root directory:
 //
-//	root/SCHEMA            the schema version ("1\n"); a mismatch refuses
-//	                       to open rather than misread old bytes
-//	root/v1/ab/<hash>.json one record per key, sharded by the first hash
-//	                       byte; <hash> is the fnv64a of the canonical
-//	                       (JSON) key encoding
+//	root/SCHEMA               the schema version ("2\n"); an unknown version
+//	                          refuses to open rather than misread old bytes
+//	root/MANIFEST.json        {"schema":2,"shards":N}; the shard count is
+//	                          fixed here when the store is created, so every
+//	                          later open — whatever its flags say — routes
+//	                          keys identically
+//	root/v2/shard-??/         one directory per hash shard (N power of two)
+//	root/v2/shard-??/index.log   the shard's append-only index (see shard.go)
+//	root/v2/shard-??/<addr>.json one record per key; <addr> is the fnv64a of
+//	                          (kind, canonical key JSON)
 //
 // Records are written to a temp file and renamed into place, so concurrent
 // readers — including other processes — observe either the whole record or
-// none of it. Each record embeds its full key; Get verifies the stored key
-// against the requested one, so a (vanishingly unlikely) hash collision or
-// a corrupted record degrades to a miss instead of returning the wrong
-// workload's counters.
+// none of it. Each record embeds its kind, its full key and a checksum; Get
+// verifies all three, so a hash collision, a torn write or a flipped byte
+// degrades to a counted miss instead of returning the wrong workload's
+// counters.
+//
+// The in-memory index (rebuilt at Open by replaying the per-shard logs
+// plus one name-only directory listing per shard to re-adopt records whose
+// index line was lost — never a per-record read or stat) makes Len an O(1)
+// counter read and carries each record's last-access time, which drives the
+// LRU eviction pass: with MaxRecords or MaxAge set, Evict removes the
+// least-recently-used records beyond the budget and every record idle past
+// the age limit. Within one process the store is safe for any number of
+// goroutines (per-shard locking); across processes the record files stay
+// coherent (Get falls back to disk and adopts foreign records into the
+// index), while Len and LRU stamps are per-process views that converge on
+// the next Open.
+//
+// A directory holding the PR 2 flat v1 layout is migrated in place on Open:
+// every readable v1 record is rewritten into the sharded v2 layout, corrupt
+// ones are skipped and counted, and only then is the SCHEMA marker advanced
+// and the v1 tree removed — a crash mid-migration re-runs it idempotently.
 package store
 
 import (
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"hash/fnv"
 	"io/fs"
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"dcbench/internal/memtrace"
 	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
+	"dcbench/internal/workloads"
 )
 
-// SchemaVersion is the on-disk schema this package reads and writes.
-// Records carry it too, so a future reader can tell v1 bytes apart without
-// trusting the directory name.
-const SchemaVersion = 1
+// SchemaVersion is the on-disk schema this package reads and writes (and
+// migrates version 1 up to).
+const SchemaVersion = 2
 
-// Store is an on-disk result store. It is safe for concurrent use by any
-// number of goroutines and processes sharing one root directory.
-type Store struct {
-	root string // the versioned data directory, root/v1
+// DefaultShards is the shard count for newly created stores: wide enough
+// that a full-width sweep's write-through rarely contends on one shard
+// lock, small enough that an empty store is a handful of directories.
+const DefaultShards = 16
+
+// maxShards bounds the manifest: shard directories are named by one hex
+// byte.
+const maxShards = 256
+
+const manifestName = "MANIFEST.json"
+
+// manifest pins the store's immutable geometry.
+type manifest struct {
+	Schema int `json:"schema"`
+	Shards int `json:"shards"`
 }
 
-// Open opens (creating if needed) the store rooted at dir. Validation runs
-// before any write: a directory holding a different schema version, or a
-// non-empty directory that is not a store at all (a mistyped -store path,
-// say), is refused untouched — refusing is safer than guessing, and the
-// caller can point at a fresh directory.
-func Open(dir string) (*Store, error) {
+// OpenOptions tunes OpenWith. The zero value matches Open.
+type OpenOptions struct {
+	// Shards is the shard count for a store being created (or migrated from
+	// v1); it must be a power of two in [1, 256]. 0 means DefaultShards.
+	// Opening an existing v2 store always uses the manifest's count.
+	Shards int
+	// MaxRecords, when positive, caps the store: a Put pushing the record
+	// count past it triggers an LRU eviction pass trimming to 10% below the
+	// cap (so a sustained write load evicts per batch, not per Put); an
+	// explicit Evict trims to the cap exactly.
+	MaxRecords int
+	// MaxAge, when positive, makes eviction passes (including the one at
+	// Open) remove records not written or read for longer than this.
+	MaxAge time.Duration
+	// Now supplies timestamps for LRU stamps and age checks; nil means
+	// time.Now. Tests inject a fake clock here.
+	Now func() time.Time
+	// Log defaults to slog.Default().
+	Log *slog.Logger
+}
+
+// RegisterFlags declares the store tuning flags on fs, defaulted from *o
+// and written back on Parse — the single definition shared by dcbench and
+// dcserved, so the flag surface cannot drift between the binaries.
+func RegisterFlags(fs *flag.FlagSet, o *OpenOptions) {
+	if o.Shards == 0 {
+		o.Shards = DefaultShards
+	}
+	fs.IntVar(&o.Shards, "store-shards", o.Shards, "shard count when creating a store (power of two; existing stores keep their manifest's count)")
+	fs.IntVar(&o.MaxRecords, "store-max-records", o.MaxRecords, "evict least-recently-used records beyond this count; 0 = unlimited")
+	fs.DurationVar(&o.MaxAge, "store-max-age", o.MaxAge, "evict records unused for longer than this; 0 = keep forever")
+}
+
+// Stats is a snapshot of the store's monotonic counters plus its current
+// size and geometry. It aliases sweep.BackendStats — the engine-facing
+// observability type — so the two surfaces can never drift apart.
+type Stats = sweep.BackendStats
+
+// Store is an on-disk result store. It is safe for concurrent use by any
+// number of goroutines; see the package comment for the cross-process
+// contract.
+type Store struct {
+	dir        string
+	shards     []*shard
+	maxRecords int
+	maxAge     time.Duration
+	now        func() time.Time
+	log        *slog.Logger
+
+	live      atomic.Int64 // current record count across shards
+	hits      atomic.Int64
+	misses    atomic.Int64
+	writes    atomic.Int64
+	evictions atomic.Int64
+	corrupt   atomic.Int64
+	evictMu   sync.Mutex // one eviction pass at a time
+}
+
+// Open opens (creating if needed) the store rooted at dir with default
+// options.
+func Open(dir string) (*Store, error) { return OpenWith(dir, OpenOptions{}) }
+
+// OpenWith opens (creating, or migrating from the v1 layout, if needed) the
+// store rooted at dir. Validation runs before any write: a directory
+// holding an unknown schema version, or a non-empty directory that is not a
+// store at all (a mistyped -store path, say), is refused untouched —
+// refusing is safer than guessing, and the caller can point at a fresh
+// directory.
+func OpenWith(dir string, opt OpenOptions) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty root directory")
 	}
+	if opt.Shards == 0 {
+		opt.Shards = DefaultShards
+	}
+	if opt.Shards < 1 || opt.Shards > maxShards || opt.Shards&(opt.Shards-1) != 0 {
+		return nil, fmt.Errorf("store: shard count %d is not a power of two in [1, %d]", opt.Shards, maxShards)
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	if opt.Log == nil {
+		opt.Log = slog.Default()
+	}
+
 	marker := filepath.Join(dir, "SCHEMA")
-	want := fmt.Sprintf("%d\n", SchemaVersion)
+	migrate := false
 	switch got, err := os.ReadFile(marker); {
 	case err == nil:
-		if strings.TrimSpace(string(got)) != strings.TrimSpace(want) {
-			return nil, fmt.Errorf("store: %s holds schema version %q, this build reads %q",
-				dir, strings.TrimSpace(string(got)), strings.TrimSpace(want))
+		switch v := strings.TrimSpace(string(got)); v {
+		case "2":
+		case "1":
+			migrate = true
+		default:
+			return nil, fmt.Errorf("store: %s holds schema version %q, this build reads \"1\" (migrating) or \"2\"", dir, v)
 		}
 	case errors.Is(err, fs.ErrNotExist):
 		if entries, derr := os.ReadDir(dir); derr == nil && len(entries) > 0 {
@@ -73,18 +190,324 @@ func Open(dir string) (*Store, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
-		if err := os.WriteFile(marker, []byte(want), 0o644); err != nil {
+		if err := writeFileAtomic(marker, []byte(fmt.Sprintf("%d\n", SchemaVersion))); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	default:
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	versioned := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
-	if err := os.MkdirAll(versioned, 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+
+	m, err := loadManifest(dir, opt.Shards)
+	if err != nil {
+		return nil, err
 	}
-	return &Store{root: versioned}, nil
+	s := &Store{
+		dir:        dir,
+		maxRecords: opt.MaxRecords,
+		maxAge:     opt.MaxAge,
+		now:        opt.Now,
+		log:        opt.Log,
+	}
+	root := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
+	for i := 0; i < m.Shards; i++ {
+		sh := &shard{dir: filepath.Join(root, fmt.Sprintf("shard-%02x", i))}
+		torn, err := sh.open()
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if torn > 0 {
+			// A torn tail line is normal after a crash mid-append and the
+			// record behind it is intact (reconcile re-adopts it) — not a
+			// corrupt *record*, so it must not trip disk-trouble alerts on
+			// the corrupt counter.
+			opt.Log.Debug("store: skipped malformed index lines", "shard", i, "lines", torn)
+		}
+		s.live.Add(int64(len(sh.index)))
+		s.shards = append(s.shards, sh)
+	}
+	if migrate {
+		if err := s.migrateV1(marker); err != nil {
+			s.Close()
+			return nil, err
+		}
+	} else if _, serr := os.Stat(filepath.Join(dir, "v1")); serr == nil {
+		// A v1 tree under a schema-2 store is the leftover of a finished
+		// migration whose RemoveAll failed or died partway (migrateV1
+		// disposes of the tree before advancing the marker, and unmigrated
+		// records live under v1-preserved) — every record in it was
+		// already carried over, so finish the cleanup.
+		if rerr := os.RemoveAll(filepath.Join(dir, "v1")); rerr != nil {
+			opt.Log.Warn("store: migrated v1 leftovers not removed", "err", rerr)
+		} else {
+			opt.Log.Info("store: removed migrated v1 leftovers from an interrupted cleanup")
+		}
+	}
+	if s.maxAge > 0 || (s.maxRecords > 0 && int(s.live.Load()) > s.maxRecords) {
+		s.Evict()
+	}
+	return s, nil
 }
+
+// loadManifest reads the manifest, creating it with the requested shard
+// count on first open.
+func loadManifest(dir string, shards int) (manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	var m manifest
+	switch data, err := os.ReadFile(path); {
+	case err == nil:
+		if jerr := json.Unmarshal(data, &m); jerr != nil {
+			return m, fmt.Errorf("store: unreadable %s: %w", manifestName, jerr)
+		}
+		if m.Schema != SchemaVersion {
+			return m, fmt.Errorf("store: %s declares schema %d, this build reads %d", manifestName, m.Schema, SchemaVersion)
+		}
+		if m.Shards < 1 || m.Shards > maxShards || m.Shards&(m.Shards-1) != 0 {
+			return m, fmt.Errorf("store: %s declares invalid shard count %d", manifestName, m.Shards)
+		}
+		return m, nil
+	case errors.Is(err, fs.ErrNotExist):
+		// The manifest is the only record of the shard width; fabricating a
+		// fresh one over existing data would silently re-route every key.
+		// Recover the width from the shard directories themselves, and
+		// refuse anything that does not form a clean power-of-two layout.
+		if n, derr := countShardDirs(dir); derr != nil {
+			return m, derr
+		} else if n > 0 {
+			if n > maxShards || n&(n-1) != 0 {
+				return m, fmt.Errorf("store: %s is missing and the %d shard directories do not form a power-of-two layout; restore the manifest", manifestName, n)
+			}
+			shards = n
+		}
+		m = manifest{Schema: SchemaVersion, Shards: shards}
+		data, _ := json.Marshal(m)
+		if werr := writeFileAtomic(path, append(data, '\n')); werr != nil {
+			return m, fmt.Errorf("store: %w", werr)
+		}
+		return m, nil
+	default:
+		return m, fmt.Errorf("store: %w", err)
+	}
+}
+
+// countShardDirs counts existing shard-?? directories under the versioned
+// data root — the fallback source of truth for a lost manifest.
+func countShardDirs(dir string) (int, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion)))
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	n := 0
+	for _, de := range entries {
+		name, ok := strings.CutPrefix(de.Name(), "shard-")
+		if de.IsDir() && ok && len(name) == 2 {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// writeFileAtomic replaces path via a temp file, fsync and rename. The
+// fsync matters for the files this is used on — SCHEMA, MANIFEST.json,
+// index compaction — where a power loss making the rename durable but not
+// the content would leave a truncated marker that refuses every later
+// Open. (Record writes go through shard.install instead and skip the
+// fsync: counters are re-simulable, so losing one to a power cut is a
+// cache miss, not corruption — the checksum catches the torn bytes.)
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".write-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable too.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Close releases the per-shard index log handles. The store must not be
+// used after Close; a long-lived server never needs to call it.
+func (s *Store) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ShardCount reports the manifest-pinned shard count.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// Len is the current record count — an O(1) counter read off the in-memory
+// index, not a directory walk (and, unlike v1's, infallible).
+func (s *Store) Len() int { return int(s.live.Load()) }
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Records:   s.live.Load(),
+		Shards:    int64(len(s.shards)),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Writes:    s.writes.Load(),
+		Evictions: s.evictions.Load(),
+		Corrupt:   s.corrupt.Load(),
+	}
+}
+
+// BackendStats is Stats under the sweep engine's observability contract.
+func (s *Store) BackendStats() sweep.BackendStats { return s.Stats() }
+
+// locate addresses a (kind, canonical key) pair: the fnv64a address names
+// the record file, its low bits pick the shard.
+func (s *Store) locate(kind string, key []byte) (string, *shard) {
+	h := fnv.New64a()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(key)
+	a := h.Sum64()
+	return fmt.Sprintf("%016x", a), s.shards[a&uint64(len(s.shards)-1)]
+}
+
+// get loads the record stored under (kind, key), unmarshalling its payload
+// into `into`. A missing, corrupt, or key-mismatched record is a counted
+// miss (false, nil error) — validation runs before the hit is counted or
+// the LRU stamp refreshed, so an unusable record never masquerades as a
+// hit or climbs the eviction order. An error means the store itself
+// misbehaved (unreadable file, bad permissions).
+func (s *Store) get(kind string, key []byte, into any) (bool, error) {
+	addr, sh := s.locate(kind, key)
+	data, err := os.ReadFile(sh.recordPath(addr))
+	if errors.Is(err, fs.ErrNotExist) {
+		sh.forget(s, addr) // another process may have evicted it
+		s.misses.Add(1)
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	gotKind, gotKey, payload, derr := decodeRecord(data)
+	if derr != nil {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return false, nil // torn or mutated record: a counted miss
+	}
+	if gotKind != kind || string(gotKey) != string(key) {
+		s.misses.Add(1)
+		return false, nil // hash collision or foreign record: miss
+	}
+	if err := json.Unmarshal(payload, into); err != nil {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return false, nil // checksum-valid but untypeable: a counted miss
+	}
+	s.hits.Add(1)
+	sh.touch(s, addr, s.now().UnixNano(), int64(len(data)))
+	return true, nil
+}
+
+// put persists payload under (kind, key), atomically replacing any prior
+// record, then enforces the record budget.
+func (s *Store) put(kind string, key, payload []byte) error {
+	data, err := encodeRecord(kind, key, payload)
+	if err != nil {
+		return err
+	}
+	addr, sh := s.locate(kind, key)
+	if err := sh.install(s, addr, data, s.now().UnixNano()); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.writes.Add(1)
+	if s.maxRecords > 0 && int(s.live.Load()) > s.maxRecords {
+		// Trim below the cap (10% hysteresis, at least one record) so a
+		// sustained write load triggers a pass per batch, not a full
+		// snapshot-and-sort per Put.
+		slack := s.maxRecords / 10
+		if slack < 1 {
+			slack = 1
+		}
+		target := s.maxRecords - slack
+		if target < 1 {
+			target = 1 // a zero target would mean "no budget" to evict
+		}
+		s.evict(target)
+	}
+	return nil
+}
+
+// Evict runs one eviction-and-compaction pass: every record idle past
+// MaxAge goes, then the least-recently-used records beyond MaxRecords. It
+// returns how many records were removed. Records touched after the pass
+// snapshots the index are spared, so a concurrent hit never has its record
+// yanked on the basis of a stale stamp.
+func (s *Store) Evict() int { return s.evict(s.maxRecords) }
+
+// evict removes age-expired records and the least-recently-used records
+// beyond maxRecords (0 = no count budget).
+func (s *Store) evict(maxRecords int) int {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	type candidate struct {
+		sh   *shard
+		addr string
+		last int64
+	}
+	var all []candidate
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for addr, e := range sh.index {
+			all = append(all, candidate{sh, addr, e.lastAccess})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].last < all[j].last })
+	var cutoff int64
+	if s.maxAge > 0 {
+		cutoff = s.now().Add(-s.maxAge).UnixNano()
+	}
+	over := 0
+	if maxRecords > 0 && len(all) > maxRecords {
+		over = len(all) - maxRecords
+	}
+	evicted := 0
+	for i, c := range all {
+		if i >= over && c.last >= cutoff {
+			break // sorted by last access: everything after is younger
+		}
+		if c.sh.evict(s, c.addr, c.last) {
+			evicted++
+		}
+	}
+	if evicted > 0 {
+		s.evictions.Add(int64(evicted))
+		s.log.Debug("store: evicted records", "count", evicted)
+	}
+	return evicted
+}
+
+// --- typed record APIs ---
 
 // keyJSON is sweep.Key with stable wire names; it doubles as the canonical
 // encoding the content address is hashed from. memtrace.Profile is a flat
@@ -96,107 +519,91 @@ type keyJSON struct {
 	MaxInstrs int64            `json:"max_instrs"`
 }
 
-// record is the on-disk form of one result.
-type record struct {
-	Schema   int            `json:"schema"`
-	Key      keyJSON        `json:"key"`
-	Counters uarch.Counters `json:"counters"`
-}
-
-// path returns the record path for a key: sharded by the first address
-// byte so a large store does not pile every record into one directory.
-func (s *Store) path(k sweep.Key) (string, error) {
+func counterKey(k sweep.Key) ([]byte, error) {
 	canon, err := json.Marshal(keyJSON{k.Name, k.Profile, k.ConfigFP, k.MaxInstrs})
 	if err != nil {
-		return "", fmt.Errorf("store: encode key: %w", err)
+		return nil, fmt.Errorf("store: encode key: %w", err)
 	}
-	h := fnv.New64a()
-	h.Write(canon)
-	addr := fmt.Sprintf("%016x", h.Sum64())
-	return filepath.Join(s.root, addr[:2], addr+".json"), nil
+	return canon, nil
 }
 
-// Get loads the counters stored under k. A missing, corrupt, or
-// key-mismatched record is a plain miss (false, nil error); an error means
-// the store itself misbehaved (unreadable file, bad permissions).
+// Get loads the counters stored under k.
 func (s *Store) Get(k sweep.Key) (*uarch.Counters, bool, error) {
-	p, err := s.path(k)
+	key, err := counterKey(k)
 	if err != nil {
 		return nil, false, err
 	}
-	data, err := os.ReadFile(p)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, false, nil
+	var c uarch.Counters
+	ok, err := s.get(KindCounters, key, &c)
+	if !ok || err != nil {
+		return nil, false, err
 	}
-	if err != nil {
-		return nil, false, fmt.Errorf("store: %w", err)
-	}
-	var rec record
-	if err := json.Unmarshal(data, &rec); err != nil {
-		return nil, false, nil // torn or corrupt record: treat as a miss
-	}
-	if rec.Schema != SchemaVersion ||
-		rec.Key != (keyJSON{k.Name, k.Profile, k.ConfigFP, k.MaxInstrs}) {
-		return nil, false, nil // collision or foreign record: miss
-	}
-	c := rec.Counters
 	return &c, true, nil
 }
 
 // Put persists counters under k, atomically replacing any prior record.
 func (s *Store) Put(k sweep.Key, c *uarch.Counters) error {
-	p, err := s.path(k)
+	key, err := counterKey(k)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	data, err := json.Marshal(record{
-		Schema:   SchemaVersion,
-		Key:      keyJSON{k.Name, k.Profile, k.ConfigFP, k.MaxInstrs},
-		Counters: *c,
-	})
+	payload, err := json.Marshal(c)
 	if err != nil {
-		return fmt.Errorf("store: encode record: %w", err)
+		return fmt.Errorf("store: encode counters: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	return nil
+	return s.put(KindCounters, key, payload)
 }
 
-// Len walks the store and counts records — an observability helper for
-// tests and the service's health endpoint, not a hot path.
-func (s *Store) Len() (int, error) {
-	n := 0
-	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() && strings.HasSuffix(path, ".json") {
-			n++
-		}
-		return nil
-	})
-	return n, err
+// statsKeyJSON is workloads.StatsKey with stable wire names.
+type statsKeyJSON struct {
+	Workload string  `json:"workload"`
+	Slaves   int     `json:"slaves"`
+	Scale    float64 `json:"scale"`
+	Seed     uint64  `json:"seed"`
 }
+
+func clusterKey(k workloads.StatsKey) ([]byte, error) {
+	canon, err := json.Marshal(statsKeyJSON{k.Workload, k.Slaves, k.Scale, k.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("store: encode cluster key: %w", err)
+	}
+	return canon, nil
+}
+
+// GetClusterStats loads the cluster run stats stored under k.
+func (s *Store) GetClusterStats(k workloads.StatsKey) (*workloads.Stats, bool, error) {
+	key, err := clusterKey(k)
+	if err != nil {
+		return nil, false, err
+	}
+	var st workloads.Stats
+	ok, err := s.get(KindCluster, key, &st)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	return &st, true, nil
+}
+
+// PutClusterStats persists one cluster run's stats under k.
+func (s *Store) PutClusterStats(k workloads.StatsKey, st *workloads.Stats) error {
+	key, err := clusterKey(k)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("store: encode stats: %w", err)
+	}
+	return s.put(KindCluster, key, payload)
+}
+
+// --- backend adapters ---
 
 // Backend adapts the store to the sweep engine's MemoBackend contract:
 // failures are logged and swallowed, so a broken disk degrades the engine
-// to plain re-simulation instead of failing sweeps.
+// to plain re-simulation instead of failing sweeps. The returned backend
+// also implements sweep.StatsReporter, surfacing the store's counters to
+// the serving layer.
 func (s *Store) Backend(log *slog.Logger) sweep.MemoBackend {
 	if log == nil {
 		log = slog.Default()
@@ -221,5 +628,36 @@ func (b *backend) Load(k sweep.Key) (*uarch.Counters, bool) {
 func (b *backend) Store(k sweep.Key, c *uarch.Counters) {
 	if err := b.s.Put(k, c); err != nil {
 		b.log.Warn("store put failed; result not persisted", "workload", k.Name, "err", err)
+	}
+}
+
+func (b *backend) BackendStats() sweep.BackendStats { return b.s.BackendStats() }
+
+// StatsBackend adapts the store to the cluster memo's StatsBackend
+// contract with the same swallow-failures degradation as Backend.
+func (s *Store) StatsBackend(log *slog.Logger) workloads.StatsBackend {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &statsBackend{s: s, log: log}
+}
+
+type statsBackend struct {
+	s   *Store
+	log *slog.Logger
+}
+
+func (b *statsBackend) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) {
+	st, ok, err := b.s.GetClusterStats(k)
+	if err != nil {
+		b.log.Warn("store load failed; re-running cluster experiment", "workload", k.Workload, "err", err)
+		return nil, false
+	}
+	return st, ok
+}
+
+func (b *statsBackend) StoreStats(k workloads.StatsKey, st *workloads.Stats) {
+	if err := b.s.PutClusterStats(k, st); err != nil {
+		b.log.Warn("store put failed; cluster stats not persisted", "workload", k.Workload, "err", err)
 	}
 }

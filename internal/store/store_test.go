@@ -1,15 +1,20 @@
 package store_test
 
 import (
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"dcbench/internal/memtrace"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
+	"dcbench/internal/workloads"
 )
 
 func testKey(name string, seed uint64) sweep.Key {
@@ -21,11 +26,30 @@ func testKey(name string, seed uint64) sweep.Key {
 	}
 }
 
+// quietLog keeps expected-failure warnings out of test output.
+func quietLog(t *testing.T) *slog.Logger {
+	t.Helper()
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// fakeClock is an injectable time source for LRU tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+func (c *fakeClock) advance(d time.Duration) {
+	c.t = c.t.Add(d)
+}
+
+func newClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)}
+}
+
 func TestPutGetRoundTrip(t *testing.T) {
 	s, err := store.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	k := testKey("sort", 42)
 	want := &uarch.Counters{Cycles: 123, Instructions: 456, L2Misses: 7}
 	if _, ok, err := s.Get(k); err != nil || ok {
@@ -45,8 +69,12 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if _, ok, _ := s.Get(testKey("sort", 43)); ok {
 		t.Fatal("Get with different seed hit the wrong record")
 	}
-	if n, err := s.Len(); err != nil || n != 1 {
-		t.Fatalf("Len = %d, %v; want 1", n, err)
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Writes != 1 || st.Records != 1 {
+		t.Fatalf("Stats = %+v, want 1 hit, 2 misses, 1 write, 1 record", st)
 	}
 }
 
@@ -58,6 +86,7 @@ func TestSharedAcrossOpens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer a.Close()
 	k := testKey("grep", 1)
 	if err := a.Put(k, &uarch.Counters{Cycles: 9}); err != nil {
 		t.Fatal(err)
@@ -66,8 +95,24 @@ func TestSharedAcrossOpens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer b.Close()
 	if c, ok, err := b.Get(k); err != nil || !ok || c.Cycles != 9 {
 		t.Fatalf("second handle Get = %+v ok=%v err=%v", c, ok, err)
+	}
+	if n := b.Len(); n != 1 {
+		t.Fatalf("reopened Len = %d, want 1 (index replay)", n)
+	}
+	// A record written by one live handle is visible to another opened
+	// before the write: Get falls back to disk and adopts it.
+	k2 := testKey("grep", 2)
+	if err := a.Put(k2, &uarch.Counters{Cycles: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok, _ := b.Get(k2); !ok || c.Cycles != 11 {
+		t.Fatalf("cross-handle Get = %+v ok=%v, want adoption of foreign record", c, ok)
+	}
+	if n := b.Len(); n != 2 {
+		t.Fatalf("Len after adoption = %d, want 2", n)
 	}
 }
 
@@ -80,9 +125,11 @@ func TestSchemaMismatchRefusedUntouched(t *testing.T) {
 		t.Fatalf("Open on schema 99 = %v, want schema error", err)
 	}
 	// Refusal must leave no side effects: a future-schema store must not
-	// grow this build's v1 directory inside it.
-	if _, err := os.Stat(filepath.Join(dir, "v1")); !os.IsNotExist(err) {
-		t.Fatalf("Open planted v1/ inside a refused store (stat err = %v)", err)
+	// grow this build's layout inside it.
+	for _, planted := range []string{"v2", "MANIFEST.json"} {
+		if _, err := os.Stat(filepath.Join(dir, planted)); !os.IsNotExist(err) {
+			t.Fatalf("Open planted %s inside a refused store (stat err = %v)", planted, err)
+		}
 	}
 }
 
@@ -94,11 +141,25 @@ func TestForeignDirRefusedUntouched(t *testing.T) {
 	if _, err := store.Open(dir); err == nil || !strings.Contains(err.Error(), "SCHEMA") {
 		t.Fatalf("Open on a non-empty non-store dir = %v, want refusal", err)
 	}
-	for _, planted := range []string{"SCHEMA", "v1"} {
+	for _, planted := range []string{"SCHEMA", "MANIFEST.json", "v2"} {
 		if _, err := os.Stat(filepath.Join(dir, planted)); !os.IsNotExist(err) {
 			t.Fatalf("Open planted %s in a refused directory", planted)
 		}
 	}
+}
+
+// recordFiles returns every record file under the store's data directory
+// (the index logs are not records).
+func recordFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	filepath.Walk(filepath.Join(dir, "v2"), func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(p, ".json") {
+			out = append(out, p)
+		}
+		return nil
+	})
+	return out
 }
 
 func TestCorruptRecordIsAMiss(t *testing.T) {
@@ -107,26 +168,46 @@ func TestCorruptRecordIsAMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	k := testKey("hmm", 5)
 	if err := s.Put(k, &uarch.Counters{Cycles: 1}); err != nil {
 		t.Fatal(err)
 	}
-	// Truncate the record in place: Get must degrade to a miss, not fail.
-	var recPath string
-	filepath.Walk(filepath.Join(dir, "v1"), func(p string, info os.FileInfo, err error) error {
-		if err == nil && !info.IsDir() && strings.HasSuffix(p, ".json") {
-			recPath = p
-		}
-		return nil
-	})
-	if recPath == "" {
-		t.Fatal("no record file written")
+	recs := recordFiles(t, dir)
+	if len(recs) != 1 {
+		t.Fatalf("record files = %d, want 1", len(recs))
 	}
-	if err := os.WriteFile(recPath, []byte(`{"schema":1,"key"`), 0o644); err != nil {
+	// Truncate the record in place: Get must degrade to a counted miss.
+	if err := os.WriteFile(recs[0], []byte(`{"schema":2,"kind"`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok, err := s.Get(k); err != nil || ok {
 		t.Fatalf("corrupt record Get = ok=%v err=%v, want clean miss", ok, err)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("Stats.Corrupt = %d, want 1", st.Corrupt)
+	}
+	// A flipped payload byte that still parses as JSON must also be caught
+	// (the checksum, not the parser, is the last line of defense).
+	if err := s.Put(k, &uarch.Counters{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), `"Cycles":1`, `"Cycles":7`, 1)
+	if mutated == string(data) {
+		t.Fatal("test setup: payload byte not found")
+	}
+	if err := os.WriteFile(recs[0], []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(k); ok {
+		t.Fatal("checksum failed to catch a mutated payload digit")
+	}
+	if st := s.Stats(); st.Corrupt != 2 {
+		t.Fatalf("Stats.Corrupt = %d, want 2", st.Corrupt)
 	}
 	// And Put must repair it.
 	if err := s.Put(k, &uarch.Counters{Cycles: 2}); err != nil {
@@ -145,7 +226,7 @@ func TestBackendSwallowsFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := s.Backend(nil)
+	b := s.Backend(quietLog(t))
 	// Remove the data directory out from under the store: Store fails
 	// internally, Load reports a miss; neither panics nor errors out.
 	if err := os.RemoveAll(dir); err != nil {
@@ -158,5 +239,326 @@ func TestBackendSwallowsFailure(t *testing.T) {
 	b.Store(k, &uarch.Counters{Cycles: 3})
 	if _, ok := b.Load(k); ok {
 		t.Fatal("Load on a broken store reported a hit")
+	}
+}
+
+func TestShardCountPinnedByManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.OpenWith(dir, store.OpenOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ShardCount(); got != 4 {
+		t.Fatalf("ShardCount = %d, want 4", got)
+	}
+	keys := make([]sweep.Key, 20)
+	for i := range keys {
+		keys[i] = testKey("w", uint64(i))
+		if err := s.Put(keys[i], &uarch.Counters{Cycles: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Reopening with a different requested width must keep the manifest's
+	// count, or every address would route to the wrong shard.
+	s2, err := store.OpenWith(dir, store.OpenOptions{Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.ShardCount(); got != 4 {
+		t.Fatalf("reopened ShardCount = %d, want the manifest's 4", got)
+	}
+	for i, k := range keys {
+		if c, ok, err := s2.Get(k); err != nil || !ok || c.Cycles != int64(i) {
+			t.Fatalf("key %d after reopen: c=%+v ok=%v err=%v", i, c, ok, err)
+		}
+	}
+	if _, err := store.OpenWith(t.TempDir(), store.OpenOptions{Shards: 3}); err == nil {
+		t.Fatal("OpenWith accepted a non-power-of-two shard count")
+	}
+	// A lost manifest must be recovered from the shard directories, never
+	// fabricated from the flags: that would re-route every key.
+	s2.Close()
+	if err := os.Remove(filepath.Join(dir, "MANIFEST.json")); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := store.OpenWith(dir, store.OpenOptions{Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := s3.ShardCount(); got != 4 {
+		t.Fatalf("ShardCount after manifest loss = %d, want the 4 inferred from shard dirs", got)
+	}
+	for i, k := range keys {
+		if c, ok, err := s3.Get(k); err != nil || !ok || c.Cycles != int64(i) {
+			t.Fatalf("key %d after manifest recovery: c=%+v ok=%v err=%v", i, c, ok, err)
+		}
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	clock := newClock()
+	s, err := store.OpenWith(t.TempDir(), store.OpenOptions{
+		Shards: 4, MaxRecords: 8, Now: clock.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	keys := make([]sweep.Key, 12)
+	for i := range keys {
+		keys[i] = testKey("w", uint64(i))
+		if err := s.Put(keys[i], &uarch.Counters{Cycles: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		clock.advance(time.Second)
+	}
+	if n := s.Len(); n != 8 {
+		t.Fatalf("Len after capped puts = %d, want 8", n)
+	}
+	if st := s.Stats(); st.Evictions != 4 {
+		t.Fatalf("Evictions = %d, want 4", st.Evictions)
+	}
+	// The four oldest writes are the victims.
+	for i, k := range keys {
+		_, ok, err := s.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i >= 4; ok != want {
+			t.Fatalf("key %d present=%v, want %v (LRU order)", i, ok, want)
+		}
+	}
+	// A Get refreshes recency: key 4 must now outlive fresher-but-untouched
+	// keys when the next eviction pass runs.
+	clock.advance(time.Second)
+	if _, ok, _ := s.Get(keys[4]); !ok {
+		t.Fatal("key 4 vanished early")
+	}
+	for i := 12; i < 15; i++ {
+		clock.advance(time.Second)
+		if err := s.Put(testKey("w", uint64(i)), &uarch.Counters{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, _ := s.Get(keys[4]); !ok {
+		t.Fatal("recently read key 4 was evicted before stale keys")
+	}
+	if _, ok, _ := s.Get(keys[5]); ok {
+		t.Fatal("stale key 5 survived eviction ahead of fresher keys")
+	}
+}
+
+func TestEvictionMaxAge(t *testing.T) {
+	clock := newClock()
+	dir := t.TempDir()
+	s, err := store.OpenWith(dir, store.OpenOptions{MaxAge: time.Hour, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, fresh := testKey("old", 1), testKey("fresh", 2)
+	if err := s.Put(old, &uarch.Counters{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(2 * time.Hour)
+	if err := s.Put(fresh, &uarch.Counters{Cycles: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Evict(); n != 1 {
+		t.Fatalf("Evict removed %d records, want 1", n)
+	}
+	if _, ok, _ := s.Get(old); ok {
+		t.Fatal("expired record survived the age pass")
+	}
+	if _, ok, _ := s.Get(fresh); !ok {
+		t.Fatal("fresh record was age-evicted")
+	}
+	s.Close()
+	// The age pass also runs at Open.
+	clock.advance(2 * time.Hour)
+	s2, err := store.OpenWith(dir, store.OpenOptions{MaxAge: time.Hour, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := s2.Len(); n != 0 {
+		t.Fatalf("Len after aged reopen = %d, want 0", n)
+	}
+}
+
+// TestOpenReconcilesIndexWithDirectory: the index is a cache, the record
+// files are the truth. A record whose index line was lost (crash between
+// rename and append, compaction racing another process) must be re-adopted
+// at Open — counted and evictable — and an index entry whose record file
+// is gone must be dropped.
+func TestOpenReconcilesIndexWithDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.OpenWith(dir, store.OpenOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]sweep.Key, 3)
+	for i := range keys {
+		keys[i] = testKey("r", uint64(i))
+		if err := s.Put(keys[i], &uarch.Counters{Cycles: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	shardDir := filepath.Join(dir, "v2", "shard-00")
+	// Lost index: wipe the log entirely.
+	if err := os.Remove(filepath.Join(shardDir, "index.log")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.Len(); n != 3 {
+		t.Fatalf("Len after index loss = %d, want 3 (records re-adopted from the directory)", n)
+	}
+	for i, k := range keys {
+		if c, ok, _ := s2.Get(k); !ok || c.Cycles != int64(i) {
+			t.Fatalf("re-adopted key %d = %+v ok=%v", i, c, ok)
+		}
+	}
+	s2.Close()
+	// Lost record: the index references a file that is gone.
+	recs := recordFiles(t, dir)
+	if err := os.Remove(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if n := s3.Len(); n != 2 {
+		t.Fatalf("Len after record loss = %d, want 2 (stale index entry dropped)", n)
+	}
+}
+
+// TestOpenCleansStaleTempFiles: a crash between CreateTemp and rename
+// leaves a .write-* file no other pass owns; Open removes it once it is
+// old enough that no live process can still be about to rename it.
+func TestOpenCleansStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.OpenWith(dir, store.OpenOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey("t", 1), &uarch.Counters{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	shardDir := filepath.Join(dir, "v2", "shard-00")
+	stale := filepath.Join(shardDir, ".write-stale")
+	fresh := filepath.Join(shardDir, ".write-fresh")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("half a record"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived Open (stat err = %v)", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file (possibly a live process's in-flight write) was removed: %v", err)
+	}
+	if n := s2.Len(); n != 1 {
+		t.Fatalf("Len = %d, want temp files never counted as records", n)
+	}
+}
+
+func TestClusterStatsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := workloads.StatsKey{Workload: "Sort", Slaves: 4, Scale: 0.004, Seed: 42}
+	want := &workloads.Stats{
+		Workload: "Sort", Slaves: 4, Makespan: 123.456, Jobs: 3,
+		InputSimBytes: 1 << 30, DiskWriteOps: 777, DiskWriteBytes: 1 << 20,
+		NetBytes: 42, CoreSeconds: 9.875,
+		Quality: map[string]float64{"sorted_fraction": 1},
+	}
+	if _, ok, err := s.GetClusterStats(k); err != nil || ok {
+		t.Fatalf("empty GetClusterStats = ok=%v err=%v", ok, err)
+	}
+	if err := s.PutClusterStats(k, want); err != nil {
+		t.Fatal(err)
+	}
+	// Counters and cluster records share the store but never each other's
+	// namespace.
+	if _, ok, _ := s.Get(testKey("Sort", 42)); ok {
+		t.Fatal("a cluster record answered a counters Get")
+	}
+	s.Close()
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok, err := s2.GetClusterStats(k)
+	if err != nil || !ok {
+		t.Fatalf("GetClusterStats after reopen: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GetClusterStats = %+v, want %+v", got, want)
+	}
+	if _, ok, _ := s2.GetClusterStats(workloads.StatsKey{Workload: "Sort", Slaves: 8, Scale: 0.004, Seed: 42}); ok {
+		t.Fatal("GetClusterStats hit the wrong slave count")
+	}
+}
+
+// TestStatsBackendRoundTrip pins the workloads.StatsBackend adapter and its
+// interplay with the StatsCache: a fresh cache over a warm store loads
+// every run from disk instead of re-running.
+func TestStatsBackendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	b := s.StatsBackend(quietLog(t))
+	k := workloads.StatsKey{Workload: "Grep", Slaves: 4, Scale: 0.01, Seed: 7}
+	ran := 0
+	run := func() (*workloads.Stats, error) {
+		ran++
+		return &workloads.Stats{Workload: "Grep", Slaves: 4, Makespan: 5}, nil
+	}
+	cold := workloads.NewStatsCache(b)
+	if _, err := cold.Do(k, run); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Do(k, run); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("cold cache ran %d times, want 1", ran)
+	}
+	warm := workloads.NewStatsCache(b) // the restart: fresh L1, same store
+	st, err := warm.Do(k, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("warm cache re-ran the experiment (%d runs)", ran)
+	}
+	if st.Makespan != 5 {
+		t.Fatalf("warm stats = %+v", st)
 	}
 }

@@ -91,6 +91,28 @@ type MemoBackend interface {
 	Store(Key, *uarch.Counters)
 }
 
+// BackendStats is a point-in-time snapshot of a MemoBackend's store-level
+// counters: current size and geometry plus the monotonic traffic counters.
+// The hit/miss split tells an operator how warm the store is; a nonzero
+// Corrupt count flags disk trouble the backend silently degraded around.
+type BackendStats struct {
+	Records   int64 `json:"records"`
+	Shards    int64 `json:"shards"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Writes    int64 `json:"writes"`
+	Evictions int64 `json:"evictions"`
+	Corrupt   int64 `json:"corrupt"`
+}
+
+// StatsReporter is the optional MemoBackend extension for observability:
+// backends that keep store-level counters implement it, and consumers
+// (dcserved's /healthz and /metrics) discover it by type assertion, so
+// plain backends and test shims stay two-method simple.
+type StatsReporter interface {
+	BackendStats() BackendStats
+}
+
 // memoEntry is a singleflight cell: concurrent requests for the same key
 // share one simulation.
 type memoEntry struct {

@@ -1,0 +1,89 @@
+package workloads
+
+import "sync"
+
+// StatsKey identifies one cluster experiment run: a workload simulated on a
+// cluster of Slaves nodes at a given input scale and seed. Those four
+// inputs fully determine the resulting Stats (scheduling width does not
+// affect results), so the key doubles as the address a StatsBackend
+// persists them under.
+type StatsKey struct {
+	Workload string
+	Slaves   int
+	Scale    float64
+	Seed     uint64
+}
+
+// StatsBackend is a second-level cluster-result cache behind a StatsCache's
+// in-memory table — typically the same persistent store that backs the
+// sweep engine, so restarts skip the cluster simulations too.
+//
+// Backends swallow their own failures (a broken store must degrade to
+// re-simulation, not break a figure render): LoadStats reports a miss,
+// StoreStats drops the write. Stats handed to and from the backend are
+// shared with the cache — treat them as read-only.
+type StatsBackend interface {
+	LoadStats(StatsKey) (*Stats, bool)
+	StoreStats(StatsKey, *Stats)
+}
+
+// statsEntry is a singleflight cell: concurrent requests for the same run
+// share one simulation.
+type statsEntry struct {
+	once  sync.Once
+	stats *Stats
+	err   error
+}
+
+// StatsCache memoizes cluster runs: an in-memory table with per-key
+// singleflight, optionally backed by a persistent StatsBackend consulted on
+// miss and written through after each successful run. It is safe for
+// concurrent use. Cached Stats are shared across callers — read-only.
+type StatsCache struct {
+	mu      sync.Mutex
+	entries map[StatsKey]*statsEntry
+	backend StatsBackend
+}
+
+// NewStatsCache returns an empty cache over backend (nil for memory-only).
+func NewStatsCache(backend StatsBackend) *StatsCache {
+	return &StatsCache{entries: map[StatsKey]*statsEntry{}, backend: backend}
+}
+
+// Do returns the stats for key, calling run at most once per key even under
+// concurrent callers; the backend (when present) is consulted first and
+// filled after, both inside the key's singleflight cell. A failed run
+// (cancellation included) is not cached, so a later call retries.
+func (c *StatsCache) Do(key StatsKey, run func() (*Stats, error)) (*Stats, error) {
+	if c == nil {
+		return run()
+	}
+	c.mu.Lock()
+	en, ok := c.entries[key]
+	if !ok {
+		en = &statsEntry{}
+		c.entries[key] = en
+	}
+	c.mu.Unlock()
+	en.once.Do(func() {
+		if c.backend != nil {
+			if st, ok := c.backend.LoadStats(key); ok {
+				en.stats = st
+				return
+			}
+		}
+		en.stats, en.err = run()
+		if en.err == nil && c.backend != nil {
+			c.backend.StoreStats(key, en.stats)
+		}
+	})
+	if en.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == en {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, en.err
+	}
+	return en.stats, nil
+}

@@ -183,15 +183,27 @@ func All() []*Workload {
 // serial loops bit for bit. The first failed run's error (wrapped with its
 // workload and slave count) is returned after all runs finish.
 func SlaveSweepAll(ctx context.Context, ws []*Workload, slaveCounts []int, scale float64, seed uint64, workers int) ([][]*Stats, error) {
+	return SlaveSweepMemo(ctx, nil, ws, slaveCounts, scale, seed, workers)
+}
+
+// SlaveSweepMemo is SlaveSweepAll with cluster-run memoization: each
+// (workload, slave count) unit resolves through cache — an in-memory hit or
+// a persistent-store hit skips the simulation entirely, and concurrent
+// renders of figures sharing a run coalesce on its singleflight cell. A nil
+// cache runs everything. Memoized Stats are shared across callers: treat
+// them as read-only.
+func SlaveSweepMemo(ctx context.Context, cache *StatsCache, ws []*Workload, slaveCounts []int, scale float64, seed uint64, workers int) ([][]*Stats, error) {
 	n := len(ws) * len(slaveCounts)
 	flat, err := sweep.Collect(ctx, workers, n, func(i int) (*Stats, error) {
 		w, slaves := ws[i/len(slaveCounts)], slaveCounts[i%len(slaveCounts)]
-		env := NewEnv(slaves, scale, seed)
-		st, err := w.Run(env)
-		if err != nil {
-			return nil, fmt.Errorf("%s on %d slaves: %w", w.Name, slaves, err)
-		}
-		return st, nil
+		return cache.Do(StatsKey{Workload: w.Name, Slaves: slaves, Scale: scale, Seed: seed}, func() (*Stats, error) {
+			env := NewEnv(slaves, scale, seed)
+			st, err := w.Run(env)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %d slaves: %w", w.Name, slaves, err)
+			}
+			return st, nil
+		})
 	})
 	if err != nil {
 		return nil, err
