@@ -22,9 +22,13 @@
 //	-store dir  persist sweep and cluster results in dir across runs, sharing
 //	            warm results with dcserved; with -store-shards,
 //	            -store-max-records and -store-max-age as in dcserved
+//	-workers host:port,...  dispatch sweep misses to dcserved workers, with
+//	            -dispatch-timeout, -dispatch-retries, -dispatch-hedge and
+//	            -dispatch-cooldown as in dcserved
 //
 // Sweeps are deterministic at any -j: parallel runs produce bit-identical
-// counters to -j 1 at the same seed.
+// counters to -j 1 at the same seed — and to a dispatched run, since
+// workers simulate the same keys on the same machine model.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"strconv"
 
 	"dcbench/internal/core"
+	"dcbench/internal/dispatch"
 	"dcbench/internal/report"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
@@ -42,47 +47,71 @@ import (
 )
 
 // registerFlags declares the CLI's flags on fs (the shared run-parameter
-// flags, the shared store flags, plus dcbench's output flags), defaulted
-// from *opts and written back on Parse. Split out of main so tests can pin
-// the usage text to the real defaults.
-func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut *bool, storeDir *string, storeOpts *store.OpenOptions) {
+// flags, the shared store flags, the shared dispatch flags, plus dcbench's
+// output flags), defaulted from *opts and written back on Parse. Split out
+// of main so tests can pin the usage text to the real defaults.
+func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut *bool, storeDir *string, storeOpts *store.OpenOptions, dispatchOpts *dispatch.Options) {
 	report.RegisterFlags(fs, opts)
 	storeOpts = &store.OpenOptions{}
 	store.RegisterFlags(fs, storeOpts)
+	dispatchOpts = &dispatch.Options{}
+	dispatch.RegisterFlags(fs, dispatchOpts)
 	storeDir = fs.String("store", "", "persist results in this store directory across runs; empty disables")
 	csv = fs.Bool("csv", false, "emit CSV")
 	chart = fs.Bool("chart", false, "append ASCII bar charts")
 	jsonOut = fs.Bool("json", false, "emit the characterization sweep as JSON (figure/all)")
-	return csv, chart, jsonOut, storeDir, storeOpts
+	return csv, chart, jsonOut, storeDir, storeOpts, dispatchOpts
 }
 
-// openStore wires a persistent store into opts: sweep results go through a
-// dedicated engine's memo backend, cluster results through a store-backed
-// cluster cache — the same two seams dcserved uses.
-func openStore(dir string, storeOpts store.OpenOptions, opts *report.Options) (*store.Store, error) {
-	st, err := store.OpenWith(dir, storeOpts)
-	if err != nil {
-		return nil, err
+// wireBackends points opts at a run-owned engine when a store or a worker
+// set is configured: sweep results go through the engine's memo backend
+// (store, dispatch, or dispatch over store), cluster results through a
+// store-backed cluster cache — the same seams dcserved uses, so dcbench
+// shares warm results with a front-end and can drive the same workers.
+func wireBackends(storeDir string, storeOpts store.OpenOptions, dispatchOpts dispatch.Options, opts *report.Options) (*store.Store, error) {
+	var st *store.Store
+	var backend sweep.MemoBackend
+	if storeDir != "" {
+		var err error
+		st, err = store.OpenWith(storeDir, storeOpts)
+		if err != nil {
+			return nil, err
+		}
+		backend = st.Backend(nil)
+		opts.Cluster = workloads.NewStatsCache(st.StatsBackend(nil))
 	}
-	engine := sweep.NewEngine()
-	engine.SetMemoBackend(st.Backend(nil))
-	opts.Engine = engine
-	opts.Cluster = workloads.NewStatsCache(st.StatsBackend(nil))
+	if len(dispatchOpts.Workers) > 0 {
+		remote, err := dispatch.New(dispatchOpts, opts.Warmup, backend, nil)
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+		backend = remote
+	}
+	if backend != nil {
+		engine := sweep.NewEngine()
+		engine.SetMemoBackend(backend)
+		opts.Engine = engine
+	}
 	return st, nil
 }
 
 func main() {
 	opts := report.DefaultOptions()
-	csv, chart, jsonOut, storeDir, storeOpts := registerFlags(flag.CommandLine, &opts)
+	csv, chart, jsonOut, storeDir, storeOpts, dispatchOpts := registerFlags(flag.CommandLine, &opts)
 	flag.Parse()
 
-	if *storeDir != "" {
-		st, err := openStore(*storeDir, *storeOpts, &opts)
+	if *storeDir != "" || len(dispatchOpts.Workers) > 0 {
+		st, err := wireBackends(*storeDir, *storeOpts, *dispatchOpts, &opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcbench:", err)
 			os.Exit(1)
 		}
-		defer st.Close()
+		if st != nil {
+			defer st.Close()
+		}
 	}
 
 	args := flag.Args()

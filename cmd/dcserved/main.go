@@ -7,12 +7,13 @@
 // Endpoints (JSON by default; ?format=csv or Accept: text/csv where a
 // table shape exists):
 //
-//	GET /healthz                        liveness, request stats, store counters
-//	GET /metrics                        Prometheus text exposition
-//	GET /v1/workloads                   the 26-workload registry
-//	GET /v1/workloads/{name}/counters   one workload's counter file
-//	GET /v1/figures/{1..12}             the paper's figures
-//	GET /v1/tables/{1..3}               the paper's tables
+//	GET  /healthz                        liveness, request stats, store + dispatch counters
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /v1/workloads                   the 26-workload registry
+//	GET  /v1/workloads/{name}/counters   one workload's counter file
+//	GET  /v1/figures/{1..12}             the paper's figures
+//	GET  /v1/tables/{1..3}               the paper's tables
+//	POST /v1/sweep                       compute endpoint: run one sweep key, return its record
 //
 // Flags:
 //
@@ -21,8 +22,20 @@
 //	-store-shards n        shard count when creating a store (default 16)
 //	-store-max-records n   LRU-evict records beyond this count; 0 = unlimited
 //	-store-max-age d       evict records unused for longer than d; 0 = keep forever
+//	-workers host:port,...     dispatch sweep misses to these dcserved workers
+//	-dispatch-timeout d        per-attempt timeout for dispatched sweeps
+//	-dispatch-retries n        extra attempts on other workers after a failure
+//	-dispatch-hedge d          hedge a silent dispatch onto the next worker; 0 disables
+//	-dispatch-cooldown d       how long a repeatedly failing worker stays demoted
 //	-grace  shutdown grace period for in-flight requests (default 15s)
 //	-scale, -seed, -instrs, -warmup, -j   as in dcbench
+//
+// Every dcserved is a sweep worker: POST /v1/sweep simulates one key and
+// answers with the store's checksummed record of the counters. A dcserved
+// started with -workers is a front-end over that worker set — misses are
+// hashed across the workers, results are verified and written through to
+// the local store, and when no worker is reachable the front-end degrades
+// to local simulation (counted in /healthz under store.dispatch.fallbacks).
 //
 // The store is sharded on disk and carries a persisted manifest; a store
 // directory written by the previous flat layout (schema 1) is migrated in
@@ -48,25 +61,30 @@ import (
 	"syscall"
 	"time"
 
+	"dcbench/internal/dispatch"
 	"dcbench/internal/report"
 	"dcbench/internal/serve"
 	"dcbench/internal/store"
+	"dcbench/internal/sweep"
 )
 
 func main() {
 	opts := report.DefaultOptions()
 	var storeOpts store.OpenOptions
+	var dispatchOpts dispatch.Options
 	addr := flag.String("addr", ":8337", "listen address")
 	storeDir := flag.String("store", "dcserved.store", "result store directory; empty disables persistence")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period")
 	report.RegisterFlags(flag.CommandLine, &opts)
 	store.RegisterFlags(flag.CommandLine, &storeOpts)
+	dispatch.RegisterFlags(flag.CommandLine, &dispatchOpts)
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
 	slog.SetDefault(log)
 
 	cfg := serve.Config{Options: opts, Logger: log}
+	var local sweep.MemoBackend
 	if *storeDir != "" {
 		storeOpts.Log = log
 		st, err := store.OpenWith(*storeDir, storeOpts)
@@ -76,6 +94,16 @@ func main() {
 		}
 		defer st.Close()
 		cfg.Store = st
+		local = st.Backend(log)
+	}
+	if len(dispatchOpts.Workers) > 0 {
+		remote, err := dispatch.New(dispatchOpts, opts.Warmup, local, log)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcserved:", err)
+			os.Exit(1)
+		}
+		cfg.Backend = remote
+		log.Info("dispatching sweep misses", "workers", dispatchOpts.Workers)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

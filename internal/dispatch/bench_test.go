@@ -1,0 +1,105 @@
+package dispatch_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"dcbench/internal/core"
+	"dcbench/internal/dispatch"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+)
+
+// TestBenchArtifact writes the CI perf artifact (BENCH_dispatch.json):
+// cold dispatched-sweep wall time (every key simulated on the worker, over
+// HTTP), warm dispatched wall time (every key answered from the front-end
+// store) and the dark-cluster fallback detection cost — the perf
+// trajectory of the dispatch path per commit. Gated on BENCH_DISPATCH_OUT
+// so ordinary test runs skip it.
+func TestBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_DISPATCH_OUT")
+	if out == "" {
+		t.Skip("set BENCH_DISPATCH_OUT=<path> to write the perf artifact")
+	}
+	opts := e2eOptions()
+	cfg := opts.CoreConfig()
+	keys := make([]sweep.Key, 0, len(core.Registry()))
+	jobs := make([]sweep.Job, 0, len(core.Registry()))
+	for _, wl := range core.Registry() {
+		keys = append(keys, sweep.Key{
+			Name: wl.Name, Profile: wl.Profile,
+			ConfigFP: cfg.Fingerprint(), MaxInstrs: opts.Warmup + opts.Instrs,
+		})
+		jobs = append(jobs, sweep.Job{Name: wl.Name, Profile: wl.Profile, Gen: wl.Gen})
+	}
+
+	workerAddr := newWorkerServer(t)
+	frontStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { frontStore.Close() })
+	remote, err := dispatch.New(dispatch.Options{Workers: []string{workerAddr}},
+		opts.Warmup, frontStore.Backend(quiet), quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	load := func() time.Duration {
+		start := time.Now()
+		for _, k := range keys {
+			if _, ok := remote.Load(k); !ok {
+				t.Fatalf("%s: dispatched load missed", k.Name)
+			}
+		}
+		return time.Since(start)
+	}
+	coldRemote := load() // worker simulates every key
+	warmStore := load()  // front-end store answers every key
+
+	// Local-simulation reference at the same trace length, for the
+	// dispatch-overhead ratio.
+	start := time.Now()
+	e := sweep.NewEngine()
+	if _, err := e.Run(context.Background(), jobs, cfg, opts.Warmup+opts.Instrs,
+		sweep.RunOptions{NoMemo: true, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	localSerial := time.Since(start)
+
+	// Dark cluster: how long one key takes to be detected as a fallback.
+	dead, err := dispatch.New(dispatch.Options{Workers: []string{"127.0.0.1:1"}, Timeout: 5 * time.Second},
+		opts.Warmup, nil, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if _, ok := dead.Load(keys[0]); ok {
+		t.Fatal("dead worker answered")
+	}
+	fallbackDetect := time.Since(start)
+
+	artifact := map[string]any{
+		"schema":              1,
+		"keys":                len(keys),
+		"instrs_per_workload": opts.Warmup + opts.Instrs,
+		"cold_dispatch_ms":    float64(coldRemote.Microseconds()) / 1e3,
+		"warm_store_ms":       float64(warmStore.Microseconds()) / 1e3,
+		"local_serial_ms":     float64(localSerial.Microseconds()) / 1e3,
+		"fallback_detect_us":  float64(fallbackDetect.Microseconds()),
+		"per_key_dispatch_us": float64(coldRemote.Microseconds()) / float64(len(keys)),
+		"per_key_warm_hit_us": float64(warmStore.Microseconds()) / float64(len(keys)),
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", out, data)
+}

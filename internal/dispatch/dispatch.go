@@ -1,0 +1,456 @@
+// Package dispatch fans characterization sweeps out over worker nodes: a
+// RemoteBackend implements sweep.MemoBackend by forwarding memo misses to
+// a configured set of dcserved workers over HTTP, turning a front-end's
+// sweep engine into the head of a sweep cluster.
+//
+// The design rides the memo seam end to end. The engine consults its
+// backend only inside a key's singleflight cell, so the dispatch layer
+// sees each key at most once per process while it stays memoized; below
+// that, Load checks the local store first (warm results never leave the
+// process), then picks workers by rendezvous hashing — every front-end
+// sharing a worker set routes a key to the same worker, so the cluster
+// simulates each key once — and forwards the miss with per-attempt
+// timeouts, retries on the next-ranked workers, and optional hedging
+// (a second request launched when the first dawdles; first answer wins).
+//
+// Failure is a first-class input: every worker carries consecutive-failure
+// circuit state (an open circuit demotes it to last resort until a
+// cooldown passes), a response is trusted only after the store codec's
+// checksum-and-key verification, and when every worker is dark Load
+// reports a plain miss — the engine simulates locally and the front-end
+// degrades to exactly the single-process behaviour, counted in the
+// Fallbacks stat rather than silent.
+//
+// Remote results are written through to the local store, so a front-end
+// restart serves them without touching the cluster.
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcbench/internal/memo"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+// Defaults for Options' zero fields.
+const (
+	DefaultTimeout  = 120 * time.Second // a cold sweep on a loaded worker is slow, not dead
+	DefaultRetries  = 2                 // attempts beyond the first, each on the next-ranked worker
+	DefaultCooldown = 30 * time.Second  // circuit-open duration
+	failThreshold   = 3                 // consecutive failures that open a worker's circuit
+)
+
+// maxResponse bounds a worker response; a counters record is a few KB.
+const maxResponse = 8 << 20
+
+// Options configures a RemoteBackend. The zero value of every field but
+// Workers is usable: New fills defaults for Timeout and Cooldown, whose
+// zero values would be meaningless; Retries 0 genuinely means "no
+// retries" and Hedge 0 "no hedging" (RegisterFlags defaults Retries to
+// DefaultRetries for the flag surface both binaries share).
+type Options struct {
+	// Workers are the worker addresses (host:port); an empty list means
+	// dispatch is off and the caller should not build a backend at all.
+	Workers []string
+	// Timeout bounds each attempt, connection to last byte.
+	Timeout time.Duration
+	// Retries is how many additional attempts a failed fetch gets, each on
+	// the next worker in the key's rendezvous order. 0 means one attempt
+	// total; the -dispatch-retries flag defaults it to DefaultRetries.
+	Retries int
+	// Hedge, when positive, launches a duplicate request on the next-ranked
+	// worker once the current one has been silent this long; the first
+	// response wins. 0 (the default) disables hedging — a hedged cold
+	// sweep is duplicated cluster work, so only enable it with a delay
+	// comfortably above your slowest legitimate simulation.
+	Hedge time.Duration
+	// Cooldown is how long an open circuit keeps a worker demoted.
+	Cooldown time.Duration
+}
+
+// RegisterFlags declares the dispatch flags on fs, defaulted from *o and
+// written back on Parse — the single definition shared by dcbench and
+// dcserved, so the flag surface cannot drift between the binaries.
+func RegisterFlags(fs *flag.FlagSet, o *Options) {
+	if o.Timeout == 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.Retries == 0 {
+		o.Retries = DefaultRetries
+	}
+	if o.Cooldown == 0 {
+		o.Cooldown = DefaultCooldown
+	}
+	fs.Var((*workerList)(&o.Workers), "workers", "comma-separated sweep worker addresses (host:port,...); empty = simulate locally")
+	fs.DurationVar(&o.Timeout, "dispatch-timeout", o.Timeout, "per-attempt timeout for dispatched sweeps")
+	fs.IntVar(&o.Retries, "dispatch-retries", o.Retries, "extra attempts on other workers after a failed dispatch")
+	fs.DurationVar(&o.Hedge, "dispatch-hedge", o.Hedge, "hedge a silent dispatch onto the next worker after this long; 0 disables (a hedged sweep is duplicated work)")
+	fs.DurationVar(&o.Cooldown, "dispatch-cooldown", o.Cooldown, "how long a repeatedly failing worker stays demoted")
+}
+
+// workerList is the -workers flag value: a comma-separated address list.
+type workerList []string
+
+func (l *workerList) String() string { return strings.Join(*l, ",") }
+
+func (l *workerList) Set(v string) error {
+	*l = nil
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			*l = append(*l, a)
+		}
+	}
+	return nil
+}
+
+// worker is one remote node's address, traffic counters and circuit state.
+type worker struct {
+	addr string
+	url  string
+
+	sent atomic.Int64
+	errs atomic.Int64
+
+	mu        sync.Mutex
+	fails     int       // consecutive failures
+	openUntil time.Time // circuit open (worker demoted) until then
+}
+
+// healthy reports whether the worker's circuit is closed at t.
+func (w *worker) healthy(t time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !t.Before(w.openUntil)
+}
+
+func (w *worker) succeeded() {
+	w.mu.Lock()
+	w.fails = 0
+	w.openUntil = time.Time{}
+	w.mu.Unlock()
+}
+
+func (w *worker) failed(t time.Time, cooldown time.Duration) {
+	w.errs.Add(1)
+	w.mu.Lock()
+	w.fails++
+	if w.fails >= failThreshold {
+		w.openUntil = t.Add(cooldown)
+	}
+	w.mu.Unlock()
+}
+
+// RemoteBackend forwards sweep memo misses to worker nodes. It implements
+// sweep.MemoBackend (so it slots into the engine untouched) and
+// sweep.StatsReporter (store counters from the wrapped local backend plus
+// the dispatch block).
+type RemoteBackend struct {
+	opts    Options
+	warmup  int64
+	local   sweep.MemoBackend // consulted first, written through; may be nil
+	workers []*worker
+	client  *http.Client
+	log     *slog.Logger
+	now     func() time.Time
+	flight  *memo.Memo[sweep.Key, *uarch.Counters] // coalesces identical concurrent fetches
+
+	dispatched atomic.Int64
+	remoteHits atomic.Int64
+	fallbacks  atomic.Int64
+	errsTotal  atomic.Int64
+	inFlight   atomic.Int64
+}
+
+// New builds a RemoteBackend over the given worker set. warmup is the
+// run's ramp-up instruction count — the parameter the sweep keys' config
+// fingerprint is derived from, shipped with every request so workers can
+// rebuild and verify the machine config. local, when non-nil, is the
+// backend remote results are written through to (and checked before any
+// dispatch) — typically the persistent store's backend.
+func New(opts Options, warmup int64, local sweep.MemoBackend, log *slog.Logger) (*RemoteBackend, error) {
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("dispatch: no workers configured")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = DefaultCooldown
+	}
+	if log == nil {
+		log = slog.Default()
+	}
+	b := &RemoteBackend{
+		opts:   opts,
+		warmup: warmup,
+		local:  local,
+		client: &http.Client{},
+		log:    log,
+		now:    time.Now,
+		flight: memo.NewFlight[sweep.Key, *uarch.Counters](),
+	}
+	for _, addr := range opts.Workers {
+		b.workers = append(b.workers, &worker{addr: addr, url: "http://" + addr + "/v1/sweep"})
+	}
+	return b, nil
+}
+
+// Load resolves a sweep key: local backend first, then the worker set. A
+// remote result is written through to the local backend before it is
+// returned. Total remote failure is a counted fallback and a plain miss —
+// the engine then simulates locally, preserving single-process behaviour.
+func (b *RemoteBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
+	if b.local != nil {
+		if c, ok := b.local.Load(k); ok {
+			return c, true
+		}
+	}
+	c, err := b.flight.Do(k, func() (*uarch.Counters, error) { return b.fetch(k) })
+	if err != nil {
+		b.fallbacks.Add(1)
+		b.log.Warn("dispatch failed; falling back to local simulation", "workload", k.Name, "err", err)
+		return nil, false
+	}
+	return c, true
+}
+
+// Store writes a locally simulated result through to the local backend.
+// Workers are not told: the cluster's copy lives wherever the key's
+// rendezvous owner keeps its store.
+func (b *RemoteBackend) Store(k sweep.Key, c *uarch.Counters) {
+	if b.local != nil {
+		b.local.Store(k, c)
+	}
+}
+
+// fetch runs one dispatched lookup: attempts walk the key's rendezvous
+// order (healthy workers first), each bounded by the per-attempt timeout,
+// with a hedged duplicate launched when the current attempt has been
+// silent for the hedge delay. Runs inside the key's flight cell, so
+// concurrent engine misses for one key cost one remote round trip.
+func (b *RemoteBackend) fetch(k sweep.Key) (*uarch.Counters, error) {
+	b.dispatched.Add(1)
+	b.inFlight.Add(1)
+	defer b.inFlight.Add(-1)
+
+	order, healthy := b.rank(k)
+	if healthy == 0 {
+		// Every circuit is open: fail fast instead of paying a full
+		// timeout per key against workers already known to be dark. The
+		// cluster is probed again once a cooldown expires (healthy() turns
+		// true by itself), so recovery needs no traffic while open.
+		return nil, errors.New("every worker's circuit is open")
+	}
+	attempts := b.opts.Retries + 1
+	if attempts > len(order) {
+		attempts = len(order)
+	}
+	// One parent context for the whole fetch: a win by any attempt cancels
+	// the stragglers' HTTP requests. Note this only frees the front-end's
+	// wait — a worker runs simulations under its own base context (so
+	// coalesced callers survive any one client's disconnect), so a hedged
+	// simulation already started runs to completion there. A hedge
+	// therefore costs a duplicate simulation, which is why it is off by
+	// default.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type result struct {
+		w   *worker
+		c   *uarch.Counters
+		err error
+	}
+	resc := make(chan result, attempts)
+	launch := func(w *worker) {
+		go func() {
+			c, err := b.post(ctx, w, k)
+			resc <- result{w, c, err}
+		}()
+	}
+	launch(order[0])
+	launched, pending := 1, 1
+	var errs []error
+	for pending > 0 {
+		var hedge <-chan time.Time
+		var timer *time.Timer
+		if b.opts.Hedge > 0 && launched < attempts {
+			timer = time.NewTimer(b.opts.Hedge)
+			hedge = timer.C
+		}
+		select {
+		case r := <-resc:
+			if timer != nil {
+				timer.Stop() // this iteration's hedge is moot
+			}
+			pending--
+			if r.err == nil {
+				b.remoteHits.Add(1)
+				if b.local != nil {
+					b.local.Store(k, r.c) // write through: restarts stay warm
+				}
+				return r.c, nil // stragglers drain into the buffered channel
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", r.w.addr, r.err))
+			if launched < attempts {
+				launch(order[launched])
+				launched++
+				pending++
+			}
+		case <-hedge:
+			launch(order[launched])
+			launched++
+			pending++
+		}
+	}
+	return nil, errors.Join(errs...)
+}
+
+// workerFailed records one failed attempt in both ledgers at once — the
+// worker's own counter/circuit state and the backend's aggregate — so
+// per_worker[].errors always sums to at least dispatch.errors, even for
+// stragglers that fail after their fetch has already been won elsewhere.
+func (b *RemoteBackend) workerFailed(w *worker) {
+	b.errsTotal.Add(1)
+	w.failed(b.now(), b.opts.Cooldown)
+}
+
+// post sends one /v1/sweep request and verifies the response record: the
+// store codec's checksum plus an exact key match, so a worker answering
+// for the wrong key (or a mangled response) is an error, never counters.
+func (b *RemoteBackend) post(parent context.Context, w *worker, k sweep.Key) (*uarch.Counters, error) {
+	w.sent.Add(1)
+	body, err := json.Marshal(struct {
+		Key    sweep.Key `json:"key"`
+		Warmup int64     `json:"warmup"`
+	}{k, b.warmup})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(parent, b.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		if parent.Err() != nil {
+			return nil, parent.Err() // the fetch already won elsewhere: not this worker's fault
+		}
+		b.workerFailed(w)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponse))
+	if err != nil {
+		if parent.Err() != nil {
+			return nil, parent.Err()
+		}
+		b.workerFailed(w)
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.workerFailed(w)
+		msg := strings.TrimSpace(string(data))
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return nil, fmt.Errorf("worker returned %d: %s", resp.StatusCode, msg)
+	}
+	gotKey, c, err := store.DecodeCounters(data)
+	if err != nil {
+		b.workerFailed(w)
+		return nil, fmt.Errorf("unverifiable response: %w", err)
+	}
+	if gotKey != k {
+		b.workerFailed(w)
+		return nil, fmt.Errorf("response is for key %q/%016x, want %q/%016x",
+			gotKey.Name, gotKey.ConfigFP, k.Name, k.ConfigFP)
+	}
+	w.succeeded()
+	return c, nil
+}
+
+// rank orders the workers for a key — rendezvous (highest-random-weight)
+// hashing, with circuit-open workers demoted behind every healthy one,
+// score order preserved within each class — and reports how many are
+// healthy, so the caller can fail fast on a fully dark cluster.
+func (b *RemoteBackend) rank(k sweep.Key) ([]*worker, int) {
+	kh := fnv.New64a()
+	fmt.Fprintf(kh, "%s|%d|%d|%d", k.Name, k.Profile.Seed, k.ConfigFP, k.MaxInstrs)
+	keyHash := kh.Sum64()
+	type scored struct {
+		w     *worker
+		score uint64
+	}
+	now := b.now()
+	ss := make([]scored, len(b.workers))
+	for i, w := range b.workers {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|%016x", w.addr, keyHash)
+		ss[i] = scored{w, h.Sum64()}
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].score > ss[j].score })
+	out := make([]*worker, 0, len(ss))
+	var demoted []*worker
+	for _, s := range ss {
+		if s.w.healthy(now) {
+			out = append(out, s.w)
+		} else {
+			demoted = append(demoted, s.w)
+		}
+	}
+	return append(out, demoted...), len(out)
+}
+
+// BackendStats reports the wrapped local backend's store counters (zero
+// when there is none) with the dispatch block filled in — the shape
+// /healthz and /metrics render.
+func (b *RemoteBackend) BackendStats() sweep.BackendStats {
+	var bs sweep.BackendStats
+	if sr, ok := b.local.(sweep.StatsReporter); ok {
+		bs = sr.BackendStats()
+	}
+	now := b.now()
+	d := &sweep.DispatchStats{
+		Workers:    int64(len(b.workers)),
+		Dispatched: b.dispatched.Load(),
+		RemoteHits: b.remoteHits.Load(),
+		Fallbacks:  b.fallbacks.Load(),
+		Errors:     b.errsTotal.Load(),
+		InFlight:   b.inFlight.Load(),
+	}
+	for _, w := range b.workers {
+		healthy := w.healthy(now)
+		if healthy {
+			d.Healthy++
+		}
+		d.PerWorker = append(d.PerWorker, sweep.WorkerStats{
+			Addr:        w.addr,
+			Sent:        w.sent.Load(),
+			Errors:      w.errs.Load(),
+			CircuitOpen: !healthy,
+		})
+	}
+	bs.Dispatch = d
+	return bs
+}

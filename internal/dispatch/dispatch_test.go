@@ -1,0 +1,380 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dcbench/internal/memtrace"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+var quietLog = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+func testKey(name string, seed uint64) sweep.Key {
+	return sweep.Key{
+		Name:      name,
+		Profile:   memtrace.Profile{Seed: seed, MaxInstrs: 1000},
+		ConfigFP:  0xc0ffee,
+		MaxInstrs: 1000,
+	}
+}
+
+// addrOf strips the scheme off an httptest server URL — the host:port form
+// the -workers flag takes.
+func addrOf(ts *httptest.Server) string { return strings.TrimPrefix(ts.URL, "http://") }
+
+// mapBackend is an in-memory local backend.
+type mapBackend struct {
+	mu sync.Mutex
+	m  map[sweep.Key]*uarch.Counters
+}
+
+func newMapBackend() *mapBackend { return &mapBackend{m: map[sweep.Key]*uarch.Counters{}} }
+
+func (b *mapBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.m[k]
+	return c, ok
+}
+
+func (b *mapBackend) Store(k sweep.Key, c *uarch.Counters) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[k] = c
+}
+
+// fakeWorker answers /v1/sweep with a well-formed record for the requested
+// key (Cycles = the key's seed, so responses are checkable), counting
+// requests. broken makes it 500 instead.
+func fakeWorker(t *testing.T, broken bool) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		if broken {
+			http.Error(w, "synthetic failure", http.StatusInternalServerError)
+			return
+		}
+		var req struct {
+			Key    sweep.Key `json:"key"`
+			Warmup int64     `json:"warmup"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		data, err := store.EncodeCounters(req.Key, &uarch.Counters{Cycles: int64(req.Key.Profile.Seed)})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &served
+}
+
+func newTestBackend(t *testing.T, local sweep.MemoBackend, addrs ...string) *RemoteBackend {
+	t.Helper()
+	b, err := New(Options{Workers: addrs, Timeout: 5 * time.Second, Retries: 2}, 0, local, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestLoadPrefersLocal: a warm local backend answers without any dispatch.
+func TestLoadPrefersLocal(t *testing.T) {
+	ts, served := fakeWorker(t, false)
+	local := newMapBackend()
+	k := testKey("w", 1)
+	want := &uarch.Counters{Cycles: 77}
+	local.Store(k, want)
+
+	b := newTestBackend(t, local, addrOf(ts))
+	c, ok := b.Load(k)
+	if !ok || c != want {
+		t.Fatalf("Load = %v, %v; want the local pointer", c, ok)
+	}
+	if served.Load() != 0 {
+		t.Fatalf("local hit still dispatched %d requests", served.Load())
+	}
+	if d := b.BackendStats().Dispatch; d.Dispatched != 0 {
+		t.Fatalf("Dispatched = %d, want 0", d.Dispatched)
+	}
+}
+
+// TestRemoteHitWritesThrough: a remote answer lands in the local backend,
+// so the next Load never leaves the process — the restart-warm property.
+func TestRemoteHitWritesThrough(t *testing.T) {
+	ts, served := fakeWorker(t, false)
+	local := newMapBackend()
+	b := newTestBackend(t, local, addrOf(ts))
+	k := testKey("w", 9)
+
+	c, ok := b.Load(k)
+	if !ok || c.Cycles != 9 {
+		t.Fatalf("Load = %+v, %v", c, ok)
+	}
+	if got, ok := local.Load(k); !ok || got.Cycles != 9 {
+		t.Fatal("remote result was not written through to the local backend")
+	}
+	if _, ok := b.Load(k); !ok {
+		t.Fatal("second Load missed")
+	}
+	if served.Load() != 1 {
+		t.Fatalf("worker served %d requests, want 1 (second Load must hit local)", served.Load())
+	}
+	d := b.BackendStats().Dispatch
+	if d.Dispatched != 1 || d.RemoteHits != 1 || d.Fallbacks != 0 {
+		t.Fatalf("stats = %+v, want 1 dispatched / 1 remote hit / 0 fallbacks", d)
+	}
+}
+
+// TestRetryOnFailingWorker: a 500ing worker is retried past onto the
+// surviving one and every fetch still succeeds.
+func TestRetryOnFailingWorker(t *testing.T) {
+	bad, _ := fakeWorker(t, true)
+	good, goodServed := fakeWorker(t, false)
+	b := newTestBackend(t, nil, addrOf(bad), addrOf(good))
+
+	// Whatever the rendezvous order, with retries both workers get a shot.
+	for seed := uint64(0); seed < 4; seed++ {
+		c, ok := b.Load(testKey("w", seed))
+		if !ok || c.Cycles != int64(seed) {
+			t.Fatalf("seed %d: Load = %+v, %v; the surviving worker must answer", seed, c, ok)
+		}
+	}
+	if goodServed.Load() < 4 {
+		t.Fatalf("surviving worker served %d, want >= 4", goodServed.Load())
+	}
+	d := b.BackendStats().Dispatch
+	if d.RemoteHits != 4 || d.Fallbacks != 0 {
+		t.Fatalf("stats = %+v, want 4 remote hits and 0 fallbacks", d)
+	}
+}
+
+// TestFallbackWhenAllWorkersDark: every worker unreachable → Load is a
+// counted fallback miss, so the engine simulates locally; the local
+// simulation's write-through still works.
+func TestFallbackWhenAllWorkersDark(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // bound then closed: connection refused immediately
+	local := newMapBackend()
+	b := newTestBackend(t, local, addrOf(dead))
+	k := testKey("w", 3)
+
+	if _, ok := b.Load(k); ok {
+		t.Fatal("Load succeeded against a dead worker set")
+	}
+	d := b.BackendStats().Dispatch
+	if d.Fallbacks != 1 || d.RemoteHits != 0 {
+		t.Fatalf("stats = %+v, want exactly 1 fallback", d)
+	}
+	// The engine's write-through path after a local simulation.
+	sim := &uarch.Counters{Cycles: 42}
+	b.Store(k, sim)
+	if got, ok := local.Load(k); !ok || got != sim {
+		t.Fatal("Store did not write through to the local backend")
+	}
+}
+
+// TestHedgeRescuesSilentWorker: a worker that accepts the connection and
+// then goes silent is hedged around — the next-ranked worker answers long
+// before the silent one's timeout.
+func TestHedgeRescuesSilentWorker(t *testing.T) {
+	release := make(chan struct{})
+	silent := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select { // hold the request until the client gives up or the test ends
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	t.Cleanup(silent.Close)
+	t.Cleanup(func() { close(release) }) // LIFO: releases the handler before Close waits on it
+	good, goodServed := fakeWorker(t, false)
+	b, err := New(Options{
+		Workers: []string{addrOf(silent), addrOf(good)},
+		Timeout: 30 * time.Second, // far beyond the test: only the hedge can save us
+		Retries: 1,
+		Hedge:   30 * time.Millisecond,
+	}, 0, nil, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a key whose rendezvous order puts the silent worker first, so
+	// the hedge is what rescues the fetch.
+	var k sweep.Key
+	for seed := uint64(0); ; seed++ {
+		k = testKey("w", seed)
+		if order, _ := b.rank(k); order[0].addr == addrOf(silent) {
+			break
+		}
+	}
+	start := time.Now()
+	c, ok := b.Load(k)
+	if !ok || c.Cycles != int64(k.Profile.Seed) {
+		t.Fatalf("Load = %+v, %v", c, ok)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("hedged fetch took %v; the hedge did not fire", d)
+	}
+	if goodServed.Load() != 1 {
+		t.Fatalf("hedge target served %d requests, want 1", goodServed.Load())
+	}
+}
+
+// TestCircuitOpensAndRecovers: failThreshold consecutive failures demote a
+// worker behind healthy ones; after the cooldown it is probed again.
+func TestCircuitOpensAndRecovers(t *testing.T) {
+	bad, _ := fakeWorker(t, true)
+	good, _ := fakeWorker(t, false)
+	b := newTestBackend(t, nil, addrOf(bad), addrOf(good))
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.now = func() time.Time { return clock }
+
+	// Drive keys that rank the bad worker first until its circuit opens.
+	opened := false
+	for seed := uint64(0); seed < 256 && !opened; seed++ {
+		k := testKey("w", seed)
+		if order, _ := b.rank(k); order[0].addr != addrOf(bad) {
+			continue
+		}
+		if _, ok := b.Load(k); !ok {
+			t.Fatalf("seed %d: fetch failed with a healthy worker present", seed)
+		}
+		opened = b.BackendStats().Dispatch.Healthy == 1
+	}
+	if !opened {
+		t.Fatal("bad worker's circuit never opened")
+	}
+	d := b.BackendStats().Dispatch
+	var badStats sweep.WorkerStats
+	for _, w := range d.PerWorker {
+		if w.Addr == addrOf(bad) {
+			badStats = w
+		}
+	}
+	if !badStats.CircuitOpen || badStats.Errors < int64(failThreshold) {
+		t.Fatalf("bad worker stats = %+v, want an open circuit after >= %d errors", badStats, failThreshold)
+	}
+
+	// With the circuit open, the good worker ranks first for every key:
+	// fetches succeed first-try and the demoted worker sees no traffic.
+	sentBefore := badStats.Sent
+	for seed := uint64(300); seed < 308; seed++ {
+		if _, ok := b.Load(testKey("w", seed)); !ok {
+			t.Fatalf("seed %d: fetch failed while circuit open", seed)
+		}
+	}
+	for _, w := range b.BackendStats().Dispatch.PerWorker {
+		if w.Addr == addrOf(bad) && w.Sent != sentBefore {
+			t.Fatalf("circuit-open worker still saw %d new requests", w.Sent-sentBefore)
+		}
+	}
+
+	// Past the cooldown the worker counts as healthy and is probed again.
+	clock = clock.Add(DefaultCooldown + time.Second)
+	if got := b.BackendStats().Dispatch.Healthy; got != 2 {
+		t.Fatalf("healthy after cooldown = %d, want 2", got)
+	}
+}
+
+// TestDarkClusterFailsFast: once every worker's circuit is open, a fetch
+// returns a counted fallback without contacting anyone — no per-key
+// timeout against workers already known dark — and the cooldown's expiry
+// alone restores probing.
+func TestDarkClusterFailsFast(t *testing.T) {
+	bad, _ := fakeWorker(t, true)
+	b := newTestBackend(t, nil, addrOf(bad))
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.now = func() time.Time { return clock }
+
+	for seed := uint64(0); seed < uint64(failThreshold); seed++ {
+		if _, ok := b.Load(testKey("w", seed)); ok {
+			t.Fatal("broken worker answered")
+		}
+	}
+	sentBefore := b.BackendStats().Dispatch.PerWorker[0].Sent
+	if _, ok := b.Load(testKey("w", 99)); ok {
+		t.Fatal("dark cluster answered")
+	}
+	d := b.BackendStats().Dispatch
+	if d.PerWorker[0].Sent != sentBefore {
+		t.Fatalf("circuit-open worker was contacted (%d new requests); want fail-fast", d.PerWorker[0].Sent-sentBefore)
+	}
+	if d.Fallbacks != int64(failThreshold)+1 {
+		t.Fatalf("fallbacks = %d, want %d (every miss counted)", d.Fallbacks, failThreshold+1)
+	}
+
+	// The cooldown restores probing by itself.
+	clock = clock.Add(DefaultCooldown + time.Second)
+	if _, ok := b.Load(testKey("w", 100)); ok {
+		t.Fatal("broken worker answered after cooldown")
+	}
+	if got := b.BackendStats().Dispatch.PerWorker[0].Sent; got != sentBefore+1 {
+		t.Fatalf("post-cooldown probe count = %d, want %d", got, sentBefore+1)
+	}
+}
+
+// TestRendezvousStableAndSpread: one key always ranks the workers in the
+// same order (so a shared worker set simulates each key once), and
+// different keys spread across the set.
+func TestRendezvousStableAndSpread(t *testing.T) {
+	b, err := New(Options{Workers: []string{"a:1", "b:1", "c:1"}}, 0, nil, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := map[string]int{}
+	for seed := uint64(0); seed < 64; seed++ {
+		k := testKey("w", seed)
+		r1, _ := b.rank(k)
+		r2, _ := b.rank(k)
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("seed %d: rank is not deterministic", seed)
+			}
+		}
+		first[r1[0].addr]++
+	}
+	if len(first) != 3 {
+		t.Fatalf("64 keys landed on %d workers, want all 3 (distribution %v)", len(first), first)
+	}
+}
+
+// TestRegisterFlagsParsesWorkerList pins the shared flag surface both
+// binaries mount: the list flag splits and trims, unset flags keep their
+// defaults, and an empty worker set refuses to build a backend.
+func TestRegisterFlagsParsesWorkerList(t *testing.T) {
+	var o Options
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	RegisterFlags(fs, &o)
+	if err := fs.Parse([]string{
+		"-workers", "n1:8337, n2:8337,,n3:8337",
+		"-dispatch-retries", "5",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(o.Workers, "|") != "n1:8337|n2:8337|n3:8337" {
+		t.Fatalf("Workers = %v", o.Workers)
+	}
+	if o.Retries != 5 || o.Timeout != DefaultTimeout || o.Hedge != 0 || o.Cooldown != DefaultCooldown {
+		t.Fatalf("parsed options = %+v, want defaults where unset (hedging off)", o)
+	}
+	if _, err := New(Options{}, 0, nil, nil); err == nil {
+		t.Fatal("New accepted an empty worker set")
+	}
+}

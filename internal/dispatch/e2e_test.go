@@ -1,0 +1,276 @@
+package dispatch_test
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dcbench/internal/core"
+	"dcbench/internal/dispatch"
+	"dcbench/internal/report"
+	"dcbench/internal/serve"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+var quiet = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// e2eOptions keeps the distributed sweeps small enough for CI while still
+// covering the full registry.
+func e2eOptions() report.Options {
+	o := report.DefaultOptions()
+	o.Instrs = 20_000
+	o.Warmup = 5_000
+	o.Scale = 0.003
+	return o
+}
+
+// v1Paths is every read endpoint the byte-parity criterion covers: all
+// figures, all tables (plus a CSV variant), the registry and one counters
+// file.
+func v1Paths() []string {
+	var paths []string
+	for i := 1; i <= 12; i++ {
+		paths = append(paths, fmt.Sprintf("/v1/figures/%d", i))
+	}
+	paths = append(paths,
+		"/v1/figures/3?format=csv",
+		"/v1/tables/1", "/v1/tables/1?format=csv", "/v1/tables/2", "/v1/tables/3",
+		"/v1/workloads", "/v1/workloads/Sort/counters",
+	)
+	return paths
+}
+
+func fetch(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d: %s", path, resp.StatusCode, body)
+	}
+	return body
+}
+
+// newWorkerServer boots a store-backed dcserved acting as a sweep worker
+// and returns its host:port.
+func newWorkerServer(t *testing.T) string {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := serve.New(serve.Config{Options: e2eOptions(), Store: st, Logger: quiet})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// countingShim wraps a MemoBackend and counts the engine's write-through
+// Stores — each one is a local simulation the front-end performed itself.
+type countingShim struct {
+	inner sweep.MemoBackend
+	mu    sync.Mutex
+	sims  int
+	hits  int
+}
+
+func (c *countingShim) Load(k sweep.Key) (*uarch.Counters, bool) {
+	v, ok := c.inner.Load(k)
+	if ok {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+	}
+	return v, ok
+}
+
+func (c *countingShim) Store(k sweep.Key, v *uarch.Counters) {
+	c.mu.Lock()
+	c.sims++
+	c.mu.Unlock()
+	c.inner.Store(k, v)
+}
+
+func (c *countingShim) counts() (sims, hits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sims, c.hits
+}
+
+// newFrontEnd assembles a front-end server: a dispatch backend over the
+// given workers, writing through to its own store, with the engine's
+// write-throughs counted (those are front-end local simulations).
+func newFrontEnd(t *testing.T, frontStore *store.Store, workers ...string) (*httptest.Server, *dispatch.RemoteBackend, *countingShim) {
+	t.Helper()
+	opts := e2eOptions()
+	remote, err := dispatch.New(dispatch.Options{Workers: workers, Retries: 2}, opts.Warmup, frontStore.Backend(quiet), quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shim := &countingShim{inner: remote}
+	srv := serve.New(serve.Config{Options: opts, Store: frontStore, Backend: shim, Logger: quiet})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, remote, shim
+}
+
+// TestDistributedByteParityAndWarmRestart is the PR's acceptance walk: a
+// front-end with one worker serves every /v1 endpoint byte-identically to
+// a single-process dcserved without simulating a single sweep key itself;
+// a restarted front-end over the same store re-simulates and re-dispatches
+// nothing.
+func TestDistributedByteParityAndWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full registry sweeps")
+	}
+	// Single-process baseline.
+	local := serve.New(serve.Config{Options: e2eOptions(), Logger: quiet})
+	t.Cleanup(local.Close)
+	localTS := httptest.NewServer(local.Handler())
+	t.Cleanup(localTS.Close)
+	baseline := map[string][]byte{}
+	for _, p := range v1Paths() {
+		baseline[p] = fetch(t, localTS, p)
+	}
+
+	// Front-end over one worker.
+	workerAddr := newWorkerServer(t)
+	frontStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { frontStore.Close() })
+	frontTS, remote, shim := newFrontEnd(t, frontStore, workerAddr)
+	for _, p := range v1Paths() {
+		if got := fetch(t, frontTS, p); string(got) != string(baseline[p]) {
+			t.Errorf("%s: front-end bytes diverge from single-process dcserved", p)
+		}
+	}
+	nkeys := len(core.Registry())
+	if sims, _ := shim.counts(); sims != 0 {
+		t.Fatalf("front-end simulated %d sweep keys itself; the worker must do all of them", sims)
+	}
+	d := remote.BackendStats().Dispatch
+	if d.RemoteHits != int64(nkeys) || d.Fallbacks != 0 {
+		t.Fatalf("dispatch stats = %+v, want %d remote hits and no fallbacks", d, nkeys)
+	}
+
+	// Restart: same store, but the "worker" address now refuses
+	// connections. Everything must come from the write-through store —
+	// zero simulations AND zero dispatches.
+	deadTS := httptest.NewServer(http.NotFoundHandler())
+	deadAddr := strings.TrimPrefix(deadTS.URL, "http://")
+	deadTS.Close()
+	front2TS, remote2, shim2 := newFrontEnd(t, frontStore, deadAddr)
+	for _, p := range v1Paths() {
+		if got := fetch(t, front2TS, p); string(got) != string(baseline[p]) {
+			t.Errorf("%s: restarted front-end bytes diverge", p)
+		}
+	}
+	if sims, hits := shim2.counts(); sims != 0 || hits != nkeys {
+		t.Fatalf("restart: sims=%d hits=%d, want 0 simulations and %d store hits", sims, hits, nkeys)
+	}
+	if d := remote2.BackendStats().Dispatch; d.Dispatched != 0 {
+		t.Fatalf("restarted front-end dispatched %d sweeps; the store should have answered all of them", d.Dispatched)
+	}
+}
+
+// TestWorkerKilledMidSweep: one worker dies partway through the sweep (it
+// answers a few keys, then every request fails); the front-end retries the
+// survivor and still serves bytes identical to a single-process render,
+// with no local fallback.
+func TestWorkerKilledMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full registry sweeps")
+	}
+	local := serve.New(serve.Config{Options: e2eOptions(), Logger: quiet})
+	t.Cleanup(local.Close)
+	localTS := httptest.NewServer(local.Handler())
+	t.Cleanup(localTS.Close)
+	want := fetch(t, localTS, "/v1/figures/3")
+
+	// The doomed worker: a real worker that dies after 5 answers.
+	doomedSrv := serve.New(serve.Config{Options: e2eOptions(), Logger: quiet})
+	t.Cleanup(doomedSrv.Close)
+	doomedH := doomedSrv.Handler()
+	var answered atomic.Int64
+	doomedTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if answered.Add(1) > 5 {
+			http.Error(w, "worker killed mid-sweep", http.StatusInternalServerError)
+			return
+		}
+		doomedH.ServeHTTP(w, r)
+	}))
+	t.Cleanup(doomedTS.Close)
+	survivor := newWorkerServer(t)
+
+	frontStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { frontStore.Close() })
+	frontTS, remote, shim := newFrontEnd(t, frontStore, strings.TrimPrefix(doomedTS.URL, "http://"), survivor)
+
+	if got := fetch(t, frontTS, "/v1/figures/3"); string(got) != string(want) {
+		t.Fatal("bytes diverge after a worker died mid-sweep")
+	}
+	if sims, _ := shim.counts(); sims != 0 {
+		t.Fatalf("front-end fell back to %d local simulations; the survivor should have absorbed the sweep", sims)
+	}
+	d := remote.BackendStats().Dispatch
+	if d.Fallbacks != 0 || d.RemoteHits != int64(len(core.Registry())) {
+		t.Fatalf("dispatch stats = %+v, want every key remote with no fallbacks", d)
+	}
+}
+
+// TestAllWorkersDarkFallsBackLocally: with every worker blackholed the
+// front-end degrades to local simulation — counted, and byte-identical.
+func TestAllWorkersDarkFallsBackLocally(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full registry sweeps")
+	}
+	local := serve.New(serve.Config{Options: e2eOptions(), Logger: quiet})
+	t.Cleanup(local.Close)
+	localTS := httptest.NewServer(local.Handler())
+	t.Cleanup(localTS.Close)
+	want := fetch(t, localTS, "/v1/figures/4")
+
+	deadTS := httptest.NewServer(http.NotFoundHandler())
+	deadAddr := strings.TrimPrefix(deadTS.URL, "http://")
+	deadTS.Close()
+	frontStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { frontStore.Close() })
+	frontTS, remote, shim := newFrontEnd(t, frontStore, deadAddr)
+
+	if got := fetch(t, frontTS, "/v1/figures/4"); string(got) != string(want) {
+		t.Fatal("local-fallback bytes diverge from single-process dcserved")
+	}
+	nkeys := len(core.Registry())
+	if sims, _ := shim.counts(); sims != nkeys {
+		t.Fatalf("front-end simulated %d keys, want all %d locally", sims, nkeys)
+	}
+	d := remote.BackendStats().Dispatch
+	if d.Fallbacks != int64(nkeys) || d.RemoteHits != 0 {
+		t.Fatalf("dispatch stats = %+v, want %d counted fallbacks", d, nkeys)
+	}
+}

@@ -1,0 +1,118 @@
+// Package memo is the repo's one singleflight implementation: a generic
+// per-key memo table where concurrent calls for the same key share a single
+// execution, with an audited set of invariants every user inherits instead
+// of hand-rolling.
+//
+// The invariants, in the order they bite:
+//
+//   - one flight per key: among concurrent Do calls for a key, exactly one
+//     runs the function; the rest wait and share its result;
+//   - panics become errors: a panicking function is converted to an error
+//     delivered to every sharer, and the key is left usable — a render or
+//     simulation that panics must not wedge its endpoint forever;
+//   - errors are never cached: a failed call (cancellation included) is
+//     forgotten the moment it completes, so the next caller retries instead
+//     of replaying a stale failure;
+//   - retention is the only knob: New keeps successful values for the
+//     memo's lifetime (the sweep engine's and stats cache's semantics),
+//     NewFlight drops them once the last sharer returns (the serve layer's
+//     request coalescing, where the layer below is already a cache).
+//
+// The sweep engine, the serve layer's request coalescing, the cluster
+// stats cache and the dispatch layer's remote fetches all run on this one
+// type — a coalescing bug is fixed here or it is not fixed.
+package memo
+
+import (
+	"fmt"
+	"sync"
+)
+
+// cell is one key's flight: done closes when the call completes, after
+// which val/err are immutable.
+type cell[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Memo is a per-key singleflight table. The zero value is NOT ready;
+// create with New or NewFlight. Safe for concurrent use.
+type Memo[K comparable, V any] struct {
+	mu     sync.Mutex
+	m      map[K]*cell[V]
+	retain bool
+	onJoin func()
+}
+
+// New returns a retaining memo: successful values are cached for the
+// memo's lifetime and later calls for the key return them without running
+// the function again. Failures are never retained.
+func New[K comparable, V any]() *Memo[K, V] {
+	return &Memo[K, V]{m: make(map[K]*cell[V]), retain: true}
+}
+
+// NewFlight returns a non-retaining memo — a pure flight group: the key
+// empties as soon as its call completes, so only genuinely concurrent
+// callers share a result. Use it when the layer below is already a cache.
+func NewFlight[K comparable, V any]() *Memo[K, V] {
+	return &Memo[K, V]{m: make(map[K]*cell[V])}
+}
+
+// OnJoin registers a callback fired each time a caller joins a key's
+// in-flight call instead of starting its own — at join time, not
+// completion, so coalescing is observable while the shared call is still
+// running. Returning a retained value does not fire it. Set before use;
+// OnJoin is not synchronized against concurrent Do.
+func (m *Memo[K, V]) OnJoin(fn func()) { m.onJoin = fn }
+
+// Len reports how many keys currently hold a cell (in-flight or retained).
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}
+
+// Do returns the value for key, running fn at most once among concurrent
+// callers. Sharers of one flight all receive its value and error; values
+// may therefore be shared across goroutines — treat them as read-only.
+func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if c, ok := m.m[key]; ok {
+		m.mu.Unlock()
+		select {
+		case <-c.done: // retained value: no coalescing happened
+		default:
+			if m.onJoin != nil {
+				m.onJoin()
+			}
+			<-c.done
+		}
+		return c.val, c.err
+	}
+	c := &cell[V]{done: make(chan struct{})}
+	m.m[key] = c
+	m.mu.Unlock()
+
+	// Cleanup must survive a panicking fn (net/http recovers handler
+	// panics): without the defer, every sharer — and all future callers of
+	// the key — would block forever on a done channel nobody closes.
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				c.err = fmt.Errorf("memo: call panicked: %v", rec)
+			}
+			close(c.done)
+			m.mu.Lock()
+			// Drop failures always (the next caller retries) and successes
+			// in flight mode; the identity check keeps a concurrent
+			// replacement cell, if one ever existed, intact.
+			if (c.err != nil || !m.retain) && m.m[key] == c {
+				delete(m.m, key)
+			}
+			m.mu.Unlock()
+		}()
+		c.val, c.err = fn()
+	}()
+	return c.val, c.err
+}

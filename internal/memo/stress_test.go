@@ -1,0 +1,69 @@
+package memo
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStressAgainstSerialOracle hammers a retaining memo from many
+// goroutines (run under -race in CI) and checks every returned value
+// against a serial oracle: key k's value is always base[k] stamped by the
+// first successful run, fn runs at most once per key *between failures*,
+// and injected failures never leak a cached error. The oracle is the
+// deterministic function itself — any torn read, lost delete-on-error or
+// double execution shows up as a mismatched value or an impossible count.
+func TestStressAgainstSerialOracle(t *testing.T) {
+	const (
+		workers = 16
+		keys    = 23
+		rounds  = 400
+	)
+	m := New[int, int]()
+	var succ [keys]atomic.Int64 // successful executions per key: must end at 1
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for r := 0; r < rounds; r++ {
+				k := rng.Intn(keys)
+				fail := rng.Intn(4) == 0 // a quarter of executions fail
+				v, err := m.Do(k, func() (int, error) {
+					if fail && succ[k].Load() == 0 {
+						return 0, errors.New("injected")
+					}
+					succ[k].Add(1)
+					return 1000 + k, nil
+				})
+				if err != nil {
+					continue // failures are legal; they must just not stick
+				}
+				if v != 1000+k {
+					t.Errorf("key %d returned %d, oracle says %d", k, v, 1000+k)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	// Drain: with no more injected failures every key must resolve to its
+	// oracle value on a single (possibly first) successful execution.
+	for k := 0; k < keys; k++ {
+		v, err := m.Do(k, func() (int, error) { succ[k].Add(1); return 1000 + k, nil })
+		if err != nil || v != 1000+k {
+			t.Fatalf("drain key %d = %d, %v", k, v, err)
+		}
+		if n := succ[k].Load(); n != 1 {
+			t.Errorf("key %d executed successfully %d times, want exactly 1 (singleflight + retention)", k, n)
+		}
+	}
+	if m.Len() != keys {
+		t.Errorf("Len = %d, want %d retained keys", m.Len(), keys)
+	}
+}

@@ -39,6 +39,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"Records removed by the eviction policy.", float64(bs.Evictions))
 		writeMetric(&b, "dcserved_store_corrupt_total", "counter",
 			"Corrupt records detected and skipped.", float64(bs.Corrupt))
+		if d := bs.Dispatch; d != nil {
+			writeMetric(&b, "dcserved_dispatch_workers", "gauge",
+				"Configured sweep workers.", float64(d.Workers))
+			writeMetric(&b, "dcserved_dispatch_healthy_workers", "gauge",
+				"Workers whose circuit is currently closed.", float64(d.Healthy))
+			writeMetric(&b, "dcserved_dispatch_in_flight", "gauge",
+				"Dispatched sweeps currently awaiting a worker.", float64(d.InFlight))
+			writeMetric(&b, "dcserved_dispatch_dispatched_total", "counter",
+				"Sweep misses forwarded to the worker set.", float64(d.Dispatched))
+			writeMetric(&b, "dcserved_dispatch_remote_hits_total", "counter",
+				"Dispatched sweeps answered by a worker.", float64(d.RemoteHits))
+			writeMetric(&b, "dcserved_dispatch_fallbacks_total", "counter",
+				"Dispatched sweeps that fell back to local simulation.", float64(d.Fallbacks))
+			writeMetric(&b, "dcserved_dispatch_errors_total", "counter",
+				"Failed worker attempts (a fetch may retry past these).", float64(d.Errors))
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Header().Set("Content-Length", strconv.Itoa(b.Len()))

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"dcbench/internal/dispatch"
 	"dcbench/internal/serve"
 	"dcbench/internal/store"
 )
@@ -54,6 +55,27 @@ func storeBackedServer(t *testing.T) (*serve.Server, *httptest.Server) {
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
+}
+
+// dispatchBackedServer builds a front-end over a store plus a (never
+// contacted) worker set, so the dispatch observability block is populated.
+func dispatchBackedServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	remote, err := dispatch.New(dispatch.Options{Workers: []string{"w1:8337", "w2:8337"}},
+		testOptions().Warmup, st.Backend(quietLog), quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{Options: testOptions(), Store: st, Backend: remote, Logger: quietLog})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
 }
 
 // jsonSchema flattens a decoded JSON value into sorted "path: type" lines —
@@ -110,6 +132,23 @@ func TestHealthzSchemaGolden(t *testing.T) {
 	checkGolden(t, "healthz_schema.golden", []byte(strings.Join(jsonSchema(doc), "\n")+"\n"))
 }
 
+// TestHealthzDispatchSchemaGolden pins the /healthz shape of a front-end
+// with a dispatch backend: the store block grows a dispatch sub-block with
+// per-worker state. Plain servers must not regress either (the golden
+// above has no dispatch paths).
+func TestHealthzDispatchSchemaGolden(t *testing.T) {
+	ts := dispatchBackedServer(t)
+	resp, body := get(t, ts, "/healthz", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	var doc any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, body)
+	}
+	checkGolden(t, "healthz_dispatch_schema.golden", []byte(strings.Join(jsonSchema(doc), "\n")+"\n"))
+}
+
 // metricValue matches the sample line of a metric family.
 var metricValue = regexp.MustCompile(`^([a-z_]+) [0-9][0-9.e+-]*$`)
 
@@ -133,6 +172,24 @@ func TestMetricsGolden(t *testing.T) {
 		norm = append(norm, line)
 	}
 	checkGolden(t, "metrics.golden", []byte(strings.Join(norm, "\n")+"\n"))
+}
+
+// TestMetricsDispatchGolden pins the extra metric families a front-end
+// with a dispatch backend exposes, with the same value normalisation.
+func TestMetricsDispatchGolden(t *testing.T) {
+	ts := dispatchBackedServer(t)
+	resp, body := get(t, ts, "/metrics", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	var norm []string
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if m := metricValue.FindStringSubmatch(line); m != nil {
+			line = m[1] + " X"
+		}
+		norm = append(norm, line)
+	}
+	checkGolden(t, "metrics_dispatch.golden", []byte(strings.Join(norm, "\n")+"\n"))
 }
 
 // TestMetricsCounts spot-checks live semantics behind the golden shape:

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"dcbench/internal/core"
+	"dcbench/internal/memo"
 	"dcbench/internal/report"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
@@ -76,7 +77,7 @@ type Server struct {
 	backend sweep.MemoBackend
 	log     *slog.Logger
 	mux     *http.ServeMux
-	flight  flightGroup
+	flight  *memo.Memo[string, []byte] // non-retaining: the engine memo below is the cache
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	started time.Time
@@ -122,17 +123,19 @@ func New(cfg Config) *Server {
 		backend: backend,
 		log:     log,
 		mux:     http.NewServeMux(),
+		flight:  memo.NewFlight[string, []byte](),
 		baseCtx: ctx,
 		cancel:  cancel,
 		started: time.Now(),
 	}
-	s.flight.onJoin = func() { s.coalesced.Add(1) }
+	s.flight.OnJoin(func() { s.coalesced.Add(1) })
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/workloads/{name}/counters", s.handleCounters)
 	s.mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	s.mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	return s
 }
 
@@ -268,7 +271,7 @@ func (s *Server) serveBody(w http.ResponseWriter, r *http.Request, key, contentT
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	body, err := s.flight.do(key, func() ([]byte, error) {
+	body, err := s.flight.Do(key, func() ([]byte, error) {
 		// Base context, not r.Context(): a coalesced render must survive
 		// the starting client's disconnect, and shutdown cancels it.
 		return render(s.baseCtx)

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dcbench/internal/core"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+// SweepRequest is the body of POST /v1/sweep — the compute endpoint that
+// makes any dcserved a sweep worker. The key carries the full simulation
+// input (workload name, trace profile, config fingerprint, trace length);
+// Warmup is the run parameter the fingerprint was derived from, so the
+// worker can rebuild the machine config and prove it matches before
+// simulating. The dispatch layer is the intended client, but the contract
+// is plain JSON so anything can drive a worker.
+type SweepRequest struct {
+	Key    sweep.Key `json:"key"`
+	Warmup int64     `json:"warmup"`
+}
+
+// maxSweepRequest bounds the request body; a sweep key is a few hundred
+// bytes, so anything larger is garbage.
+const maxSweepRequest = 1 << 20
+
+// handleSweep runs one simulation for a remote front-end and answers with
+// the checksummed store record of the resulting counters — the same bytes
+// the store persists, so the caller verifies key and checksum with the
+// store's own codec and can write the result through untouched.
+//
+// The job runs on the server's engine: concurrent requests for one key
+// coalesce into one simulation, results land in the worker's own store
+// (when configured), and a worker that itself has a dispatch backend
+// forwards misses further down the chain.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepRequest)).Decode(&req); err != nil {
+		http.Error(w, "unreadable sweep request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	wl, err := core.ByName(req.Key.Name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	// The worker simulates the paper's machine at the caller's warmup; a
+	// fingerprint mismatch means the caller runs a machine this worker
+	// cannot rebuild from the request, and wrong-machine counters must
+	// never be returned as if they matched.
+	cfg := uarch.DefaultConfig()
+	cfg.Warmup = req.Warmup
+	if got := cfg.Fingerprint(); got != req.Key.ConfigFP {
+		http.Error(w, fmt.Sprintf(
+			"config fingerprint mismatch: default machine at warmup %d is %016x, request wants %016x",
+			req.Warmup, got, req.Key.ConfigFP), http.StatusConflict)
+		return
+	}
+	// The key's profile is the trace spec (Job's uniqueness contract:
+	// name + profile identify the trace; the generator is keyed by name),
+	// so the engine's memo key here equals req.Key exactly.
+	jobs := []sweep.Job{{Name: wl.Name, Profile: req.Key.Profile, Gen: wl.Gen}}
+	cs, err := s.engine.Run(s.baseCtx, jobs, cfg, req.Key.MaxInstrs, sweep.RunOptions{Workers: 1})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			http.Error(w, "worker shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		s.log.Error("worker sweep failed", "workload", req.Key.Name, "err", err)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body, err := store.EncodeCounters(req.Key, cs[0])
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}

@@ -1,0 +1,177 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"dcbench/internal/core"
+	"dcbench/internal/serve"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+)
+
+// postSweep sends one /v1/sweep request and returns the response.
+func postSweep(t *testing.T, ts *httptest.Server, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestWorkerSweepEndpoint: the compute endpoint simulates the requested
+// key and answers with a verifiable record holding exactly the counters a
+// local engine produces for it — the bit-parity the dispatch layer's
+// byte-identical responses are built on.
+func TestWorkerSweepEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a single-workload sweep")
+	}
+	opts := testOptions()
+	srv := serve.New(serve.Config{Options: opts, Logger: quietLog})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wl, err := core.ByName("Sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opts.CoreConfig()
+	key := sweep.Key{
+		Name:      wl.Name,
+		Profile:   wl.Profile,
+		ConfigFP:  cfg.Fingerprint(),
+		MaxInstrs: opts.Warmup + opts.Instrs,
+	}
+	resp, body := postSweep(t, ts, serve.SweepRequest{Key: key, Warmup: opts.Warmup})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d: %s", resp.StatusCode, body)
+	}
+	gotKey, gotC, err := store.DecodeCounters(body)
+	if err != nil {
+		t.Fatalf("response does not verify: %v", err)
+	}
+	if gotKey != key {
+		t.Fatalf("response key = %+v, want the requested key", gotKey)
+	}
+
+	// Local oracle: the same job on a fresh engine.
+	jobs := []sweep.Job{{Name: wl.Name, Profile: wl.Profile, Gen: wl.Gen}}
+	want, err := sweep.NewEngine().Run(context.Background(), jobs, cfg, key.MaxInstrs, sweep.RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotC, want[0]) {
+		t.Fatal("worker counters diverge from a local simulation of the same key")
+	}
+
+	// A second request for the same key rides the worker's memo: same bytes.
+	_, body2 := postSweep(t, ts, serve.SweepRequest{Key: key, Warmup: opts.Warmup})
+	if !bytes.Equal(body, body2) {
+		t.Fatal("repeated sweep request returned different bytes")
+	}
+}
+
+// TestWorkerSweepRejections pins the endpoint's refusals: unknown
+// workloads, a config fingerprint the worker cannot rebuild, and garbage
+// bodies must all fail loudly — never simulate the wrong thing.
+func TestWorkerSweepRejections(t *testing.T) {
+	opts := testOptions()
+	srv := serve.New(serve.Config{Options: opts, Logger: quietLog})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cfg := opts.CoreConfig()
+	wl, err := core.ByName("Sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, _ := postSweep(t, ts, serve.SweepRequest{
+		Key:    sweep.Key{Name: "NoSuchWorkload", ConfigFP: cfg.Fingerprint()},
+		Warmup: opts.Warmup,
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown workload status = %d, want 404", resp.StatusCode)
+	}
+
+	resp, _ = postSweep(t, ts, serve.SweepRequest{
+		Key:    sweep.Key{Name: wl.Name, Profile: wl.Profile, ConfigFP: 0xdead},
+		Warmup: opts.Warmup,
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("fingerprint mismatch status = %d, want 409", resp.StatusCode)
+	}
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sweep", bytes.NewReader([]byte("not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestWorkerSweepPersists: a store-backed worker writes the computed
+// counters into its own store under the requested key, so the worker's
+// restarts are warm too.
+func TestWorkerSweepPersists(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a single-workload sweep")
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	opts := testOptions()
+	srv := serve.New(serve.Config{Options: opts, Store: st, Logger: quietLog})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wl, err := core.ByName("Grep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opts.CoreConfig()
+	key := sweep.Key{Name: wl.Name, Profile: wl.Profile, ConfigFP: cfg.Fingerprint(), MaxInstrs: opts.Warmup + opts.Instrs}
+	resp, body := postSweep(t, ts, serve.SweepRequest{Key: key, Warmup: opts.Warmup})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d: %s", resp.StatusCode, body)
+	}
+	stored, ok, err := st.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("worker store has no record for the served key (ok=%v err=%v)", ok, err)
+	}
+	_, served, err := store.DecodeCounters(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stored, served) {
+		t.Fatal("stored counters diverge from the served record")
+	}
+}

@@ -29,6 +29,21 @@ const indexName = "index.log"
 // times the live entry count (plus a floor so tiny shards never churn).
 const compactSlack = 4
 
+// Touch batching: warm Gets are the hot path, and one write syscall per
+// Get just to refresh an LRU stamp is the store's dominant cost once it is
+// warm. T lines are therefore coalesced per shard — latest stamp per
+// address — and flushed as one append when touchBatchMax addresses are
+// pending or touchBatchDelay after the first one, whichever comes first.
+// The in-memory stamp (which drives eviction in this process) updates
+// immediately; only the on-disk line is delayed, so the cost is a slightly
+// stale LRU view in a process that opens the directory within the delay —
+// and the LRU only needs approximate recency. P and D lines still append
+// immediately: they carry existence, not just recency.
+const (
+	touchBatchMax   = 64
+	touchBatchDelay = 100 * time.Millisecond
+)
+
 // entry is one record's index state.
 type entry struct {
 	lastAccess int64 // unix nanoseconds of the last Put or Get
@@ -47,6 +62,9 @@ type shard struct {
 	closed    bool     // Store.Close called: stay shut for good
 	lines     int      // log lines since the last rewrite, live or not
 	compactAt int      // backoff floor after a failed compaction (0 = none)
+
+	pending    map[string]int64 // batched T stamps (addr → latest) not yet appended
+	touchTimer *time.Timer      // armed while pending is non-empty
 }
 
 // open creates the shard directory if needed, replays the index log into
@@ -155,11 +173,12 @@ func (sh *shard) replay(line string) bool {
 	return true
 }
 
-// appendLocked writes one index line and compacts the log when it has grown
-// too far past the live entry count. Callers hold sh.mu. Append failures
-// are returned for logging but never corrupt state: the in-memory index
-// stays right for this process, and a lost line only costs a reopened
-// process one disk fallback or a slightly stale LRU stamp.
+// appendLocked writes one or more index lines in a single syscall and
+// compacts the log when it has grown too far past the live entry count.
+// Callers hold sh.mu. Append failures are returned for logging but never
+// corrupt state: the in-memory index stays right for this process, and a
+// lost line only costs a reopened process one disk fallback or a slightly
+// stale LRU stamp.
 func (sh *shard) appendLocked(line string) error {
 	if sh.closed {
 		return errors.New("index log closed")
@@ -174,7 +193,7 @@ func (sh *shard) appendLocked(line string) error {
 		sh.logf = f
 	}
 	_, err := sh.logf.WriteString(line)
-	sh.lines++
+	sh.lines += strings.Count(line, "\n")
 	if sh.lines > compactSlack*len(sh.index)+64 && sh.lines >= sh.compactAt {
 		if rerr := sh.rewriteLocked(); rerr != nil {
 			// Back off until the log doubles: a failing disk must not turn
@@ -190,8 +209,11 @@ func (sh *shard) appendLocked(line string) error {
 	return err
 }
 
-// rewriteLocked compacts the log to one P line per live record.
+// rewriteLocked compacts the log to one P line per live record. Batched
+// touches are dropped rather than flushed: the in-memory stamps they carry
+// are already in the index, so the P lines written here subsume them.
 func (sh *shard) rewriteLocked() error {
+	clear(sh.pending)
 	path := filepath.Join(sh.dir, indexName)
 	var b strings.Builder
 	for addr, e := range sh.index {
@@ -251,28 +273,68 @@ func (sh *shard) install(s *Store, addr string, data []byte, now int64) error {
 }
 
 // touch stamps a read for LRU, adopting records this process's index has
-// never seen (written by another process sharing the directory).
+// never seen (written by another process sharing the directory). Known
+// records batch their T line (see the touch-batching comment up top);
+// adoptions append a P line immediately, because they change Len and
+// existence, not just recency.
 func (sh *shard) touch(s *Store, addr string, now, size int64) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	var line string
 	if e, ok := sh.index[addr]; ok {
 		e.lastAccess = now
-		line = fmt.Sprintf("T %s %d\n", addr, now)
-	} else {
-		// The record may be gone already: an eviction pass can remove it
-		// between the caller's read and this adoption (both hold no lock in
-		// between), and evict holds sh.mu — so a stat here is race-free.
-		if _, err := os.Stat(sh.recordPath(addr)); err != nil {
-			return
+		if sh.pending == nil {
+			sh.pending = make(map[string]int64)
 		}
-		s.live.Add(1)
-		sh.index[addr] = &entry{lastAccess: now, size: size}
-		line = fmt.Sprintf("P %s %d %d\n", addr, now, size)
+		sh.pending[addr] = now
+		if len(sh.pending) >= touchBatchMax {
+			sh.flushTouchesLocked(s)
+		} else if sh.touchTimer == nil && !sh.closed {
+			sh.touchTimer = time.AfterFunc(touchBatchDelay, func() {
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				sh.flushTouchesLocked(s)
+			})
+		}
+		return
 	}
-	if err := sh.appendLocked(line); err != nil {
+	// The record may be gone already: an eviction pass can remove it
+	// between the caller's read and this adoption (both hold no lock in
+	// between), and evict holds sh.mu — so a stat here is race-free.
+	if _, err := os.Stat(sh.recordPath(addr)); err != nil {
+		return
+	}
+	s.live.Add(1)
+	sh.index[addr] = &entry{lastAccess: now, size: size}
+	if err := sh.appendLocked(fmt.Sprintf("P %s %d %d\n", addr, now, size)); err != nil {
 		s.log.Warn("store: index append failed", "shard", filepath.Base(sh.dir), "err", err)
 	}
+}
+
+// flushTouchesLocked appends every batched T line in one write and disarms
+// the flush timer. Callers hold sh.mu.
+func (sh *shard) flushTouchesLocked(s *Store) {
+	if sh.touchTimer != nil {
+		sh.touchTimer.Stop()
+		sh.touchTimer = nil
+	}
+	if len(sh.pending) == 0 {
+		return
+	}
+	var b strings.Builder
+	for addr, ts := range sh.pending {
+		fmt.Fprintf(&b, "T %s %d\n", addr, ts)
+	}
+	clear(sh.pending)
+	if err := sh.appendLocked(b.String()); err != nil {
+		s.log.Warn("store: index append failed", "shard", filepath.Base(sh.dir), "err", err)
+	}
+}
+
+// flushTouches is flushTouchesLocked for callers not holding sh.mu.
+func (sh *shard) flushTouches(s *Store) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.flushTouchesLocked(s)
 }
 
 // forget drops an index entry whose record file has vanished (evicted or
@@ -291,6 +353,7 @@ func (sh *shard) forget(s *Store, addr string) {
 		return
 	}
 	delete(sh.index, addr)
+	delete(sh.pending, addr) // a batched touch for a dead record is noise
 	s.live.Add(-1)
 	if err := sh.appendLocked(fmt.Sprintf("D %s\n", addr)); err != nil {
 		s.log.Warn("store: index append failed", "shard", filepath.Base(sh.dir), "err", err)
@@ -312,6 +375,7 @@ func (sh *shard) evict(s *Store, addr string, lastSeen int64) bool {
 		return false
 	}
 	delete(sh.index, addr)
+	delete(sh.pending, addr)
 	s.live.Add(-1)
 	if err := sh.appendLocked(fmt.Sprintf("D %s\n", addr)); err != nil {
 		s.log.Warn("store: index append failed", "shard", filepath.Base(sh.dir), "err", err)
@@ -319,10 +383,12 @@ func (sh *shard) evict(s *Store, addr string, lastSeen int64) bool {
 	return true
 }
 
-// close releases the index log handle; later appends fail harmlessly.
-func (sh *shard) close() error {
+// close flushes batched touches, then releases the index log handle; later
+// appends fail harmlessly.
+func (sh *shard) close(s *Store) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.flushTouchesLocked(s)
 	sh.closed = true
 	if sh.logf == nil {
 		return nil

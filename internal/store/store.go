@@ -345,16 +345,27 @@ func writeFileAtomic(path string, data []byte) error {
 	return nil
 }
 
-// Close releases the per-shard index log handles. The store must not be
-// used after Close; a long-lived server never needs to call it.
+// Close flushes batched index touches and releases the per-shard index log
+// handles. The store must not be used after Close; a long-lived server
+// never needs to call it.
 func (s *Store) Close() error {
 	var first error
 	for _, sh := range s.shards {
-		if err := sh.close(); err != nil && first == nil {
+		if err := sh.close(s); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// Flush appends every batched touch line to the per-shard index logs now,
+// instead of waiting for the batch size or timer. Useful before handing
+// the directory to another process that should see exact LRU stamps; Close
+// flushes implicitly.
+func (s *Store) Flush() {
+	for _, sh := range s.shards {
+		sh.flushTouches(s)
+	}
 }
 
 // ShardCount reports the manifest-pinned shard count.

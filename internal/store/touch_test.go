@@ -1,0 +1,191 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dcbench/internal/memtrace"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+// touchKey builds a distinct counters key for in-package tests.
+func touchKey(i int) sweep.Key {
+	return sweep.Key{
+		Name:      "touch-w",
+		Profile:   memtrace.Profile{Seed: uint64(100 + i), MaxInstrs: 1000},
+		ConfigFP:  0xfeed,
+		MaxInstrs: 500,
+	}
+}
+
+// readIndexLines returns the single shard's index log, one line per entry.
+func readIndexLines(t *testing.T, dir string) []string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "v2", "shard-00", indexName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, l := range strings.Split(string(data), "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func countPrefix(lines []string, prefix string) int {
+	n := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTouchBatchingCoalesces: warm Gets do not append a T line per read.
+// The batch holds the latest stamp per address, Flush writes the whole
+// batch as one append, and repeated reads of one record cost one line —
+// this is the syscall cut on the hot read path.
+func TestTouchBatchingCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s, err := OpenWith(dir, OpenOptions{Shards: 1, Now: func() time.Time { return clock }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if err := s.Put(touchKey(i), &uarch.Counters{Cycles: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := len(readIndexLines(t, dir))
+
+	// Ten warm reads of one record plus one of another: nothing on disk yet.
+	for i := 0; i < 10; i++ {
+		clock = clock.Add(time.Second)
+		if _, ok, err := s.Get(touchKey(0)); !ok || err != nil {
+			t.Fatalf("Get 0: ok=%v err=%v", ok, err)
+		}
+	}
+	clock = clock.Add(time.Second)
+	if _, ok, err := s.Get(touchKey(1)); !ok || err != nil {
+		t.Fatalf("Get 1: ok=%v err=%v", ok, err)
+	}
+	if got := len(readIndexLines(t, dir)); got != base {
+		t.Fatalf("warm Gets appended %d index lines before any flush", got-base)
+	}
+
+	s.Flush()
+	lines := readIndexLines(t, dir)
+	if got := len(lines) - base; got != 2 {
+		t.Fatalf("flushed %d T lines, want 2 (one per touched address, latest stamp only):\n%s",
+			got, strings.Join(lines, "\n"))
+	}
+	if countPrefix(lines[base:], "T ") != 2 {
+		t.Fatalf("flushed lines are not all touches:\n%s", strings.Join(lines[base:], "\n"))
+	}
+	// A second flush with nothing pending is a no-op.
+	s.Flush()
+	if got := len(readIndexLines(t, dir)); got != base+2 {
+		t.Fatalf("empty flush appended lines (total %d)", got)
+	}
+}
+
+// TestTouchBatchFlushesAtMax: the batch flushes itself once touchBatchMax
+// addresses are pending, without Flush or timer.
+func TestTouchBatchFlushesAtMax(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, OpenOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < touchBatchMax; i++ {
+		if err := s.Put(touchKey(i), &uarch.Counters{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := len(readIndexLines(t, dir))
+	for i := 0; i < touchBatchMax; i++ {
+		if _, ok, err := s.Get(touchKey(i)); !ok || err != nil {
+			t.Fatalf("Get %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	lines := readIndexLines(t, dir)
+	if got := countPrefix(lines[base:], "T "); got != touchBatchMax {
+		t.Fatalf("batch at max size flushed %d T lines, want %d", got, touchBatchMax)
+	}
+}
+
+// TestTouchBatchFlushesOnTimer: a lone touch reaches the log within the
+// flush delay even if nothing else happens.
+func TestTouchBatchFlushesOnTimer(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, OpenOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(touchKey(0), &uarch.Counters{}); err != nil {
+		t.Fatal(err)
+	}
+	base := len(readIndexLines(t, dir))
+	if _, ok, err := s.Get(touchKey(0)); !ok || err != nil {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if countPrefix(readIndexLines(t, dir)[base:], "T ") == 1 {
+			break // the timer flushed
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batched touch never reached the index log")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCloseFlushesTouches: stamps pending at Close survive to the next
+// open — a clean shutdown loses no recency.
+func TestCloseFlushesTouches(t *testing.T) {
+	dir := t.TempDir()
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	now := func() time.Time { return clock }
+	s, err := OpenWith(dir, OpenOptions{Shards: 1, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(touchKey(0), &uarch.Counters{}); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(time.Hour)
+	if _, ok, err := s.Get(touchKey(0)); !ok || err != nil {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenWith(dir, OpenOptions{Shards: 1, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	sh := s2.shards[0]
+	sh.mu.Lock()
+	var last int64
+	for _, e := range sh.index {
+		last = e.lastAccess
+	}
+	sh.mu.Unlock()
+	if want := clock.UnixNano(); last != want {
+		t.Fatalf("replayed lastAccess = %d, want the touched stamp %d (Close lost the batch)", last, want)
+	}
+}

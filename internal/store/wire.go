@@ -1,0 +1,57 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+// The dispatch layer ships counter results between nodes in exactly the
+// bytes this package persists them in: a checksummed, kind-tagged,
+// key-embedding record. Reusing the record codec as the wire format means
+// one set of integrity guarantees covers both disk and network — a torn
+// response, a proxy mangling bytes, or a worker answering for the wrong
+// key all fail the same decode-and-verify the store already runs on every
+// Get, and a front-end can trust a decoded record enough to write it
+// straight through to its own store.
+
+// EncodeCounters serialises one sweep result as a checksummed counters
+// record — the wire format a worker answers /v1/sweep with.
+func EncodeCounters(k sweep.Key, c *uarch.Counters) ([]byte, error) {
+	key, err := counterKey(k)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode counters: %w", err)
+	}
+	return encodeRecord(KindCounters, key, payload)
+}
+
+// DecodeCounters parses and verifies a counters record, returning the key
+// it was encoded under alongside the counters. Any failure — unparseable
+// bytes, a checksum mismatch, a record of another kind — is an error; the
+// caller must additionally check the returned key against the key it asked
+// for before trusting the counters.
+func DecodeCounters(data []byte) (sweep.Key, *uarch.Counters, error) {
+	var zero sweep.Key
+	kind, key, payload, err := decodeRecord(data)
+	if err != nil {
+		return zero, nil, err
+	}
+	if kind != KindCounters {
+		return zero, nil, fmt.Errorf("%w: record kind %q, want %q", errCorrupt, kind, KindCounters)
+	}
+	var kj keyJSON
+	if err := json.Unmarshal(key, &kj); err != nil {
+		return zero, nil, fmt.Errorf("%w: unreadable key: %v", errCorrupt, err)
+	}
+	var c uarch.Counters
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return zero, nil, fmt.Errorf("%w: unreadable counters: %v", errCorrupt, err)
+	}
+	return sweep.Key{Name: kj.Name, Profile: kj.Profile, ConfigFP: kj.ConfigFP, MaxInstrs: kj.MaxInstrs}, &c, nil
+}

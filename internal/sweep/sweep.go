@@ -31,6 +31,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dcbench/internal/memo"
 	"dcbench/internal/memtrace"
 	"dcbench/internal/uarch"
 )
@@ -76,11 +77,13 @@ type Key struct {
 }
 
 // MemoBackend is a second-level result cache behind the engine's in-memory
-// memo table — typically a persistent store shared across processes, so
-// warm results survive restarts. The engine consults it only on an
-// in-memory miss and writes through after each successful simulation, both
-// under the key's singleflight cell, so a backend sees at most one Load and
-// one Store per key per process.
+// memo table — a persistent store shared across processes, a remote
+// dispatch layer forwarding misses to worker nodes, or both stacked. The
+// engine consults it only on an in-memory miss and writes through after
+// each successful simulation, both under the key's singleflight cell, so a
+// backend sees at most one Load and one Store per key per process while
+// the key stays memoized (a failed simulation forgets the key, so a retry
+// consults the backend again).
 //
 // Backends swallow their own failures (a broken store must degrade to
 // re-simulation, not break the sweep): Load reports a miss, Store drops the
@@ -95,14 +98,41 @@ type MemoBackend interface {
 // counters: current size and geometry plus the monotonic traffic counters.
 // The hit/miss split tells an operator how warm the store is; a nonzero
 // Corrupt count flags disk trouble the backend silently degraded around.
+// A backend that forwards misses to worker nodes fills the Dispatch block;
+// plain stores leave it nil.
 type BackendStats struct {
-	Records   int64 `json:"records"`
-	Shards    int64 `json:"shards"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Writes    int64 `json:"writes"`
-	Evictions int64 `json:"evictions"`
-	Corrupt   int64 `json:"corrupt"`
+	Records   int64          `json:"records"`
+	Shards    int64          `json:"shards"`
+	Hits      int64          `json:"hits"`
+	Misses    int64          `json:"misses"`
+	Writes    int64          `json:"writes"`
+	Evictions int64          `json:"evictions"`
+	Corrupt   int64          `json:"corrupt"`
+	Dispatch  *DispatchStats `json:"dispatch,omitempty"`
+}
+
+// DispatchStats is the remote-dispatch slice of BackendStats: how much
+// sweep work left this process, how much of it came back, and how often
+// the process had to degrade to simulating locally. Fallbacks > 0 with a
+// nonzero worker set is the operator's signal that the cluster is dark.
+type DispatchStats struct {
+	Workers    int64         `json:"workers"`
+	Healthy    int64         `json:"healthy"`
+	Dispatched int64         `json:"dispatched"`
+	RemoteHits int64         `json:"remote_hits"`
+	Fallbacks  int64         `json:"fallbacks"`
+	Errors     int64         `json:"errors"`
+	InFlight   int64         `json:"in_flight"`
+	PerWorker  []WorkerStats `json:"per_worker,omitempty"`
+}
+
+// WorkerStats is one worker's traffic and health as seen by the dispatch
+// layer.
+type WorkerStats struct {
+	Addr        string `json:"addr"`
+	Sent        int64  `json:"sent"`
+	Errors      int64  `json:"errors"`
+	CircuitOpen bool   `json:"circuit_open"`
 }
 
 // StatsReporter is the optional MemoBackend extension for observability:
@@ -113,28 +143,20 @@ type StatsReporter interface {
 	BackendStats() BackendStats
 }
 
-// memoEntry is a singleflight cell: concurrent requests for the same key
-// share one simulation.
-type memoEntry struct {
-	once     sync.Once
-	counters *uarch.Counters
-	err      error
-}
-
 // Engine runs characterization sweeps. It is safe for concurrent use; the
 // memo table and core pools are shared across runs, so a long-lived engine
 // amortises both simulation and allocation across every figure render.
 type Engine struct {
 	mu      sync.Mutex
-	memo    map[Key]*memoEntry
-	pools   map[uint64]*sync.Pool // reusable cores keyed by config fingerprint
+	memo    *memo.Memo[Key, *uarch.Counters] // retaining: one simulation per key, shared forever
+	pools   map[uint64]*sync.Pool            // reusable cores keyed by config fingerprint
 	backend MemoBackend
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
 	return &Engine{
-		memo:  make(map[Key]*memoEntry),
+		memo:  memo.New[Key, *uarch.Counters](),
 		pools: make(map[uint64]*sync.Pool),
 	}
 }
@@ -217,30 +239,26 @@ func joinJobErrors(jobs []Job, errs []error) error {
 // memoized returns the cached counters for the job, simulating at most once
 // per key even under concurrent callers. On an in-memory miss the backend
 // (when installed) is consulted first, and a fresh simulation is written
-// through to it — both inside the key's singleflight cell.
+// through to it — both inside the key's singleflight cell. A failed
+// simulation is not retained (the shared memo's contract), so a later Run
+// retries the job instead of replaying the failure.
 func (e *Engine) memoized(job Job, cfg uarch.Config, fp uint64, maxInstrs int64, pool *sync.Pool) (*uarch.Counters, error) {
 	key := Key{Name: job.Name, Profile: job.Profile, ConfigFP: fp, MaxInstrs: maxInstrs}
 	e.mu.Lock()
-	en, ok := e.memo[key]
-	if !ok {
-		en = &memoEntry{}
-		e.memo[key] = en
-	}
 	backend := e.backend
 	e.mu.Unlock()
-	en.once.Do(func() {
+	return e.memo.Do(key, func() (*uarch.Counters, error) {
 		if backend != nil {
 			if c, ok := backend.Load(key); ok {
-				en.counters = c
-				return
+				return c, nil
 			}
 		}
-		en.counters, en.err = simulate(job, cfg, maxInstrs, pool)
-		if backend != nil && en.err == nil {
-			backend.Store(key, en.counters)
+		c, err := simulate(job, cfg, maxInstrs, pool)
+		if backend != nil && err == nil {
+			backend.Store(key, c)
 		}
+		return c, err
 	})
-	return en.counters, en.err
 }
 
 // simulate runs one job through a core drawn from pool (or a fresh core

@@ -1,6 +1,6 @@
 package workloads
 
-import "sync"
+import "dcbench/internal/memo"
 
 // StatsKey identifies one cluster experiment run: a workload simulated on a
 // cluster of Slaves nodes at a given input scale and seed. Those four
@@ -27,27 +27,19 @@ type StatsBackend interface {
 	StoreStats(StatsKey, *Stats)
 }
 
-// statsEntry is a singleflight cell: concurrent requests for the same run
-// share one simulation.
-type statsEntry struct {
-	once  sync.Once
-	stats *Stats
-	err   error
-}
-
-// StatsCache memoizes cluster runs: an in-memory table with per-key
-// singleflight, optionally backed by a persistent StatsBackend consulted on
+// StatsCache memoizes cluster runs on the shared singleflight memo: an
+// in-memory table where concurrent requests for the same run share one
+// simulation, optionally backed by a persistent StatsBackend consulted on
 // miss and written through after each successful run. It is safe for
 // concurrent use. Cached Stats are shared across callers — read-only.
 type StatsCache struct {
-	mu      sync.Mutex
-	entries map[StatsKey]*statsEntry
+	memo    *memo.Memo[StatsKey, *Stats]
 	backend StatsBackend
 }
 
 // NewStatsCache returns an empty cache over backend (nil for memory-only).
 func NewStatsCache(backend StatsBackend) *StatsCache {
-	return &StatsCache{entries: map[StatsKey]*statsEntry{}, backend: backend}
+	return &StatsCache{memo: memo.New[StatsKey, *Stats](), backend: backend}
 }
 
 // Do returns the stats for key, calling run at most once per key even under
@@ -58,32 +50,16 @@ func (c *StatsCache) Do(key StatsKey, run func() (*Stats, error)) (*Stats, error
 	if c == nil {
 		return run()
 	}
-	c.mu.Lock()
-	en, ok := c.entries[key]
-	if !ok {
-		en = &statsEntry{}
-		c.entries[key] = en
-	}
-	c.mu.Unlock()
-	en.once.Do(func() {
+	return c.memo.Do(key, func() (*Stats, error) {
 		if c.backend != nil {
 			if st, ok := c.backend.LoadStats(key); ok {
-				en.stats = st
-				return
+				return st, nil
 			}
 		}
-		en.stats, en.err = run()
-		if en.err == nil && c.backend != nil {
-			c.backend.StoreStats(key, en.stats)
+		st, err := run()
+		if err == nil && c.backend != nil {
+			c.backend.StoreStats(key, st)
 		}
+		return st, err
 	})
-	if en.err != nil {
-		c.mu.Lock()
-		if c.entries[key] == en {
-			delete(c.entries, key)
-		}
-		c.mu.Unlock()
-		return nil, en.err
-	}
-	return en.stats, nil
 }

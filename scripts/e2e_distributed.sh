@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# e2e_distributed.sh — end-to-end harness for the distributed sweep path,
+# run by the e2e-distributed CI job and usable locally:
+#
+#   ./scripts/e2e_distributed.sh
+#
+# It builds the real binaries, then walks the acceptance criteria:
+#
+#   1. a single-process dcserved renders every /v1 endpoint (the baseline);
+#   2. a worker + front-end pair serves the same endpoints byte-identically,
+#      with every sweep key answered remotely (no fallbacks);
+#   3. a restarted front-end over the same store — its worker now dark —
+#      serves the same bytes again with zero dispatches and zero
+#      re-simulation (everything from the write-through store).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
+
+# Small, deterministic run parameters shared by every server and the client.
+FLAGS=(-scale 0.004 -instrs 30000 -warmup 10000)
+BASE_PORT=18470 WORKER_PORT=18471 FRONT_PORT=18472 FRONT2_PORT=18473 DEAD_PORT=18479
+
+echo "== build"
+go build -o "$WORK/bin/" ./cmd/...
+
+ENDPOINTS=()
+for i in $(seq 1 12); do ENDPOINTS+=("/v1/figures/$i"); done
+ENDPOINTS+=("/v1/figures/3?format=csv" "/v1/tables/1" "/v1/tables/1?format=csv"
+  "/v1/tables/2" "/v1/tables/3" "/v1/workloads" "/v1/workloads/Sort/counters")
+
+wait_ready() { # port
+  for _ in $(seq 1 100); do
+    curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "server on port $1 never became ready" >&2
+  return 1
+}
+
+fetch_all() { # port outdir
+  mkdir -p "$2"
+  local n=0
+  for ep in "${ENDPOINTS[@]}"; do
+    curl -sf "http://127.0.0.1:$1$ep" -o "$2/$n.body"
+    n=$((n + 1))
+  done
+}
+
+healthz_field() { # port python-expr over parsed healthz JSON bound to h
+  curl -sf "http://127.0.0.1:$1/healthz" | python3 -c "
+import json, sys
+h = json.load(sys.stdin)
+print($2)"
+}
+
+assert_eq() { # label got want
+  if [ "$2" != "$3" ]; then
+    echo "FAIL: $1: got $2, want $3" >&2
+    exit 1
+  fi
+  echo "   ok: $1 = $2"
+}
+
+echo "== 1. single-process baseline"
+"$WORK/bin/dcserved" -addr "127.0.0.1:$BASE_PORT" -store "$WORK/base.store" "${FLAGS[@]}" 2>"$WORK/base.log" &
+BASE_PID=$!
+wait_ready $BASE_PORT
+fetch_all $BASE_PORT "$WORK/baseline"
+kill $BASE_PID 2>/dev/null || true
+wait $BASE_PID 2>/dev/null || true
+
+echo "== 2. worker + front-end"
+"$WORK/bin/dcserved" -addr "127.0.0.1:$WORKER_PORT" -store "$WORK/worker.store" "${FLAGS[@]}" 2>"$WORK/worker.log" &
+WORKER_PID=$!
+wait_ready $WORKER_PORT
+"$WORK/bin/dcserved" -addr "127.0.0.1:$FRONT_PORT" -store "$WORK/front.store" \
+  -workers "127.0.0.1:$WORKER_PORT" "${FLAGS[@]}" 2>"$WORK/front.log" &
+FRONT_PID=$!
+wait_ready $FRONT_PORT
+fetch_all $FRONT_PORT "$WORK/dist"
+diff -r "$WORK/baseline" "$WORK/dist" \
+  || { echo "FAIL: front-end bytes diverge from single-process dcserved" >&2; exit 1; }
+echo "   ok: ${#ENDPOINTS[@]} endpoints byte-identical"
+assert_eq "front-end fallbacks" "$(healthz_field $FRONT_PORT "h['store']['dispatch']['fallbacks']")" 0
+REMOTE_HITS=$(healthz_field $FRONT_PORT "h['store']['dispatch']['remote_hits']")
+[ "$REMOTE_HITS" -gt 0 ] || { echo "FAIL: front-end never used its worker" >&2; exit 1; }
+echo "   ok: remote_hits = $REMOTE_HITS"
+
+echo "== 3. front-end restart with a dark worker: warm store, no dispatch, no re-simulation"
+kill $FRONT_PID $WORKER_PID 2>/dev/null || true
+wait $FRONT_PID $WORKER_PID 2>/dev/null || true
+"$WORK/bin/dcserved" -addr "127.0.0.1:$FRONT2_PORT" -store "$WORK/front.store" \
+  -workers "127.0.0.1:$DEAD_PORT" "${FLAGS[@]}" 2>"$WORK/front2.log" &
+wait_ready $FRONT2_PORT
+fetch_all $FRONT2_PORT "$WORK/warm"
+diff -r "$WORK/baseline" "$WORK/warm" \
+  || { echo "FAIL: restarted front-end bytes diverge" >&2; exit 1; }
+echo "   ok: restart byte-identical"
+assert_eq "restart dispatches" "$(healthz_field $FRONT2_PORT "h['store']['dispatch']['dispatched']")" 0
+assert_eq "restart fallbacks" "$(healthz_field $FRONT2_PORT "h['store']['dispatch']['fallbacks']")" 0
+STORE_HITS=$(healthz_field $FRONT2_PORT "h['store']['hits']")
+[ "$STORE_HITS" -gt 0 ] || { echo "FAIL: restarted front-end never read its store" >&2; exit 1; }
+STORE_WRITES=$(healthz_field $FRONT2_PORT "h['store']['writes']")
+assert_eq "restart store writes (re-simulations)" "$STORE_WRITES" 0
+echo "   ok: store hits = $STORE_HITS"
+
+echo "e2e-distributed: PASS"
