@@ -21,10 +21,11 @@
 //	-chart      append an ASCII bar chart to single-metric figures
 //	-store dir  persist sweep and cluster results in dir across runs, sharing
 //	            warm results with dcserved; with -store-shards,
-//	            -store-max-records and -store-max-age as in dcserved
-//	-workers host:port,...  dispatch sweep misses to dcserved workers, with
-//	            -dispatch-timeout, -dispatch-retries, -dispatch-hedge and
-//	            -dispatch-cooldown as in dcserved
+//	            -store-max-records, -store-max-bytes and -store-max-age as
+//	            in dcserved
+//	-workers host:port,...  dispatch sweep and cluster-job misses to dcserved
+//	            workers, with -dispatch-timeout, -dispatch-retries,
+//	            -dispatch-hedge and -dispatch-cooldown as in dcserved
 //
 // Sweeps are deterministic at any -j: parallel runs produce bit-identical
 // counters to -j 1 at the same seed — and to a dispatched run, since
@@ -65,12 +66,14 @@ func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut 
 
 // wireBackends points opts at a run-owned engine when a store or a worker
 // set is configured: sweep results go through the engine's memo backend
-// (store, dispatch, or dispatch over store), cluster results through a
-// store-backed cluster cache — the same seams dcserved uses, so dcbench
-// shares warm results with a front-end and can drive the same workers.
+// (store, dispatch, or dispatch over store) and cluster results through
+// the matching stats backend — the same seams dcserved uses, so dcbench
+// shares warm results with a front-end and dispatches both job kinds to
+// the same workers.
 func wireBackends(storeDir string, storeOpts store.OpenOptions, dispatchOpts dispatch.Options, opts *report.Options) (*store.Store, error) {
 	var st *store.Store
 	var backend sweep.MemoBackend
+	var statsBackend workloads.StatsBackend
 	if storeDir != "" {
 		var err error
 		st, err = store.OpenWith(storeDir, storeOpts)
@@ -78,10 +81,10 @@ func wireBackends(storeDir string, storeOpts store.OpenOptions, dispatchOpts dis
 			return nil, err
 		}
 		backend = st.Backend(nil)
-		opts.Cluster = workloads.NewStatsCache(st.StatsBackend(nil))
+		statsBackend = st.StatsBackend(nil)
 	}
 	if len(dispatchOpts.Workers) > 0 {
-		remote, err := dispatch.New(dispatchOpts, opts.Warmup, backend, nil)
+		remote, err := dispatch.New(dispatchOpts, opts.Warmup, backend, statsBackend, nil)
 		if err != nil {
 			if st != nil {
 				st.Close()
@@ -89,6 +92,10 @@ func wireBackends(storeDir string, storeOpts store.OpenOptions, dispatchOpts dis
 			return nil, err
 		}
 		backend = remote
+		statsBackend = remote
+	}
+	if statsBackend != nil {
+		opts.Cluster = workloads.NewStatsCache(statsBackend)
 	}
 	if backend != nil {
 		engine := sweep.NewEngine()

@@ -13,7 +13,9 @@
 //	GET  /v1/workloads/{name}/counters   one workload's counter file
 //	GET  /v1/figures/{1..12}             the paper's figures
 //	GET  /v1/tables/{1..3}               the paper's tables
-//	POST /v1/sweep                       compute endpoint: run one sweep key, return its record
+//	POST /v1/jobs                        compute endpoint: run one kind-tagged job
+//	                                     ("counters" or "cluster"), return its record
+//	POST /v1/sweep                       deprecated alias: a counters job in the old shape
 //
 // Flags:
 //
@@ -21,21 +23,27 @@
 //	-store  result store directory; "" disables persistence (default dcserved.store)
 //	-store-shards n        shard count when creating a store (default 16)
 //	-store-max-records n   LRU-evict records beyond this count; 0 = unlimited
+//	-store-max-bytes n     LRU-evict records beyond this many bytes; 0 = unlimited
 //	-store-max-age d       evict records unused for longer than d; 0 = keep forever
-//	-workers host:port,...     dispatch sweep misses to these dcserved workers
-//	-dispatch-timeout d        per-attempt timeout for dispatched sweeps
+//	-max-inflight n        bound concurrent compute jobs; excess shed 429 (0 = unlimited)
+//	-workers host:port,...     dispatch job misses to these dcserved workers
+//	-dispatch-timeout d        per-attempt timeout for dispatched jobs
 //	-dispatch-retries n        extra attempts on other workers after a failure
 //	-dispatch-hedge d          hedge a silent dispatch onto the next worker; 0 disables
 //	-dispatch-cooldown d       how long a repeatedly failing worker stays demoted
 //	-grace  shutdown grace period for in-flight requests (default 15s)
 //	-scale, -seed, -instrs, -warmup, -j   as in dcbench
 //
-// Every dcserved is a sweep worker: POST /v1/sweep simulates one key and
-// answers with the store's checksummed record of the counters. A dcserved
-// started with -workers is a front-end over that worker set — misses are
-// hashed across the workers, results are verified and written through to
-// the local store, and when no worker is reachable the front-end degrades
-// to local simulation (counted in /healthz under store.dispatch.fallbacks).
+// Every dcserved is a job worker: POST /v1/jobs runs one kind-tagged job —
+// a characterization sweep key ("counters") or a cluster experiment cell
+// ("cluster") — and answers with the store's checksummed record of the
+// result. A dcserved started with -workers is a front-end over that worker
+// set — misses of both kinds are hashed across the workers, results are
+// verified and written through to the local store, and when no worker is
+// reachable the front-end degrades to local simulation (counted per kind
+// in /healthz under store.dispatch). A worker started with -max-inflight
+// sheds excess jobs with 429 + Retry-After; front-ends demote shedding
+// workers in their ranking for exactly that window.
 //
 // The store is sharded on disk and carries a persisted manifest; a store
 // directory written by the previous flat layout (schema 1) is migrated in
@@ -66,6 +74,7 @@ import (
 	"dcbench/internal/serve"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
+	"dcbench/internal/workloads"
 )
 
 func main() {
@@ -75,6 +84,7 @@ func main() {
 	addr := flag.String("addr", ":8337", "listen address")
 	storeDir := flag.String("store", "dcserved.store", "result store directory; empty disables persistence")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period")
+	maxInflight := flag.Int("max-inflight", 0, "bound concurrent compute jobs; excess answered 429 + Retry-After (0 = unlimited)")
 	report.RegisterFlags(flag.CommandLine, &opts)
 	store.RegisterFlags(flag.CommandLine, &storeOpts)
 	dispatch.RegisterFlags(flag.CommandLine, &dispatchOpts)
@@ -83,8 +93,9 @@ func main() {
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
 	slog.SetDefault(log)
 
-	cfg := serve.Config{Options: opts, Logger: log}
+	cfg := serve.Config{Options: opts, MaxInflight: *maxInflight, Logger: log}
 	var local sweep.MemoBackend
+	var localStats workloads.StatsBackend
 	if *storeDir != "" {
 		storeOpts.Log = log
 		st, err := store.OpenWith(*storeDir, storeOpts)
@@ -95,15 +106,17 @@ func main() {
 		defer st.Close()
 		cfg.Store = st
 		local = st.Backend(log)
+		localStats = st.StatsBackend(log)
 	}
 	if len(dispatchOpts.Workers) > 0 {
-		remote, err := dispatch.New(dispatchOpts, opts.Warmup, local, log)
+		remote, err := dispatch.New(dispatchOpts, opts.Warmup, local, localStats, log)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcserved:", err)
 			os.Exit(1)
 		}
 		cfg.Backend = remote
-		log.Info("dispatching sweep misses", "workers", dispatchOpts.Workers)
+		cfg.Cluster = remote
+		log.Info("dispatching job misses", "workers", dispatchOpts.Workers)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -12,18 +12,20 @@ import (
 	"dcbench/internal/dispatch"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
+	"dcbench/internal/workloads"
 )
 
-// TestBenchArtifact writes the CI perf artifact (BENCH_dispatch.json):
-// cold dispatched-sweep wall time (every key simulated on the worker, over
-// HTTP), warm dispatched wall time (every key answered from the front-end
-// store) and the dark-cluster fallback detection cost — the perf
-// trajectory of the dispatch path per commit. Gated on BENCH_DISPATCH_OUT
-// so ordinary test runs skip it.
+// TestBenchArtifact writes the CI perf artifact (BENCH_jobs.json) for the
+// unified jobs dispatch path, covering both job kinds: cold dispatched
+// wall time (every counter key and cluster cell computed on the worker,
+// over HTTP), warm dispatched wall time (every key answered from the
+// front-end store) and the dark-cluster fallback detection cost — the
+// perf trajectory of the dispatch path per commit. Gated on
+// BENCH_JOBS_OUT so ordinary test runs skip it.
 func TestBenchArtifact(t *testing.T) {
-	out := os.Getenv("BENCH_DISPATCH_OUT")
+	out := os.Getenv("BENCH_JOBS_OUT")
 	if out == "" {
-		t.Skip("set BENCH_DISPATCH_OUT=<path> to write the perf artifact")
+		t.Skip("set BENCH_JOBS_OUT=<path> to write the perf artifact")
 	}
 	opts := e2eOptions()
 	cfg := opts.CoreConfig()
@@ -36,6 +38,14 @@ func TestBenchArtifact(t *testing.T) {
 		})
 		jobs = append(jobs, sweep.Job{Name: wl.Name, Profile: wl.Profile, Gen: wl.Gen})
 	}
+	statsKeys := make([]workloads.StatsKey, 0, clusterKeyCount())
+	for _, w := range workloads.All() {
+		for _, slaves := range []int{1, 4, 8} {
+			statsKeys = append(statsKeys, workloads.StatsKey{
+				Workload: w.Name, Slaves: slaves, Scale: opts.Scale, Seed: opts.Seed,
+			})
+		}
+	}
 
 	workerAddr := newWorkerServer(t)
 	frontStore, err := store.Open(t.TempDir())
@@ -44,12 +54,12 @@ func TestBenchArtifact(t *testing.T) {
 	}
 	t.Cleanup(func() { frontStore.Close() })
 	remote, err := dispatch.New(dispatch.Options{Workers: []string{workerAddr}},
-		opts.Warmup, frontStore.Backend(quiet), quiet)
+		opts.Warmup, frontStore.Backend(quiet), frontStore.StatsBackend(quiet), quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	load := func() time.Duration {
+	loadCounters := func() time.Duration {
 		start := time.Now()
 		for _, k := range keys {
 			if _, ok := remote.Load(k); !ok {
@@ -58,8 +68,19 @@ func TestBenchArtifact(t *testing.T) {
 		}
 		return time.Since(start)
 	}
-	coldRemote := load() // worker simulates every key
-	warmStore := load()  // front-end store answers every key
+	loadCluster := func() time.Duration {
+		start := time.Now()
+		for _, k := range statsKeys {
+			if _, ok := remote.LoadStats(k); !ok {
+				t.Fatalf("%s/%d: dispatched cluster load missed", k.Workload, k.Slaves)
+			}
+		}
+		return time.Since(start)
+	}
+	coldCounters := loadCounters() // worker simulates every sweep key
+	warmCounters := loadCounters() // front-end store answers every key
+	coldCluster := loadCluster()   // worker runs every cluster cell
+	warmCluster := loadCluster()   // front-end store answers every cell
 
 	// Local-simulation reference at the same trace length, for the
 	// dispatch-overhead ratio.
@@ -73,7 +94,7 @@ func TestBenchArtifact(t *testing.T) {
 
 	// Dark cluster: how long one key takes to be detected as a fallback.
 	dead, err := dispatch.New(dispatch.Options{Workers: []string{"127.0.0.1:1"}, Timeout: 5 * time.Second},
-		opts.Warmup, nil, quiet)
+		opts.Warmup, nil, nil, quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,15 +105,19 @@ func TestBenchArtifact(t *testing.T) {
 	fallbackDetect := time.Since(start)
 
 	artifact := map[string]any{
-		"schema":              1,
+		"schema":              2,
 		"keys":                len(keys),
+		"cluster_keys":        len(statsKeys),
 		"instrs_per_workload": opts.Warmup + opts.Instrs,
-		"cold_dispatch_ms":    float64(coldRemote.Microseconds()) / 1e3,
-		"warm_store_ms":       float64(warmStore.Microseconds()) / 1e3,
+		"cold_dispatch_ms":    float64(coldCounters.Microseconds()) / 1e3,
+		"warm_store_ms":       float64(warmCounters.Microseconds()) / 1e3,
+		"cold_cluster_ms":     float64(coldCluster.Microseconds()) / 1e3,
+		"warm_cluster_ms":     float64(warmCluster.Microseconds()) / 1e3,
 		"local_serial_ms":     float64(localSerial.Microseconds()) / 1e3,
 		"fallback_detect_us":  float64(fallbackDetect.Microseconds()),
-		"per_key_dispatch_us": float64(coldRemote.Microseconds()) / float64(len(keys)),
-		"per_key_warm_hit_us": float64(warmStore.Microseconds()) / float64(len(keys)),
+		"per_key_dispatch_us": float64(coldCounters.Microseconds()) / float64(len(keys)),
+		"per_key_warm_hit_us": float64(warmCounters.Microseconds()) / float64(len(keys)),
+		"per_cluster_job_us":  float64(coldCluster.Microseconds()) / float64(len(statsKeys)),
 	}
 	data, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {

@@ -1,25 +1,35 @@
-// Package dispatch fans characterization sweeps out over worker nodes: a
-// RemoteBackend implements sweep.MemoBackend by forwarding memo misses to
-// a configured set of dcserved workers over HTTP, turning a front-end's
-// sweep engine into the head of a sweep cluster.
+// Package dispatch fans compute jobs out over worker nodes: a
+// RemoteBackend forwards memo misses to a configured set of dcserved
+// workers over HTTP, turning a front-end's caches into the head of a
+// compute cluster. One engine carries every job kind: the same
+// rendezvous ranking, retry walk, hedging, circuit state and admission
+// push-back serves characterization sweeps (sweep.MemoBackend, kind
+// "counters") and cluster experiments (workloads.StatsBackend, kind
+// "cluster"), and a future kind is a typed wrapper plus a store codec,
+// not a new backend.
 //
-// The design rides the memo seam end to end. The engine consults its
-// backend only inside a key's singleflight cell, so the dispatch layer
+// The design rides the memo seams end to end. The engines consult their
+// backends only inside a key's singleflight cell, so the dispatch layer
 // sees each key at most once per process while it stays memoized; below
-// that, Load checks the local store first (warm results never leave the
-// process), then picks workers by rendezvous hashing — every front-end
-// sharing a worker set routes a key to the same worker, so the cluster
-// simulates each key once — and forwards the miss with per-attempt
-// timeouts, retries on the next-ranked workers, and optional hedging
-// (a second request launched when the first dawdles; first answer wins).
+// that, a load checks the local store first (warm results never leave
+// the process), then picks workers by rendezvous hashing — every
+// front-end sharing a worker set routes a key to the same worker, so the
+// cluster simulates each key once — and forwards the miss as a
+// kind-tagged POST /v1/jobs with per-attempt timeouts, retries on the
+// next-ranked workers, and optional hedging (a second request launched
+// when the first dawdles; first answer wins).
 //
-// Failure is a first-class input: every worker carries consecutive-failure
-// circuit state (an open circuit demotes it to last resort until a
-// cooldown passes), a response is trusted only after the store codec's
-// checksum-and-key verification, and when every worker is dark Load
-// reports a plain miss — the engine simulates locally and the front-end
-// degrades to exactly the single-process behaviour, counted in the
-// Fallbacks stat rather than silent.
+// Failure and saturation are first-class inputs. Every worker carries
+// consecutive-failure circuit state (an open circuit demotes it to last
+// resort until a cooldown passes). A worker that sheds a job with 429
+// is not failing — it is pushing back — so its Retry-After hint demotes
+// it in ranking for exactly that window without touching its circuit,
+// and the attempt moves to the next-ranked worker. A response is trusted
+// only after the store codec's checksum-and-key verification, and when
+// every worker is dark (or shedding) a load reports a plain miss — the
+// engine simulates locally and the front-end degrades to exactly the
+// single-process behaviour, counted per kind in the Fallbacks stat
+// rather than silent.
 //
 // Remote results are written through to the local store, so a front-end
 // restart serves them without touching the cluster.
@@ -37,6 +47,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,17 +57,35 @@ import (
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
+	"dcbench/internal/workloads"
 )
 
 // Defaults for Options' zero fields.
 const (
-	DefaultTimeout  = 120 * time.Second // a cold sweep on a loaded worker is slow, not dead
+	DefaultTimeout  = 120 * time.Second // a cold job on a loaded worker is slow, not dead
 	DefaultRetries  = 2                 // attempts beyond the first, each on the next-ranked worker
 	DefaultCooldown = 30 * time.Second  // circuit-open duration
 	failThreshold   = 3                 // consecutive failures that open a worker's circuit
 )
 
-// maxResponse bounds a worker response; a counters record is a few KB.
+// maxShedDemotion caps how long a Retry-After hint can demote a worker: a
+// buggy or hostile worker must not bench itself for an hour with one
+// header.
+const maxShedDemotion = time.Minute
+
+// defaultRetryAfter is the demotion window when a 429 carries no usable
+// Retry-After header.
+const defaultRetryAfter = time.Second
+
+// legacyRecheck is how long a worker detected as a pre-jobs build is
+// taken at its word before /v1/jobs is probed again — long enough that a
+// fleet of old workers is not 404-probed per fetch, short enough that an
+// upgraded worker's cluster capacity comes back without restarting the
+// front-end.
+const legacyRecheck = 5 * time.Minute
+
+// maxResponse bounds a worker response; counters records are a few KB and
+// cluster records smaller still.
 const maxResponse = 8 << 20
 
 // Options configures a RemoteBackend. The zero value of every field but
@@ -77,7 +106,7 @@ type Options struct {
 	// Hedge, when positive, launches a duplicate request on the next-ranked
 	// worker once the current one has been silent this long; the first
 	// response wins. 0 (the default) disables hedging — a hedged cold
-	// sweep is duplicated cluster work, so only enable it with a delay
+	// job is duplicated cluster work, so only enable it with a delay
 	// comfortably above your slowest legitimate simulation.
 	Hedge time.Duration
 	// Cooldown is how long an open circuit keeps a worker demoted.
@@ -97,10 +126,10 @@ func RegisterFlags(fs *flag.FlagSet, o *Options) {
 	if o.Cooldown == 0 {
 		o.Cooldown = DefaultCooldown
 	}
-	fs.Var((*workerList)(&o.Workers), "workers", "comma-separated sweep worker addresses (host:port,...); empty = simulate locally")
-	fs.DurationVar(&o.Timeout, "dispatch-timeout", o.Timeout, "per-attempt timeout for dispatched sweeps")
+	fs.Var((*workerList)(&o.Workers), "workers", "comma-separated job worker addresses (host:port,...); empty = simulate locally")
+	fs.DurationVar(&o.Timeout, "dispatch-timeout", o.Timeout, "per-attempt timeout for dispatched jobs")
 	fs.IntVar(&o.Retries, "dispatch-retries", o.Retries, "extra attempts on other workers after a failed dispatch")
-	fs.DurationVar(&o.Hedge, "dispatch-hedge", o.Hedge, "hedge a silent dispatch onto the next worker after this long; 0 disables (a hedged sweep is duplicated work)")
+	fs.DurationVar(&o.Hedge, "dispatch-hedge", o.Hedge, "hedge a silent dispatch onto the next worker after this long; 0 disables (a hedged job is duplicated work)")
 	fs.DurationVar(&o.Cooldown, "dispatch-cooldown", o.Cooldown, "how long a repeatedly failing worker stays demoted")
 }
 
@@ -119,17 +148,28 @@ func (l *workerList) Set(v string) error {
 	return nil
 }
 
-// worker is one remote node's address, traffic counters and circuit state.
+// worker is one remote node's address, traffic counters, circuit state
+// and admission (shed) state.
 type worker struct {
-	addr string
-	url  string
+	addr     string
+	url      string // POST /v1/jobs
+	sweepURL string // POST /v1/sweep — the pre-jobs alias legacy workers speak
 
 	sent atomic.Int64
 	errs atomic.Int64
+	shed atomic.Int64
 
 	mu        sync.Mutex
 	fails     int       // consecutive failures
 	openUntil time.Time // circuit open (worker demoted) until then
+	shedUntil time.Time // worker asked for back-off (429 Retry-After) until then
+	// legacyUntil marks a worker whose mux answered "404 page not found"
+	// for /v1/jobs: a pre-jobs build that only speaks /v1/sweep. Until it
+	// expires, counters jobs go out in the alias shape (byte-compatible
+	// either way) and kinds with no legacy shape skip the worker; past it
+	// the next fetch probes /v1/jobs again, so an upgraded worker's
+	// cluster capacity returns without a front-end restart.
+	legacyUntil time.Time
 }
 
 // healthy reports whether the worker's circuit is closed at t.
@@ -139,10 +179,35 @@ func (w *worker) healthy(t time.Time) bool {
 	return !t.Before(w.openUntil)
 }
 
+// shedding reports whether the worker's last 429's Retry-After window is
+// still open at t.
+func (w *worker) shedding(t time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return t.Before(w.shedUntil)
+}
+
+// isLegacy reports whether the worker is currently taken to be a
+// pre-jobs build at t.
+func (w *worker) isLegacy(t time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return t.Before(w.legacyUntil)
+}
+
+// markLegacy records a /v1/jobs route miss: the worker is a pre-jobs
+// build for the next legacyRecheck window.
+func (w *worker) markLegacy(t time.Time) {
+	w.mu.Lock()
+	w.legacyUntil = t.Add(legacyRecheck)
+	w.mu.Unlock()
+}
+
 func (w *worker) succeeded() {
 	w.mu.Lock()
 	w.fails = 0
 	w.openUntil = time.Time{}
+	w.shedUntil = time.Time{}
 	w.mu.Unlock()
 }
 
@@ -156,34 +221,73 @@ func (w *worker) failed(t time.Time, cooldown time.Duration) {
 	w.mu.Unlock()
 }
 
-// RemoteBackend forwards sweep memo misses to worker nodes. It implements
-// sweep.MemoBackend (so it slots into the engine untouched) and
-// sweep.StatsReporter (store counters from the wrapped local backend plus
-// the dispatch block).
-type RemoteBackend struct {
-	opts    Options
-	warmup  int64
-	local   sweep.MemoBackend // consulted first, written through; may be nil
-	workers []*worker
-	client  *http.Client
-	log     *slog.Logger
-	now     func() time.Time
-	flight  *memo.Memo[sweep.Key, *uarch.Counters] // coalesces identical concurrent fetches
+// shedded records a 429: the worker is saturated, not broken, so it is
+// demoted for the Retry-After window it asked for without touching its
+// circuit state.
+func (w *worker) shedded(t time.Time, retryAfter time.Duration) {
+	w.shed.Add(1)
+	w.mu.Lock()
+	if until := t.Add(retryAfter); until.After(w.shedUntil) {
+		w.shedUntil = until
+	}
+	w.mu.Unlock()
+}
 
+// errShed tags a 429 attempt so the fetch loop can count it as push-back
+// rather than failure.
+var errShed = errors.New("worker shedding load")
+
+// kindStats is one job kind's slice of the dispatch counters.
+type kindStats struct {
 	dispatched atomic.Int64
 	remoteHits atomic.Int64
 	fallbacks  atomic.Int64
-	errsTotal  atomic.Int64
-	inFlight   atomic.Int64
+	errs       atomic.Int64
+	shed       atomic.Int64
+}
+
+func (k *kindStats) snapshot(kind string) sweep.DispatchKindStats {
+	return sweep.DispatchKindStats{
+		Kind:       kind,
+		Dispatched: k.dispatched.Load(),
+		RemoteHits: k.remoteHits.Load(),
+		Fallbacks:  k.fallbacks.Load(),
+		Errors:     k.errs.Load(),
+		Shed:       k.shed.Load(),
+	}
+}
+
+// RemoteBackend forwards job memo misses to worker nodes. It implements
+// sweep.MemoBackend and workloads.StatsBackend (so it slots into the
+// sweep engine and the cluster cache untouched) plus sweep.StatsReporter
+// (store counters from the wrapped local backend plus the dispatch
+// block).
+type RemoteBackend struct {
+	opts       Options
+	warmup     int64
+	local      sweep.MemoBackend      // consulted first for counters, written through; may be nil
+	localStats workloads.StatsBackend // consulted first for cluster jobs, written through; may be nil
+	workers    []*worker
+	client     *http.Client
+	log        *slog.Logger
+	now        func() time.Time
+
+	flight      *memo.Memo[sweep.Key, *uarch.Counters]           // coalesces identical concurrent counter fetches
+	statsFlight *memo.Memo[workloads.StatsKey, *workloads.Stats] // ... and cluster fetches
+
+	counters kindStats
+	cluster  kindStats
+	inFlight atomic.Int64
 }
 
 // New builds a RemoteBackend over the given worker set. warmup is the
 // run's ramp-up instruction count — the parameter the sweep keys' config
-// fingerprint is derived from, shipped with every request so workers can
-// rebuild and verify the machine config. local, when non-nil, is the
-// backend remote results are written through to (and checked before any
-// dispatch) — typically the persistent store's backend.
-func New(opts Options, warmup int64, local sweep.MemoBackend, log *slog.Logger) (*RemoteBackend, error) {
+// fingerprint is derived from, shipped with every counters job so workers
+// can rebuild and verify the machine config. local and localStats, when
+// non-nil, are the backends remote results are written through to (and
+// checked before any dispatch) — typically the persistent store's two
+// backend adapters.
+func New(opts Options, warmup int64, local sweep.MemoBackend, localStats workloads.StatsBackend, log *slog.Logger) (*RemoteBackend, error) {
 	if len(opts.Workers) == 0 {
 		return nil, errors.New("dispatch: no workers configured")
 	}
@@ -200,19 +304,35 @@ func New(opts Options, warmup int64, local sweep.MemoBackend, log *slog.Logger) 
 		log = slog.Default()
 	}
 	b := &RemoteBackend{
-		opts:   opts,
-		warmup: warmup,
-		local:  local,
-		client: &http.Client{},
-		log:    log,
-		now:    time.Now,
-		flight: memo.NewFlight[sweep.Key, *uarch.Counters](),
+		opts:        opts,
+		warmup:      warmup,
+		local:       local,
+		localStats:  localStats,
+		client:      &http.Client{},
+		log:         log,
+		now:         time.Now,
+		flight:      memo.NewFlight[sweep.Key, *uarch.Counters](),
+		statsFlight: memo.NewFlight[workloads.StatsKey, *workloads.Stats](),
 	}
 	for _, addr := range opts.Workers {
-		b.workers = append(b.workers, &worker{addr: addr, url: "http://" + addr + "/v1/sweep"})
+		b.workers = append(b.workers, &worker{
+			addr:     addr,
+			url:      "http://" + addr + "/v1/jobs",
+			sweepURL: "http://" + addr + "/v1/sweep",
+		})
 	}
 	return b, nil
 }
+
+// kindOf maps a record kind to its counter block.
+func (b *RemoteBackend) kindOf(kind string) *kindStats {
+	if kind == store.KindCluster {
+		return &b.cluster
+	}
+	return &b.counters
+}
+
+// --- sweep.MemoBackend (counters jobs) ---
 
 // Load resolves a sweep key: local backend first, then the worker set. A
 // remote result is written through to the local backend before it is
@@ -224,10 +344,10 @@ func (b *RemoteBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
 			return c, true
 		}
 	}
-	c, err := b.flight.Do(k, func() (*uarch.Counters, error) { return b.fetch(k) })
+	c, err := b.flight.Do(k, func() (*uarch.Counters, error) { return b.fetchCounters(k) })
 	if err != nil {
-		b.fallbacks.Add(1)
-		b.log.Warn("dispatch failed; falling back to local simulation", "workload", k.Name, "err", err)
+		b.counters.fallbacks.Add(1)
+		b.log.Warn("dispatch failed; falling back to local simulation", "kind", store.KindCounters, "workload", k.Name, "err", err)
 		return nil, false
 	}
 	return c, true
@@ -242,18 +362,173 @@ func (b *RemoteBackend) Store(k sweep.Key, c *uarch.Counters) {
 	}
 }
 
-// fetch runs one dispatched lookup: attempts walk the key's rendezvous
-// order (healthy workers first), each bounded by the per-attempt timeout,
-// with a hedged duplicate launched when the current attempt has been
-// silent for the hedge delay. Runs inside the key's flight cell, so
-// concurrent engine misses for one key cost one remote round trip.
-func (b *RemoteBackend) fetch(k sweep.Key) (*uarch.Counters, error) {
-	b.dispatched.Add(1)
+// fetchCounters runs one dispatched counters job inside the key's flight
+// cell: encode the kind-tagged request, walk the workers, verify the
+// response record against the key, write through.
+func (b *RemoteBackend) fetchCounters(k sweep.Key) (*uarch.Counters, error) {
+	body, err := jobBody(store.KindCounters, k, b.warmup)
+	if err != nil {
+		return nil, err
+	}
+	// The same job in the pre-jobs /v1/sweep shape, for workers that turn
+	// out not to speak /v1/jobs yet (see worker.legacy).
+	legacyBody, err := json.Marshal(struct {
+		Key    sweep.Key `json:"key"`
+		Warmup int64     `json:"warmup"`
+	}{k, b.warmup})
+	if err != nil {
+		return nil, err
+	}
+	v, err := b.fetch(store.KindCounters, counterHash(k), body, legacyBody, func(data []byte) (any, error) {
+		gotKey, c, err := store.DecodeCounters(data)
+		if err != nil {
+			return nil, fmt.Errorf("unverifiable response: %w", err)
+		}
+		if gotKey != k {
+			return nil, fmt.Errorf("response is for key %q/%016x, want %q/%016x",
+				gotKey.Name, gotKey.ConfigFP, k.Name, k.ConfigFP)
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := v.(*uarch.Counters)
+	if b.local != nil {
+		b.local.Store(k, out) // write through: restarts stay warm
+	}
+	return out, nil
+}
+
+// --- workloads.StatsBackend (cluster jobs) ---
+
+// LoadStats resolves a cluster experiment key the same way Load resolves
+// a sweep key: local stats backend first, then the worker set, write
+// through, counted per-kind fallback on total failure (the cluster cache
+// then simulates locally).
+func (b *RemoteBackend) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) {
+	if b.localStats != nil {
+		if st, ok := b.localStats.LoadStats(k); ok {
+			return st, true
+		}
+	}
+	st, err := b.statsFlight.Do(k, func() (*workloads.Stats, error) { return b.fetchStats(k) })
+	if err != nil {
+		b.cluster.fallbacks.Add(1)
+		b.log.Warn("dispatch failed; falling back to local simulation", "kind", store.KindCluster, "workload", k.Workload, "err", err)
+		return nil, false
+	}
+	return st, true
+}
+
+// StoreStats writes a locally simulated cluster result through to the
+// local stats backend.
+func (b *RemoteBackend) StoreStats(k workloads.StatsKey, st *workloads.Stats) {
+	if b.localStats != nil {
+		b.localStats.StoreStats(k, st)
+	}
+}
+
+// fetchStats is fetchCounters for cluster jobs.
+func (b *RemoteBackend) fetchStats(k workloads.StatsKey) (*workloads.Stats, error) {
+	body, err := jobBody(store.KindCluster, k, 0)
+	if err != nil {
+		return nil, err
+	}
+	v, err := b.fetch(store.KindCluster, statsHash(k), body, nil, func(data []byte) (any, error) {
+		gotKey, st, err := store.DecodeStats(data)
+		if err != nil {
+			return nil, fmt.Errorf("unverifiable response: %w", err)
+		}
+		if gotKey != k {
+			return nil, fmt.Errorf("response is for cluster key %+v, want %+v", gotKey, k)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := v.(*workloads.Stats)
+	if b.localStats != nil {
+		b.localStats.StoreStats(k, out)
+	}
+	return out, nil
+}
+
+// counterHash is the rendezvous hash input for a sweep key — unchanged
+// from the sweep-only wire, so a mixed-version worker set keeps routing
+// counter keys to the same owners during a rollout.
+func counterHash(k sweep.Key) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d", k.Name, k.Profile.Seed, k.ConfigFP, k.MaxInstrs)
+	return h.Sum64()
+}
+
+// statsHash is the rendezvous hash input for a cluster experiment key;
+// the kind prefix keeps it disjoint from every counter key's.
+func statsHash(k workloads.StatsKey) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "cluster|%s|%d|%g|%d", k.Workload, k.Slaves, k.Scale, k.Seed)
+	return h.Sum64()
+}
+
+// jobBody encodes one kind-tagged /v1/jobs request.
+func jobBody(kind string, key any, warmup int64) ([]byte, error) {
+	rawKey, err := json.Marshal(key)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(struct {
+		Kind   string          `json:"kind"`
+		Key    json.RawMessage `json:"key"`
+		Warmup int64           `json:"warmup,omitempty"`
+	}{kind, rawKey, warmup})
+}
+
+// --- the kind-agnostic dispatch engine ---
+
+// fetch runs one dispatched job: attempts walk the key's rendezvous order
+// (healthy workers first, shedding ones demoted behind them, open
+// circuits last), each bounded by the per-attempt timeout, with a hedged
+// duplicate launched when the current attempt has been silent for the
+// hedge delay. decode must be a pure verification of the response bytes —
+// it runs in each attempt's goroutine (so even a straggler's success
+// resets its worker's circuit, and a straggler's garbage is charged), and
+// its failure fails the attempt, so a mangled record never wins over a
+// retry. legacyBody, when non-nil, is the job in the pre-jobs /v1/sweep
+// shape for workers that turn out not to speak /v1/jobs; a kind with no
+// legacy shape skips known-legacy workers instead of failing them. Runs
+// inside the key's flight cell, so concurrent engine misses for one key
+// cost one remote round trip.
+func (b *RemoteBackend) fetch(kind string, keyHash uint64, body, legacyBody []byte, decode func([]byte) (any, error)) (any, error) {
+	ks := b.kindOf(kind)
+	ks.dispatched.Add(1)
 	b.inFlight.Add(1)
 	defer b.inFlight.Add(-1)
 
-	order, healthy := b.rank(k)
-	if healthy == 0 {
+	order, alive := b.rank(keyHash)
+	if legacyBody == nil {
+		// This kind has no pre-jobs shape: a known-legacy worker cannot
+		// serve it, ever. Skip such workers — an incapable worker is not an
+		// unhealthy one, and failing it here would open the circuit its
+		// counters traffic depends on.
+		now := b.now()
+		capable := order[:0:0]
+		alive = 0
+		for _, w := range order {
+			if w.isLegacy(now) {
+				continue
+			}
+			capable = append(capable, w)
+			if w.healthy(now) {
+				alive++
+			}
+		}
+		if order = capable; len(order) == 0 {
+			return nil, fmt.Errorf("no worker speaks /v1/jobs for kind %q (all pre-jobs builds)", kind)
+		}
+	}
+	if alive == 0 {
 		// Every circuit is open: fail fast instead of paying a full
 		// timeout per key against workers already known to be dark. The
 		// cluster is probed again once a cooldown expires (healthy() turns
@@ -275,14 +550,25 @@ func (b *RemoteBackend) fetch(k sweep.Key) (*uarch.Counters, error) {
 	defer cancel()
 	type result struct {
 		w   *worker
-		c   *uarch.Counters
+		val any
 		err error
 	}
 	resc := make(chan result, attempts)
 	launch := func(w *worker) {
 		go func() {
-			c, err := b.post(ctx, w, k)
-			resc <- result{w, c, err}
+			data, err := b.post(ctx, w, kind, body, legacyBody)
+			var val any
+			if err == nil {
+				// Verify in the attempt's own goroutine: a garbage 200 is
+				// charged to the worker that produced it, and a valid one
+				// resets its circuit — whether or not this attempt wins.
+				if val, err = decode(data); err != nil {
+					b.workerFailed(w, kind)
+				} else {
+					w.succeeded()
+				}
+			}
+			resc <- result{w, val, err}
 		}()
 	}
 	launch(order[0])
@@ -302,11 +588,8 @@ func (b *RemoteBackend) fetch(k sweep.Key) (*uarch.Counters, error) {
 			}
 			pending--
 			if r.err == nil {
-				b.remoteHits.Add(1)
-				if b.local != nil {
-					b.local.Store(k, r.c) // write through: restarts stay warm
-				}
-				return r.c, nil // stragglers drain into the buffered channel
+				ks.remoteHits.Add(1)
+				return r.val, nil // stragglers drain into the buffered channel
 			}
 			errs = append(errs, fmt.Errorf("%s: %w", r.w.addr, r.err))
 			if launched < attempts {
@@ -324,29 +607,31 @@ func (b *RemoteBackend) fetch(k sweep.Key) (*uarch.Counters, error) {
 }
 
 // workerFailed records one failed attempt in both ledgers at once — the
-// worker's own counter/circuit state and the backend's aggregate — so
-// per_worker[].errors always sums to at least dispatch.errors, even for
-// stragglers that fail after their fetch has already been won elsewhere.
-func (b *RemoteBackend) workerFailed(w *worker) {
-	b.errsTotal.Add(1)
+// worker's own counter/circuit state and the backend's per-kind aggregate
+// — so per_worker[].errors always sums to at least dispatch.errors, even
+// for stragglers that fail after their fetch has already been won
+// elsewhere.
+func (b *RemoteBackend) workerFailed(w *worker, kind string) {
+	b.kindOf(kind).errs.Add(1)
 	w.failed(b.now(), b.opts.Cooldown)
 }
 
-// post sends one /v1/sweep request and verifies the response record: the
-// store codec's checksum plus an exact key match, so a worker answering
-// for the wrong key (or a mangled response) is an error, never counters.
-func (b *RemoteBackend) post(parent context.Context, w *worker, k sweep.Key) (*uarch.Counters, error) {
+// post sends one /v1/jobs request and returns the raw response bytes of a
+// 200, the caller verifying them with the store codec. A 429 demotes the
+// worker for its Retry-After window without touching circuit state; a
+// 404 on /v1/jobs downgrades the worker to the /v1/sweep alias when the
+// job has a legacy shape (pre-jobs workers in a mixed-version rollout);
+// any other failure feeds the circuit.
+func (b *RemoteBackend) post(parent context.Context, w *worker, kind string, body, legacyBody []byte) ([]byte, error) {
 	w.sent.Add(1)
-	body, err := json.Marshal(struct {
-		Key    sweep.Key `json:"key"`
-		Warmup int64     `json:"warmup"`
-	}{k, b.warmup})
-	if err != nil {
-		return nil, err
+	url, payload := w.url, body
+	useLegacy := legacyBody != nil && w.isLegacy(b.now())
+	if useLegacy {
+		url, payload = w.sweepURL, legacyBody
 	}
 	ctx, cancel := context.WithTimeout(parent, b.opts.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +641,7 @@ func (b *RemoteBackend) post(parent context.Context, w *worker, k sweep.Key) (*u
 		if parent.Err() != nil {
 			return nil, parent.Err() // the fetch already won elsewhere: not this worker's fault
 		}
-		b.workerFailed(w)
+		b.workerFailed(w, kind)
 		return nil, err
 	}
 	defer resp.Body.Close()
@@ -365,39 +650,64 @@ func (b *RemoteBackend) post(parent context.Context, w *worker, k sweep.Key) (*u
 		if parent.Err() != nil {
 			return nil, parent.Err()
 		}
-		b.workerFailed(w)
+		b.workerFailed(w, kind)
 		return nil, err
 	}
+	if resp.StatusCode == http.StatusNotFound && !useLegacy &&
+		strings.TrimSpace(string(data)) == "404 page not found" {
+		// A mux route miss (net/http's fixed text, so a handler's
+		// unknown-key 404 never trips this): the worker has no /v1/jobs at
+		// all — a pre-jobs build. Remember that for legacyRecheck. A
+		// counters job downgrades to the byte-compatible /v1/sweep alias
+		// and retries this attempt there; a kind with no legacy shape
+		// reports the incapability without charging the circuit its
+		// counters traffic depends on (later fetches skip the worker).
+		w.markLegacy(b.now())
+		if legacyBody != nil {
+			return b.post(parent, w, kind, body, legacyBody)
+		}
+		return nil, fmt.Errorf("worker has no /v1/jobs route (pre-jobs build)")
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Push-back, not failure: honor the worker's Retry-After hint as a
+		// ranking demotion and move on to the next-ranked worker.
+		b.kindOf(kind).shed.Add(1)
+		w.shedded(b.now(), retryAfter(resp))
+		return nil, errShed
+	}
 	if resp.StatusCode != http.StatusOK {
-		b.workerFailed(w)
+		b.workerFailed(w, kind)
 		msg := strings.TrimSpace(string(data))
 		if len(msg) > 200 {
 			msg = msg[:200]
 		}
 		return nil, fmt.Errorf("worker returned %d: %s", resp.StatusCode, msg)
 	}
-	gotKey, c, err := store.DecodeCounters(data)
-	if err != nil {
-		b.workerFailed(w)
-		return nil, fmt.Errorf("unverifiable response: %w", err)
-	}
-	if gotKey != k {
-		b.workerFailed(w)
-		return nil, fmt.Errorf("response is for key %q/%016x, want %q/%016x",
-			gotKey.Name, gotKey.ConfigFP, k.Name, k.ConfigFP)
-	}
-	w.succeeded()
-	return c, nil
+	return data, nil
 }
 
-// rank orders the workers for a key — rendezvous (highest-random-weight)
-// hashing, with circuit-open workers demoted behind every healthy one,
-// score order preserved within each class — and reports how many are
-// healthy, so the caller can fail fast on a fully dark cluster.
-func (b *RemoteBackend) rank(k sweep.Key) ([]*worker, int) {
-	kh := fnv.New64a()
-	fmt.Fprintf(kh, "%s|%d|%d|%d", k.Name, k.Profile.Seed, k.ConfigFP, k.MaxInstrs)
-	keyHash := kh.Sum64()
+// retryAfter parses a 429's Retry-After seconds, clamped to
+// [defaultRetryAfter, maxShedDemotion]; an absent or unreadable header
+// gets the default.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs < 1 {
+		return defaultRetryAfter
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxShedDemotion {
+		return maxShedDemotion
+	}
+	return d
+}
+
+// rank orders the workers for a key hash — rendezvous (highest-random-
+// weight) hashing in three classes: healthy workers first, shedding ones
+// (saturated but alive) behind them, circuit-open ones last, score order
+// preserved within each class. It reports how many workers are alive
+// (circuit closed, shedding or not), so the caller can fail fast on a
+// fully dark cluster while still attempting a merely saturated one.
+func (b *RemoteBackend) rank(keyHash uint64) ([]*worker, int) {
 	type scored struct {
 		w     *worker
 		score uint64
@@ -411,33 +721,45 @@ func (b *RemoteBackend) rank(k sweep.Key) ([]*worker, int) {
 	}
 	sort.Slice(ss, func(i, j int) bool { return ss[i].score > ss[j].score })
 	out := make([]*worker, 0, len(ss))
-	var demoted []*worker
+	var shedding, demoted []*worker
 	for _, s := range ss {
-		if s.w.healthy(now) {
-			out = append(out, s.w)
-		} else {
+		switch {
+		case !s.w.healthy(now):
 			demoted = append(demoted, s.w)
+		case s.w.shedding(now):
+			shedding = append(shedding, s.w)
+		default:
+			out = append(out, s.w)
 		}
 	}
-	return append(out, demoted...), len(out)
+	alive := len(out) + len(shedding)
+	return append(append(out, shedding...), demoted...), alive
 }
 
 // BackendStats reports the wrapped local backend's store counters (zero
 // when there is none) with the dispatch block filled in — the shape
-// /healthz and /metrics render.
+// /healthz and /metrics render. The aggregate counters are per-kind sums.
 func (b *RemoteBackend) BackendStats() sweep.BackendStats {
 	var bs sweep.BackendStats
 	if sr, ok := b.local.(sweep.StatsReporter); ok {
 		bs = sr.BackendStats()
 	}
 	now := b.now()
+	perKind := []sweep.DispatchKindStats{
+		b.counters.snapshot(store.KindCounters),
+		b.cluster.snapshot(store.KindCluster),
+	}
 	d := &sweep.DispatchStats{
-		Workers:    int64(len(b.workers)),
-		Dispatched: b.dispatched.Load(),
-		RemoteHits: b.remoteHits.Load(),
-		Fallbacks:  b.fallbacks.Load(),
-		Errors:     b.errsTotal.Load(),
-		InFlight:   b.inFlight.Load(),
+		Workers:  int64(len(b.workers)),
+		InFlight: b.inFlight.Load(),
+		PerKind:  perKind,
+	}
+	for _, k := range perKind {
+		d.Dispatched += k.Dispatched
+		d.RemoteHits += k.RemoteHits
+		d.Fallbacks += k.Fallbacks
+		d.Errors += k.Errors
+		d.Shed += k.Shed
 	}
 	for _, w := range b.workers {
 		healthy := w.healthy(now)
@@ -448,7 +770,9 @@ func (b *RemoteBackend) BackendStats() sweep.BackendStats {
 			Addr:        w.addr,
 			Sent:        w.sent.Load(),
 			Errors:      w.errs.Load(),
+			Shed:        w.shed.Load(),
 			CircuitOpen: !healthy,
+			Shedding:    w.shedding(now),
 		})
 	}
 	bs.Dispatch = d

@@ -17,6 +17,7 @@ import (
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
+	"dcbench/internal/workloads"
 )
 
 var quietLog = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -30,17 +31,27 @@ func testKey(name string, seed uint64) sweep.Key {
 	}
 }
 
+func testStatsKey(name string, slaves int) workloads.StatsKey {
+	return workloads.StatsKey{Workload: name, Slaves: slaves, Scale: 0.01, Seed: 7}
+}
+
 // addrOf strips the scheme off an httptest server URL — the host:port form
 // the -workers flag takes.
 func addrOf(ts *httptest.Server) string { return strings.TrimPrefix(ts.URL, "http://") }
 
-// mapBackend is an in-memory local backend.
+// mapBackend is an in-memory local backend for both job kinds.
 type mapBackend struct {
 	mu sync.Mutex
 	m  map[sweep.Key]*uarch.Counters
+	st map[workloads.StatsKey]*workloads.Stats
 }
 
-func newMapBackend() *mapBackend { return &mapBackend{m: map[sweep.Key]*uarch.Counters{}} }
+func newMapBackend() *mapBackend {
+	return &mapBackend{
+		m:  map[sweep.Key]*uarch.Counters{},
+		st: map[workloads.StatsKey]*workloads.Stats{},
+	}
+}
 
 func (b *mapBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
 	b.mu.Lock()
@@ -55,9 +66,23 @@ func (b *mapBackend) Store(k sweep.Key, c *uarch.Counters) {
 	b.m[k] = c
 }
 
-// fakeWorker answers /v1/sweep with a well-formed record for the requested
-// key (Cycles = the key's seed, so responses are checkable), counting
-// requests. broken makes it 500 instead.
+func (b *mapBackend) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.st[k]
+	return st, ok
+}
+
+func (b *mapBackend) StoreStats(k workloads.StatsKey, st *workloads.Stats) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.st[k] = st
+}
+
+// fakeWorker answers /v1/jobs for both kinds with a well-formed record for
+// the requested key (counters: Cycles = the key's seed; cluster: Jobs =
+// the key's slave count — so responses are checkable), counting requests.
+// broken makes it 500 instead.
 func fakeWorker(t *testing.T, broken bool) (*httptest.Server, *atomic.Int64) {
 	t.Helper()
 	var served atomic.Int64
@@ -68,14 +93,35 @@ func fakeWorker(t *testing.T, broken bool) (*httptest.Server, *atomic.Int64) {
 			return
 		}
 		var req struct {
-			Key    sweep.Key `json:"key"`
-			Warmup int64     `json:"warmup"`
+			Kind   string          `json:"kind"`
+			Key    json.RawMessage `json:"key"`
+			Warmup int64           `json:"warmup"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		data, err := store.EncodeCounters(req.Key, &uarch.Counters{Cycles: int64(req.Key.Profile.Seed)})
+		var data []byte
+		var err error
+		switch req.Kind {
+		case store.KindCounters:
+			var key sweep.Key
+			if err := json.Unmarshal(req.Key, &key); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			data, err = store.EncodeCounters(key, &uarch.Counters{Cycles: int64(key.Profile.Seed)})
+		case store.KindCluster:
+			var key workloads.StatsKey
+			if err := json.Unmarshal(req.Key, &key); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			data, err = store.EncodeStats(key, &workloads.Stats{Workload: key.Workload, Jobs: key.Slaves})
+		default:
+			http.Error(w, "unknown kind "+req.Kind, http.StatusBadRequest)
+			return
+		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -86,9 +132,29 @@ func fakeWorker(t *testing.T, broken bool) (*httptest.Server, *atomic.Int64) {
 	return ts, &served
 }
 
-func newTestBackend(t *testing.T, local sweep.MemoBackend, addrs ...string) *RemoteBackend {
+// sheddingWorker answers every job with 429 and the given Retry-After.
+func sheddingWorker(t *testing.T, retryAfter string) (*httptest.Server, *atomic.Int64) {
 	t.Helper()
-	b, err := New(Options{Workers: addrs, Timeout: 5 * time.Second, Retries: 2}, 0, local, quietLog)
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		http.Error(w, "worker saturated", http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &served
+}
+
+func newTestBackend(t *testing.T, local *mapBackend, addrs ...string) *RemoteBackend {
+	t.Helper()
+	var memoLocal sweep.MemoBackend
+	var statsLocal workloads.StatsBackend
+	if local != nil {
+		memoLocal, statsLocal = local, local
+	}
+	b, err := New(Options{Workers: addrs, Timeout: 5 * time.Second, Retries: 2}, 0, memoLocal, statsLocal, quietLog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,6 +209,201 @@ func TestRemoteHitWritesThrough(t *testing.T) {
 	}
 }
 
+// TestClusterJobDispatch: the same backend dispatches cluster experiment
+// keys through workloads.StatsBackend — remote hit, write-through, and a
+// per-kind stats split that keeps the two kinds' ledgers apart.
+func TestClusterJobDispatch(t *testing.T) {
+	ts, served := fakeWorker(t, false)
+	local := newMapBackend()
+	b := newTestBackend(t, local, addrOf(ts))
+	k := testStatsKey("Sort", 8)
+
+	st, ok := b.LoadStats(k)
+	if !ok || st.Jobs != 8 {
+		t.Fatalf("LoadStats = %+v, %v", st, ok)
+	}
+	if got, ok := local.LoadStats(k); !ok || got.Jobs != 8 {
+		t.Fatal("remote cluster result was not written through to the local stats backend")
+	}
+	if _, ok := b.LoadStats(k); !ok {
+		t.Fatal("second LoadStats missed")
+	}
+	if served.Load() != 1 {
+		t.Fatalf("worker served %d requests, want 1 (second LoadStats must hit local)", served.Load())
+	}
+	// A warm local stats entry must not dispatch either.
+	d := b.BackendStats().Dispatch
+	if d.Dispatched != 1 || d.RemoteHits != 1 {
+		t.Fatalf("aggregate stats = %+v, want 1 dispatched / 1 remote hit", d)
+	}
+	var cluster, counters sweep.DispatchKindStats
+	for _, pk := range d.PerKind {
+		switch pk.Kind {
+		case store.KindCluster:
+			cluster = pk
+		case store.KindCounters:
+			counters = pk
+		}
+	}
+	if cluster.Dispatched != 1 || cluster.RemoteHits != 1 {
+		t.Fatalf("cluster kind stats = %+v, want 1/1", cluster)
+	}
+	if counters.Dispatched != 0 {
+		t.Fatalf("counters kind stats = %+v, want untouched", counters)
+	}
+
+	// StoreStats writes through like Store.
+	k2 := testStatsKey("Grep", 2)
+	sim := &workloads.Stats{Workload: "Grep", Jobs: 2}
+	b.StoreStats(k2, sim)
+	if got, ok := local.LoadStats(k2); !ok || got != sim {
+		t.Fatal("StoreStats did not write through to the local stats backend")
+	}
+}
+
+// legacyWorker is a PR 4-era worker: it mounts only POST /v1/sweep (the
+// old request shape) and 404s everything else, like a real pre-jobs
+// dcserved mux.
+func legacyWorker(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var served atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		var req struct {
+			Key    sweep.Key `json:"key"`
+			Warmup int64     `json:"warmup"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		data, err := store.EncodeCounters(req.Key, &uarch.Counters{Cycles: int64(req.Key.Profile.Seed)})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &served
+}
+
+// TestLegacyWorkerDowngrade: a front-end built for /v1/jobs meeting a
+// PR 4 worker (404 on /v1/jobs) downgrades that worker to the /v1/sweep
+// alias and keeps dispatching counters jobs to it — the other half of the
+// rollout story the alias exists for. Cluster jobs, which a legacy worker
+// genuinely cannot run, degrade to counted local fallback without opening
+// the worker's circuit wide enough to starve the counters path.
+func TestLegacyWorkerDowngrade(t *testing.T) {
+	ts, served := legacyWorker(t)
+	local := newMapBackend()
+	b := newTestBackend(t, local, addrOf(ts))
+
+	for seed := uint64(0); seed < 4; seed++ {
+		k := testKey("w", seed)
+		c, ok := b.Load(k)
+		if !ok || c.Cycles != int64(seed) {
+			t.Fatalf("seed %d: Load = %+v, %v; the legacy worker must answer via the alias", seed, c, ok)
+		}
+	}
+	if served.Load() != 4 {
+		t.Fatalf("legacy worker served %d sweep requests, want 4", served.Load())
+	}
+	d := b.BackendStats().Dispatch
+	if d.RemoteHits != 4 || d.Fallbacks != 0 {
+		t.Fatalf("stats = %+v, want 4 remote hits and no fallbacks", d)
+	}
+	// The downgrade is charged one 404 probe, not a circuit failure spiral:
+	// after the first key the worker is known legacy and only one request
+	// per key goes out.
+	if d.PerWorker[0].Sent != 5 {
+		t.Fatalf("sent = %d, want 5 (one /v1/jobs probe + 4 alias posts)", d.PerWorker[0].Sent)
+	}
+
+	// A cluster job is beyond a legacy worker: counted fallback, no
+	// request sent (the known-legacy worker is skipped, not failed), no
+	// circuit charge — and counters keep flowing afterwards.
+	sentBefore := b.BackendStats().Dispatch.PerWorker[0].Sent
+	if _, ok := b.LoadStats(testStatsKey("Sort", 4)); ok {
+		t.Fatal("legacy worker answered a cluster job")
+	}
+	d = b.BackendStats().Dispatch
+	if d.PerWorker[0].Sent != sentBefore || d.PerWorker[0].Errors != 0 || d.PerWorker[0].CircuitOpen {
+		t.Fatalf("cluster job against a known-legacy worker: per-worker = %+v, want untouched", d.PerWorker[0])
+	}
+	if _, ok := b.Load(testKey("w", 9)); !ok {
+		t.Fatal("counters dispatch broke after a cluster-job failure")
+	}
+}
+
+// TestLegacyWorkerClusterFirst: the legacy discovery also works when the
+// first job a worker sees is a cluster job — the mux route miss marks it
+// legacy without opening its circuit, so the counters path stays healthy.
+func TestLegacyWorkerClusterFirst(t *testing.T) {
+	ts, served := legacyWorker(t)
+	b := newTestBackend(t, nil, addrOf(ts))
+
+	for slaves := 1; slaves <= 4; slaves++ {
+		if _, ok := b.LoadStats(testStatsKey("Sort", slaves)); ok {
+			t.Fatal("legacy worker answered a cluster job")
+		}
+	}
+	d := b.BackendStats().Dispatch
+	if d.PerWorker[0].CircuitOpen || d.PerWorker[0].Errors != 0 {
+		t.Fatalf("per-worker after cluster-first discovery = %+v, want a closed circuit and no errors", d.PerWorker[0])
+	}
+	if d.PerWorker[0].Sent != 1 {
+		t.Fatalf("sent = %d, want exactly 1 discovery probe for 4 cluster keys", d.PerWorker[0].Sent)
+	}
+	c, ok := b.Load(testKey("w", 7))
+	if !ok || c.Cycles != 7 {
+		t.Fatalf("counters Load after cluster-first discovery = %+v, %v", c, ok)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("legacy worker served %d sweep requests, want 1", served.Load())
+	}
+}
+
+// TestLegacyWorkerRecheck: a worker correctly detected as pre-jobs is
+// re-probed once legacyRecheck expires, so its cluster capacity returns
+// after an in-place upgrade without restarting the front-end.
+func TestLegacyWorkerRecheck(t *testing.T) {
+	var upgraded atomic.Bool
+	full, _ := fakeWorker(t, false) // the post-upgrade behaviour
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if upgraded.Load() {
+			full.Config.Handler.ServeHTTP(w, r)
+			return
+		}
+		if r.URL.Path != "/v1/sweep" {
+			http.Error(w, "404 page not found", http.StatusNotFound) // the mux route-miss text
+			return
+		}
+		http.Error(w, "pre-upgrade sweep not exercised here", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	b := newTestBackend(t, nil, addrOf(ts))
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.now = func() time.Time { return clock }
+
+	k := testStatsKey("Sort", 4)
+	if _, ok := b.LoadStats(k); ok {
+		t.Fatal("pre-upgrade worker answered a cluster job")
+	}
+	upgraded.Store(true)
+	// Within the recheck window the worker is still taken as legacy.
+	if _, ok := b.LoadStats(testStatsKey("Sort", 8)); ok {
+		t.Fatal("cluster job dispatched inside the legacy window")
+	}
+	clock = clock.Add(legacyRecheck + time.Second)
+	st, ok := b.LoadStats(testStatsKey("Sort", 16))
+	if !ok || st.Jobs != 16 {
+		t.Fatalf("post-recheck LoadStats = %+v, %v; the upgraded worker must answer", st, ok)
+	}
+}
+
 // TestRetryOnFailingWorker: a 500ing worker is retried past onto the
 // surviving one and every fetch still succeeds.
 func TestRetryOnFailingWorker(t *testing.T) {
@@ -191,6 +452,97 @@ func TestFallbackWhenAllWorkersDark(t *testing.T) {
 	}
 }
 
+// TestShedWorkerDemotedAndRecovers: a 429 demotes the worker in ranking
+// for exactly its Retry-After window — without opening its circuit — and
+// the fetch lands on the next-ranked worker.
+func TestShedWorkerDemotedAndRecovers(t *testing.T) {
+	shed, shedServed := sheddingWorker(t, "5")
+	good, _ := fakeWorker(t, false)
+	b := newTestBackend(t, nil, addrOf(shed), addrOf(good))
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.now = func() time.Time { return clock }
+
+	// A key that ranks the shedding worker first: the 429 must move the
+	// attempt to the good worker, not fail the fetch.
+	var k sweep.Key
+	for seed := uint64(0); ; seed++ {
+		k = testKey("w", seed)
+		if order, _ := b.rank(counterHash(k)); order[0].addr == addrOf(shed) {
+			break
+		}
+	}
+	c, ok := b.Load(k)
+	if !ok || c.Cycles != int64(k.Profile.Seed) {
+		t.Fatalf("Load = %+v, %v; the un-saturated worker must answer", c, ok)
+	}
+	if shedServed.Load() != 1 {
+		t.Fatalf("shedding worker saw %d requests, want 1", shedServed.Load())
+	}
+
+	d := b.BackendStats().Dispatch
+	if d.Shed != 1 || d.Healthy != 2 {
+		t.Fatalf("stats = %+v, want 1 shed and both workers healthy (429 is not a circuit failure)", d)
+	}
+	var shedStats sweep.WorkerStats
+	for _, w := range d.PerWorker {
+		if w.Addr == addrOf(shed) {
+			shedStats = w
+		}
+	}
+	if !shedStats.Shedding || shedStats.CircuitOpen || shedStats.Shed != 1 || shedStats.Errors != 0 {
+		t.Fatalf("shedding worker stats = %+v, want shedding, circuit closed, 1 shed, 0 errors", shedStats)
+	}
+
+	// While the Retry-After window is open the shedding worker ranks last.
+	if order, alive := b.rank(counterHash(k)); order[len(order)-1].addr != addrOf(shed) || alive != 2 {
+		t.Fatalf("shedding worker not demoted (order[last] = %s, alive = %d)", order[len(order)-1].addr, alive)
+	}
+	// Past the window it is back in its rendezvous slot.
+	clock = clock.Add(6 * time.Second)
+	if order, _ := b.rank(counterHash(k)); order[0].addr != addrOf(shed) {
+		t.Fatal("worker still demoted after its Retry-After window passed")
+	}
+	if b.BackendStats().Dispatch.PerWorker[0].Shedding {
+		t.Fatal("worker still reported shedding after its Retry-After window passed")
+	}
+}
+
+// TestFullySheddingClusterFallsBack: when every worker sheds, a fetch
+// exhausts its attempts on 429s and degrades to a counted local fallback
+// — circuits stay closed (the workers are saturated, not broken), so the
+// next key probes them again instead of failing fast for a cooldown.
+func TestFullySheddingClusterFallsBack(t *testing.T) {
+	s1, served1 := sheddingWorker(t, "1")
+	s2, served2 := sheddingWorker(t, "1")
+	local := newMapBackend()
+	b := newTestBackend(t, local, addrOf(s1), addrOf(s2))
+
+	if _, ok := b.Load(testKey("w", 3)); ok {
+		t.Fatal("Load succeeded against a fully shedding worker set")
+	}
+	if _, ok := b.LoadStats(testStatsKey("Sort", 4)); ok {
+		t.Fatal("LoadStats succeeded against a fully shedding worker set")
+	}
+	if served1.Load()+served2.Load() == 0 {
+		t.Fatal("no worker was ever attempted")
+	}
+	d := b.BackendStats().Dispatch
+	if d.Fallbacks != 2 || d.Healthy != 2 || d.Shed == 0 {
+		t.Fatalf("stats = %+v, want 2 fallbacks, 2 healthy workers, nonzero shed", d)
+	}
+	for _, pk := range d.PerKind {
+		if pk.Fallbacks != 1 {
+			t.Fatalf("kind %s fallbacks = %d, want 1 (one per kind)", pk.Kind, pk.Fallbacks)
+		}
+	}
+	// Saturation is not failure: no circuit opened, no error charged.
+	for _, w := range d.PerWorker {
+		if w.CircuitOpen || w.Errors != 0 {
+			t.Fatalf("worker %s: circuit_open=%v errors=%d after shedding only", w.Addr, w.CircuitOpen, w.Errors)
+		}
+	}
+}
+
 // TestHedgeRescuesSilentWorker: a worker that accepts the connection and
 // then goes silent is hedged around — the next-ranked worker answers long
 // before the silent one's timeout.
@@ -210,7 +562,7 @@ func TestHedgeRescuesSilentWorker(t *testing.T) {
 		Timeout: 30 * time.Second, // far beyond the test: only the hedge can save us
 		Retries: 1,
 		Hedge:   30 * time.Millisecond,
-	}, 0, nil, quietLog)
+	}, 0, nil, nil, quietLog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +572,7 @@ func TestHedgeRescuesSilentWorker(t *testing.T) {
 	var k sweep.Key
 	for seed := uint64(0); ; seed++ {
 		k = testKey("w", seed)
-		if order, _ := b.rank(k); order[0].addr == addrOf(silent) {
+		if order, _ := b.rank(counterHash(k)); order[0].addr == addrOf(silent) {
 			break
 		}
 	}
@@ -250,7 +602,7 @@ func TestCircuitOpensAndRecovers(t *testing.T) {
 	opened := false
 	for seed := uint64(0); seed < 256 && !opened; seed++ {
 		k := testKey("w", seed)
-		if order, _ := b.rank(k); order[0].addr != addrOf(bad) {
+		if order, _ := b.rank(counterHash(k)); order[0].addr != addrOf(bad) {
 			continue
 		}
 		if _, ok := b.Load(k); !ok {
@@ -332,17 +684,17 @@ func TestDarkClusterFailsFast(t *testing.T) {
 
 // TestRendezvousStableAndSpread: one key always ranks the workers in the
 // same order (so a shared worker set simulates each key once), and
-// different keys spread across the set.
+// different keys spread across the set — for both job kinds.
 func TestRendezvousStableAndSpread(t *testing.T) {
-	b, err := New(Options{Workers: []string{"a:1", "b:1", "c:1"}}, 0, nil, quietLog)
+	b, err := New(Options{Workers: []string{"a:1", "b:1", "c:1"}}, 0, nil, nil, quietLog)
 	if err != nil {
 		t.Fatal(err)
 	}
 	first := map[string]int{}
 	for seed := uint64(0); seed < 64; seed++ {
 		k := testKey("w", seed)
-		r1, _ := b.rank(k)
-		r2, _ := b.rank(k)
+		r1, _ := b.rank(counterHash(k))
+		r2, _ := b.rank(counterHash(k))
 		for i := range r1 {
 			if r1[i] != r2[i] {
 				t.Fatalf("seed %d: rank is not deterministic", seed)
@@ -352,6 +704,19 @@ func TestRendezvousStableAndSpread(t *testing.T) {
 	}
 	if len(first) != 3 {
 		t.Fatalf("64 keys landed on %d workers, want all 3 (distribution %v)", len(first), first)
+	}
+	clusterFirst := map[string]int{}
+	for slaves := 1; slaves <= 64; slaves++ {
+		k := testStatsKey("Sort", slaves)
+		r1, _ := b.rank(statsHash(k))
+		r2, _ := b.rank(statsHash(k))
+		if r1[0] != r2[0] {
+			t.Fatalf("slaves %d: cluster rank is not deterministic", slaves)
+		}
+		clusterFirst[r1[0].addr]++
+	}
+	if len(clusterFirst) != 3 {
+		t.Fatalf("64 cluster keys landed on %d workers, want all 3 (%v)", len(clusterFirst), clusterFirst)
 	}
 }
 
@@ -374,7 +739,7 @@ func TestRegisterFlagsParsesWorkerList(t *testing.T) {
 	if o.Retries != 5 || o.Timeout != DefaultTimeout || o.Hedge != 0 || o.Cooldown != DefaultCooldown {
 		t.Fatalf("parsed options = %+v, want defaults where unset (hedging off)", o)
 	}
-	if _, err := New(Options{}, 0, nil, nil); err == nil {
+	if _, err := New(Options{}, 0, nil, nil, nil); err == nil {
 		t.Fatal("New accepted an empty worker set")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
+	"dcbench/internal/workloads"
 )
 
 var quiet = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -81,13 +82,17 @@ func newWorkerServer(t *testing.T) string {
 	return strings.TrimPrefix(ts.URL, "http://")
 }
 
-// countingShim wraps a MemoBackend and counts the engine's write-through
-// Stores — each one is a local simulation the front-end performed itself.
+// countingShim wraps the dispatch backend's two faces and counts the
+// engines' write-throughs — each one is a local simulation the front-end
+// performed itself — split by job kind.
 type countingShim struct {
-	inner sweep.MemoBackend
+	inner *dispatch.RemoteBackend
 	mu    sync.Mutex
-	sims  int
-	hits  int
+	sims  int // counter sweeps simulated locally
+	hits  int // counter loads answered (local store or remote)
+
+	statsSims int // cluster experiments simulated locally
+	statsHits int
 }
 
 func (c *countingShim) Load(k sweep.Key) (*uarch.Counters, bool) {
@@ -107,35 +112,66 @@ func (c *countingShim) Store(k sweep.Key, v *uarch.Counters) {
 	c.inner.Store(k, v)
 }
 
+func (c *countingShim) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) {
+	v, ok := c.inner.LoadStats(k)
+	if ok {
+		c.mu.Lock()
+		c.statsHits++
+		c.mu.Unlock()
+	}
+	return v, ok
+}
+
+func (c *countingShim) StoreStats(k workloads.StatsKey, v *workloads.Stats) {
+	c.mu.Lock()
+	c.statsSims++
+	c.mu.Unlock()
+	c.inner.StoreStats(k, v)
+}
+
 func (c *countingShim) counts() (sims, hits int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sims, c.hits
 }
 
+func (c *countingShim) statsCounts() (sims, hits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statsSims, c.statsHits
+}
+
 // newFrontEnd assembles a front-end server: a dispatch backend over the
-// given workers, writing through to its own store, with the engine's
-// write-throughs counted (those are front-end local simulations).
+// given workers for both job kinds, writing through to its own store,
+// with the engines' write-throughs counted (those are front-end local
+// simulations).
 func newFrontEnd(t *testing.T, frontStore *store.Store, workers ...string) (*httptest.Server, *dispatch.RemoteBackend, *countingShim) {
 	t.Helper()
 	opts := e2eOptions()
-	remote, err := dispatch.New(dispatch.Options{Workers: workers, Retries: 2}, opts.Warmup, frontStore.Backend(quiet), quiet)
+	remote, err := dispatch.New(dispatch.Options{Workers: workers, Retries: 2}, opts.Warmup,
+		frontStore.Backend(quiet), frontStore.StatsBackend(quiet), quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
 	shim := &countingShim{inner: remote}
-	srv := serve.New(serve.Config{Options: opts, Store: frontStore, Backend: shim, Logger: quiet})
+	srv := serve.New(serve.Config{Options: opts, Store: frontStore, Backend: shim, Cluster: shim, Logger: quiet})
 	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, remote, shim
 }
 
+// clusterKeyCount is the number of distinct cluster experiment cells the
+// full endpoint walk renders: every Table I workload at the Figure 2
+// slave counts (Figure 5 and Table I reuse the 4-slave column).
+func clusterKeyCount() int { return 3 * len(workloads.All()) }
+
 // TestDistributedByteParityAndWarmRestart is the PR's acceptance walk: a
 // front-end with one worker serves every /v1 endpoint byte-identically to
-// a single-process dcserved without simulating a single sweep key itself;
-// a restarted front-end over the same store re-simulates and re-dispatches
-// nothing.
+// a single-process dcserved without simulating a single sweep key or
+// cluster experiment itself (both job kinds land on the worker); a
+// restarted front-end over the same store re-simulates and re-dispatches
+// nothing of either kind.
 func TestDistributedByteParityAndWarmRestart(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full registry sweeps")
@@ -164,17 +200,30 @@ func TestDistributedByteParityAndWarmRestart(t *testing.T) {
 		}
 	}
 	nkeys := len(core.Registry())
+	ncluster := clusterKeyCount()
 	if sims, _ := shim.counts(); sims != 0 {
 		t.Fatalf("front-end simulated %d sweep keys itself; the worker must do all of them", sims)
 	}
+	if sims, _ := shim.statsCounts(); sims != 0 {
+		t.Fatalf("front-end simulated %d cluster experiments itself; the worker must do all of them", sims)
+	}
 	d := remote.BackendStats().Dispatch
-	if d.RemoteHits != int64(nkeys) || d.Fallbacks != 0 {
-		t.Fatalf("dispatch stats = %+v, want %d remote hits and no fallbacks", d, nkeys)
+	if d.RemoteHits != int64(nkeys+ncluster) || d.Fallbacks != 0 {
+		t.Fatalf("dispatch stats = %+v, want %d remote hits (both kinds) and no fallbacks", d, nkeys+ncluster)
+	}
+	for _, pk := range d.PerKind {
+		want := int64(nkeys)
+		if pk.Kind == store.KindCluster {
+			want = int64(ncluster)
+		}
+		if pk.RemoteHits != want || pk.Fallbacks != 0 {
+			t.Fatalf("kind %s stats = %+v, want %d remote hits and no fallbacks", pk.Kind, pk, want)
+		}
 	}
 
 	// Restart: same store, but the "worker" address now refuses
 	// connections. Everything must come from the write-through store —
-	// zero simulations AND zero dispatches.
+	// zero simulations AND zero dispatches, for both kinds.
 	deadTS := httptest.NewServer(http.NotFoundHandler())
 	deadAddr := strings.TrimPrefix(deadTS.URL, "http://")
 	deadTS.Close()
@@ -187,8 +236,11 @@ func TestDistributedByteParityAndWarmRestart(t *testing.T) {
 	if sims, hits := shim2.counts(); sims != 0 || hits != nkeys {
 		t.Fatalf("restart: sims=%d hits=%d, want 0 simulations and %d store hits", sims, hits, nkeys)
 	}
+	if sims, hits := shim2.statsCounts(); sims != 0 || hits != ncluster {
+		t.Fatalf("restart: cluster sims=%d hits=%d, want 0 re-simulations and %d store hits", sims, hits, ncluster)
+	}
 	if d := remote2.BackendStats().Dispatch; d.Dispatched != 0 {
-		t.Fatalf("restarted front-end dispatched %d sweeps; the store should have answered all of them", d.Dispatched)
+		t.Fatalf("restarted front-end dispatched %d jobs; the store should have answered all of them", d.Dispatched)
 	}
 }
 

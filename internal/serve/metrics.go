@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"dcbench/internal/sweep"
 )
 
 // handleMetrics renders the Prometheus text exposition (version 0.0.4) of
@@ -24,9 +26,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Requests answered with a 5xx status.", float64(st.Errors))
 	writeMetric(&b, "dcserved_uptime_seconds", "gauge",
 		"Seconds since the server started.", time.Since(s.started).Seconds())
+	js := s.JobStats()
+	writeMetric(&b, "dcserved_jobs_in_flight", "gauge",
+		"Compute jobs (counters + cluster) currently running.", float64(js.InFlight))
+	writeMetric(&b, "dcserved_jobs_max_inflight", "gauge",
+		"Admission-control bound on concurrent compute jobs; 0 = unlimited.", float64(js.MaxInflight))
+	writeMetric(&b, "dcserved_jobs_shed_total", "counter",
+		"Compute jobs shed with 429 because the worker was saturated.", float64(js.Shed))
 	if bs, ok := s.backendStats(); ok {
 		writeMetric(&b, "dcserved_store_records", "gauge",
 			"Records currently in the result store.", float64(bs.Records))
+		writeMetric(&b, "dcserved_store_bytes", "gauge",
+			"Total record bytes in the result store.", float64(bs.Bytes))
 		writeMetric(&b, "dcserved_store_shards", "gauge",
 			"Hash shards in the result store.", float64(bs.Shards))
 		writeMetric(&b, "dcserved_store_hits_total", "counter",
@@ -45,15 +56,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			writeMetric(&b, "dcserved_dispatch_healthy_workers", "gauge",
 				"Workers whose circuit is currently closed.", float64(d.Healthy))
 			writeMetric(&b, "dcserved_dispatch_in_flight", "gauge",
-				"Dispatched sweeps currently awaiting a worker.", float64(d.InFlight))
+				"Dispatched jobs currently awaiting a worker (all kinds).", float64(d.InFlight))
 			writeMetric(&b, "dcserved_dispatch_dispatched_total", "counter",
-				"Sweep misses forwarded to the worker set.", float64(d.Dispatched))
+				"Job misses forwarded to the worker set (all kinds).", float64(d.Dispatched))
 			writeMetric(&b, "dcserved_dispatch_remote_hits_total", "counter",
-				"Dispatched sweeps answered by a worker.", float64(d.RemoteHits))
+				"Dispatched jobs answered by a worker (all kinds).", float64(d.RemoteHits))
 			writeMetric(&b, "dcserved_dispatch_fallbacks_total", "counter",
-				"Dispatched sweeps that fell back to local simulation.", float64(d.Fallbacks))
+				"Dispatched jobs that fell back to local simulation (all kinds).", float64(d.Fallbacks))
 			writeMetric(&b, "dcserved_dispatch_errors_total", "counter",
 				"Failed worker attempts (a fetch may retry past these).", float64(d.Errors))
+			writeMetric(&b, "dcserved_dispatch_shed_total", "counter",
+				"Dispatch attempts answered 429 by a saturated worker.", float64(d.Shed))
+			writeKindMetric(&b, "dcserved_dispatch_kind_dispatched_total", "counter",
+				"Job misses forwarded to the worker set, by job kind.", d.PerKind,
+				func(k sweep.DispatchKindStats) int64 { return k.Dispatched })
+			writeKindMetric(&b, "dcserved_dispatch_kind_remote_hits_total", "counter",
+				"Dispatched jobs answered by a worker, by job kind.", d.PerKind,
+				func(k sweep.DispatchKindStats) int64 { return k.RemoteHits })
+			writeKindMetric(&b, "dcserved_dispatch_kind_fallbacks_total", "counter",
+				"Dispatched jobs that fell back to local simulation, by job kind.", d.PerKind,
+				func(k sweep.DispatchKindStats) int64 { return k.Fallbacks })
+			writeKindMetric(&b, "dcserved_dispatch_kind_errors_total", "counter",
+				"Failed worker attempts, by job kind.", d.PerKind,
+				func(k sweep.DispatchKindStats) int64 { return k.Errors })
+			writeKindMetric(&b, "dcserved_dispatch_kind_shed_total", "counter",
+				"Dispatch attempts answered 429, by job kind.", d.PerKind,
+				func(k sweep.DispatchKindStats) int64 { return k.Shed })
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -65,4 +93,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func writeMetric(b *strings.Builder, name, typ, help string, v float64) {
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
 		name, help, name, typ, name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// writeKindMetric emits one metric family with a kind="..." sample per job
+// kind.
+func writeKindMetric(b *strings.Builder, name, typ, help string, kinds []sweep.DispatchKindStats, get func(sweep.DispatchKindStats) int64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, k := range kinds {
+		fmt.Fprintf(b, "%s{kind=%q} %s\n", name, k.Kind,
+			strconv.FormatFloat(float64(get(k)), 'g', -1, 64))
+	}
 }

@@ -67,11 +67,11 @@ func dispatchBackedServer(t *testing.T) *httptest.Server {
 	}
 	t.Cleanup(func() { st.Close() })
 	remote, err := dispatch.New(dispatch.Options{Workers: []string{"w1:8337", "w2:8337"}},
-		testOptions().Warmup, st.Backend(quietLog), quietLog)
+		testOptions().Warmup, st.Backend(quietLog), st.StatsBackend(quietLog), quietLog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := serve.New(serve.Config{Options: testOptions(), Store: st, Backend: remote, Logger: quietLog})
+	srv := serve.New(serve.Config{Options: testOptions(), Store: st, Backend: remote, Cluster: remote, Logger: quietLog})
 	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
@@ -149,8 +149,9 @@ func TestHealthzDispatchSchemaGolden(t *testing.T) {
 	checkGolden(t, "healthz_dispatch_schema.golden", []byte(strings.Join(jsonSchema(doc), "\n")+"\n"))
 }
 
-// metricValue matches the sample line of a metric family.
-var metricValue = regexp.MustCompile(`^([a-z_]+) [0-9][0-9.e+-]*$`)
+// metricValue matches the sample line of a metric family, labeled
+// (kind="...") or not.
+var metricValue = regexp.MustCompile(`^([a-z_]+(?:\{[^}]*\})?) [0-9][0-9.e+-]*$`)
 
 // TestMetricsGolden pins the /metrics exposition format with sample values
 // normalised: family names, HELP/TYPE lines and their order are the

@@ -57,6 +57,12 @@ type Config struct {
 	// Cluster overrides Store as the cluster memo's persistent backend
 	// (tests wrap the store in counting shims through this).
 	Cluster workloads.StatsBackend
+	// MaxInflight, when positive, bounds concurrent compute jobs
+	// (POST /v1/jobs and the /v1/sweep alias): excess requests are shed
+	// with 429 + Retry-After instead of queued without bound, so one
+	// worker under many front-ends degrades loudly rather than drowning.
+	// 0 admits everything.
+	MaxInflight int
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
 }
@@ -66,6 +72,15 @@ type Stats struct {
 	Requests  int64 `json:"requests"`
 	Coalesced int64 `json:"coalesced"`
 	Errors    int64 `json:"errors"`
+}
+
+// JobStats is the compute-endpoint admission state: how many jobs are
+// running now, the -max-inflight bound (0 = unlimited), and how many
+// requests have been shed with a 429 since boot.
+type JobStats struct {
+	InFlight    int64 `json:"in_flight"`
+	MaxInflight int64 `json:"max_inflight"`
+	Shed        int64 `json:"shed"`
 }
 
 // Server is the dcserved HTTP service. Create with New, expose with
@@ -85,6 +100,12 @@ type Server struct {
 	requests  atomic.Int64
 	coalesced atomic.Int64
 	errors    atomic.Int64
+
+	// Compute-job admission control (see worker.go).
+	jobSem       chan struct{} // nil = unlimited
+	maxInflight  int
+	jobsInFlight atomic.Int64
+	shed         atomic.Int64
 }
 
 // New builds a Server with its own sweep engine (plus the configured memo
@@ -128,6 +149,10 @@ func New(cfg Config) *Server {
 		cancel:  cancel,
 		started: time.Now(),
 	}
+	if cfg.MaxInflight > 0 {
+		s.maxInflight = cfg.MaxInflight
+		s.jobSem = make(chan struct{}, cfg.MaxInflight)
+	}
 	s.flight.OnJoin(func() { s.coalesced.Add(1) })
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -135,7 +160,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/workloads/{name}/counters", s.handleCounters)
 	s.mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	s.mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep) // deprecated alias: a counters job
 	return s
 }
 
@@ -150,6 +176,15 @@ func (s *Server) Stats() Stats {
 		Requests:  s.requests.Load(),
 		Coalesced: s.coalesced.Load(),
 		Errors:    s.errors.Load(),
+	}
+}
+
+// JobStats snapshots the compute-endpoint admission state.
+func (s *Server) JobStats() JobStats {
+	return JobStats{
+		InFlight:    s.jobsInFlight.Load(),
+		MaxInflight: int64(s.maxInflight),
+		Shed:        s.shed.Load(),
 	}
 }
 
@@ -330,8 +365,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Status    string              `json:"status"`
 		UptimeSec float64             `json:"uptime_sec"`
 		Stats     Stats               `json:"stats"`
+		Jobs      JobStats            `json:"jobs"`
 		Store     *sweep.BackendStats `json:"store,omitempty"`
-	}{Status: "ok", UptimeSec: time.Since(s.started).Seconds(), Stats: s.Stats()}
+	}{Status: "ok", UptimeSec: time.Since(s.started).Seconds(), Stats: s.Stats(), Jobs: s.JobStats()}
 	if bs, ok := s.backendStats(); ok {
 		h.Store = &bs
 	}

@@ -12,42 +12,187 @@ import (
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
+	"dcbench/internal/workloads"
 )
 
-// SweepRequest is the body of POST /v1/sweep — the compute endpoint that
-// makes any dcserved a sweep worker. The key carries the full simulation
-// input (workload name, trace profile, config fingerprint, trace length);
-// Warmup is the run parameter the fingerprint was derived from, so the
-// worker can rebuild the machine config and prove it matches before
-// simulating. The dispatch layer is the intended client, but the contract
-// is plain JSON so anything can drive a worker.
+// This file is the compute side of dcserved: POST /v1/jobs makes any
+// dcserved a job worker. A job request is kind-tagged with the store's
+// record kinds — "counters" runs one characterization sweep key,
+// "cluster" runs one cluster experiment (a Figure 2/5 / Table I cell) —
+// and the answer is the store's checksummed, kind-tagged record of the
+// result: the same bytes the store persists, so the caller verifies kind,
+// key and checksum with the store's own codec and can write the record
+// through untouched. New job kinds add a case to handleJobs and a codec
+// beside the others in internal/store/wire.go; the dispatch, admission
+// and observability machinery is kind-agnostic.
+//
+// POST /v1/sweep is the deprecated spelling of a counters job from the
+// era when sweeps were the only kind that dispatched. It stays mounted,
+// byte-compatible (same request shape, same response record), so old
+// front-ends interoperate with new workers during a rollout.
+
+// JobRequest is the body of POST /v1/jobs. Kind selects the computation
+// (store.KindCounters or store.KindCluster) and how Key is decoded: a
+// sweep.Key for counters, a workloads.StatsKey for cluster. Warmup is
+// meaningful for counters only — the run parameter the key's config
+// fingerprint was derived from, so the worker can rebuild the machine
+// config and prove it matches before simulating. The dispatch layer is
+// the intended client, but the contract is plain JSON so anything can
+// drive a worker.
+type JobRequest struct {
+	Kind   string          `json:"kind"`
+	Key    json.RawMessage `json:"key"`
+	Warmup int64           `json:"warmup,omitempty"`
+}
+
+// SweepRequest is the body of the deprecated POST /v1/sweep alias — a
+// counters job in the PR 4 wire shape.
 type SweepRequest struct {
 	Key    sweep.Key `json:"key"`
 	Warmup int64     `json:"warmup"`
 }
 
-// maxSweepRequest bounds the request body; a sweep key is a few hundred
+// maxJobRequest bounds a compute request body; a job key is a few hundred
 // bytes, so anything larger is garbage.
-const maxSweepRequest = 1 << 20
+const maxJobRequest = 1 << 20
 
-// handleSweep runs one simulation for a remote front-end and answers with
-// the checksummed store record of the resulting counters — the same bytes
-// the store persists, so the caller verifies key and checksum with the
-// store's own codec and can write the result through untouched.
+// jobRetryAfterSeconds is the Retry-After hint a saturated worker sends
+// with a 429: long enough that a well-behaved front-end stops hammering,
+// short enough that a briefly loaded worker rejoins the rotation fast.
+const jobRetryAfterSeconds = 1
+
+// Job guard rails: a key asking for an absurd computation would tie a
+// worker up for hours — and under -max-inflight would pin an admission
+// slot while legitimate jobs shed — so refuse clearly instead of
+// obliging. For cluster jobs the slave count scales the simulated
+// hardware and the scale the input bytes; for counters jobs the trace
+// length is the cost (maxCounterInstrs is ~1000x the default run, tens
+// of seconds of simulation, far above any legitimate sweep).
+const (
+	maxClusterSlaves = 4096
+	maxClusterScale  = 10.0
+	maxCounterInstrs = 1_000_000_000
+)
+
+// admitJob applies the worker's admission control: with -max-inflight set,
+// at most that many compute jobs run concurrently and the rest are shed
+// with 429 + Retry-After — push-back a front-end feeds into its worker
+// ranking — rather than queued without bound. It returns a release func
+// and true when the job may run; on false the response is already written.
+//
+// Admission runs after the request is parsed (a shed costs the worker one
+// bounded body parse) but before any compute — crucially, a slot is never
+// held across a client-paced network read, so a stalled client cannot pin
+// a -max-inflight slot. The known tradeoff: a second front-end asking for
+// a key this worker is already computing is shed too, although joining
+// the in-flight memo cell would cost no extra compute — it then re-routes
+// the key to a non-owner. Letting a request peek the engine's flight
+// table before shedding would need a memo-level join-without-running API;
+// until then the cost is a duplicated simulation in the (two front-ends,
+// same cold key, saturated owner) corner, never a wrong result.
+func (s *Server) admitJob(w http.ResponseWriter) (func(), bool) {
+	if s.jobSem != nil {
+		select {
+		case s.jobSem <- struct{}{}:
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(jobRetryAfterSeconds))
+			http.Error(w, fmt.Sprintf("worker saturated: %d jobs in flight (-max-inflight)", s.maxInflight),
+				http.StatusTooManyRequests)
+			return nil, false
+		}
+	}
+	s.jobsInFlight.Add(1)
+	return func() {
+		s.jobsInFlight.Add(-1)
+		if s.jobSem != nil {
+			<-s.jobSem
+		}
+	}, true
+}
+
+// handleJobs runs one compute job for a remote front-end and answers with
+// the checksummed store record of the result.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobRequest)).Decode(&req); err != nil {
+		http.Error(w, "unreadable job request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Each kind decodes its key into a runner; admission is then one
+	// shared gate below, so a future kind cannot accidentally bypass
+	// -max-inflight (bad keys still answer 400, never 429).
+	var run func()
+	switch req.Kind {
+	case store.KindCounters:
+		var key sweep.Key
+		if err := json.Unmarshal(req.Key, &key); err != nil {
+			http.Error(w, "unreadable counters job key: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		run = func() { s.runCounterJob(w, key, req.Warmup) }
+	case store.KindCluster:
+		var key workloads.StatsKey
+		if err := json.Unmarshal(req.Key, &key); err != nil {
+			http.Error(w, "unreadable cluster job key: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		run = func() { s.runClusterJob(w, key) }
+	default:
+		http.Error(w, fmt.Sprintf("unknown job kind %q (want %q or %q)",
+			req.Kind, store.KindCounters, store.KindCluster), http.StatusBadRequest)
+		return
+	}
+	release, ok := s.admitJob(w)
+	if !ok {
+		return
+	}
+	defer release()
+	run()
+}
+
+// handleSweep is the deprecated /v1/sweep alias: the PR 4 counters-only
+// compute endpoint, byte-for-byte compatible so old front-ends keep
+// working against new workers.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobRequest)).Decode(&req); err != nil {
+		http.Error(w, "unreadable sweep request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	release, ok := s.admitJob(w)
+	if !ok {
+		return
+	}
+	defer release()
+	s.runCounterJob(w, req.Key, req.Warmup)
+}
+
+// runCounterJob simulates one sweep key and answers with the checksummed
+// counters record.
 //
 // The job runs on the server's engine: concurrent requests for one key
 // coalesce into one simulation, results land in the worker's own store
 // (when configured), and a worker that itself has a dispatch backend
 // forwards misses further down the chain.
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepRequest)).Decode(&req); err != nil {
-		http.Error(w, "unreadable sweep request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	wl, err := core.ByName(req.Key.Name)
+func (s *Server) runCounterJob(w http.ResponseWriter, key sweep.Key, warmup int64) {
+	wl, err := core.ByName(key.Name)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	// The effective trace length is MaxInstrs, or the profile's own cap
+	// when MaxInstrs is zero (the engine's convention; the tracer in turn
+	// defaults a zero profile cap to 2M instructions, so zero-everywhere
+	// keys are legitimate and bounded). Only an absurdly long explicit
+	// length is refused — it would pin an admission slot for hours.
+	instrs := key.MaxInstrs
+	if instrs <= 0 {
+		instrs = key.Profile.MaxInstrs
+	}
+	if instrs > maxCounterInstrs {
+		http.Error(w, fmt.Sprintf("trace length %d exceeds the %d cap", instrs, int64(maxCounterInstrs)),
+			http.StatusBadRequest)
 		return
 	}
 	// The worker simulates the paper's machine at the caller's warmup; a
@@ -55,32 +200,80 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// cannot rebuild from the request, and wrong-machine counters must
 	// never be returned as if they matched.
 	cfg := uarch.DefaultConfig()
-	cfg.Warmup = req.Warmup
-	if got := cfg.Fingerprint(); got != req.Key.ConfigFP {
+	cfg.Warmup = warmup
+	if got := cfg.Fingerprint(); got != key.ConfigFP {
 		http.Error(w, fmt.Sprintf(
 			"config fingerprint mismatch: default machine at warmup %d is %016x, request wants %016x",
-			req.Warmup, got, req.Key.ConfigFP), http.StatusConflict)
+			warmup, got, key.ConfigFP), http.StatusConflict)
 		return
 	}
 	// The key's profile is the trace spec (Job's uniqueness contract:
 	// name + profile identify the trace; the generator is keyed by name),
-	// so the engine's memo key here equals req.Key exactly.
-	jobs := []sweep.Job{{Name: wl.Name, Profile: req.Key.Profile, Gen: wl.Gen}}
-	cs, err := s.engine.Run(s.baseCtx, jobs, cfg, req.Key.MaxInstrs, sweep.RunOptions{Workers: 1})
+	// so the engine's memo key here equals key exactly.
+	jobs := []sweep.Job{{Name: wl.Name, Profile: key.Profile, Gen: wl.Gen}}
+	cs, err := s.engine.Run(s.baseCtx, jobs, cfg, key.MaxInstrs, sweep.RunOptions{Workers: 1})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			http.Error(w, "worker shutting down", http.StatusServiceUnavailable)
 			return
 		}
-		s.log.Error("worker sweep failed", "workload", req.Key.Name, "err", err)
+		s.log.Error("worker sweep failed", "workload", key.Name, "err", err)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	body, err := store.EncodeCounters(req.Key, cs[0])
+	body, err := store.EncodeCounters(key, cs[0])
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	writeRecord(w, body)
+}
+
+// runClusterJob runs one cluster experiment — a (workload, slaves, scale,
+// seed) cell of the Figure 2/5 matrix — and answers with the checksummed
+// cluster record. The run goes through the server's cluster cache, so
+// concurrent requests for one key coalesce and the result lands in the
+// worker's own store; unlike counters there is no machine fingerprint to
+// verify — the key alone fully determines the simulation.
+func (s *Server) runClusterJob(w http.ResponseWriter, key workloads.StatsKey) {
+	wl := workloads.ByName(key.Workload)
+	if wl == nil {
+		http.Error(w, fmt.Sprintf("unknown cluster workload %q", key.Workload), http.StatusNotFound)
+		return
+	}
+	if key.Slaves < 1 || key.Slaves > maxClusterSlaves {
+		http.Error(w, fmt.Sprintf("cluster slave count %d outside [1, %d]", key.Slaves, maxClusterSlaves),
+			http.StatusBadRequest)
+		return
+	}
+	if !(key.Scale > 0) || key.Scale > maxClusterScale {
+		http.Error(w, fmt.Sprintf("cluster scale %g outside (0, %g]", key.Scale, maxClusterScale),
+			http.StatusBadRequest)
+		return
+	}
+	if err := s.baseCtx.Err(); err != nil {
+		http.Error(w, "worker shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	st, err := s.opts.Cluster.Do(key, func() (*workloads.Stats, error) {
+		env := workloads.NewEnv(key.Slaves, key.Scale, key.Seed)
+		return wl.Run(env)
+	})
+	if err != nil {
+		s.log.Error("worker cluster job failed", "workload", key.Workload, "slaves", key.Slaves, "err", err)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body, err := store.EncodeStats(key, st)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeRecord(w, body)
+}
+
+// writeRecord sends one store record as a job response.
+func writeRecord(w http.ResponseWriter, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.Write(body)

@@ -8,22 +8,32 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"dcbench/internal/core"
 	"dcbench/internal/serve"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
+	"dcbench/internal/workloads"
 )
 
-// postSweep sends one /v1/sweep request and returns the response.
-func postSweep(t *testing.T, ts *httptest.Server, body any) (*http.Response, []byte) {
+// postJSON sends one POST and returns the response.
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
 	t.Helper()
-	data, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
+	var data []byte
+	switch b := body.(type) {
+	case []byte:
+		data = b
+	default:
+		var err error
+		data, err = json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
-	resp, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(data))
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,11 +45,21 @@ func postSweep(t *testing.T, ts *httptest.Server, body any) (*http.Response, []b
 	return resp, out
 }
 
-// TestWorkerSweepEndpoint: the compute endpoint simulates the requested
-// key and answers with a verifiable record holding exactly the counters a
+// jobRequest builds a kind-tagged /v1/jobs body.
+func jobRequest(t *testing.T, kind string, key any, warmup int64) serve.JobRequest {
+	t.Helper()
+	raw, err := json.Marshal(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.JobRequest{Kind: kind, Key: raw, Warmup: warmup}
+}
+
+// TestJobsCountersEndpoint: the unified compute endpoint runs a counters
+// job and answers with a verifiable record holding exactly the counters a
 // local engine produces for it — the bit-parity the dispatch layer's
 // byte-identical responses are built on.
-func TestWorkerSweepEndpoint(t *testing.T) {
+func TestJobsCountersEndpoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a single-workload sweep")
 	}
@@ -60,9 +80,9 @@ func TestWorkerSweepEndpoint(t *testing.T) {
 		ConfigFP:  cfg.Fingerprint(),
 		MaxInstrs: opts.Warmup + opts.Instrs,
 	}
-	resp, body := postSweep(t, ts, serve.SweepRequest{Key: key, Warmup: opts.Warmup})
+	resp, body := postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCounters, key, opts.Warmup))
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("sweep status = %d: %s", resp.StatusCode, body)
+		t.Fatalf("jobs status = %d: %s", resp.StatusCode, body)
 	}
 	gotKey, gotC, err := store.DecodeCounters(body)
 	if err != nil {
@@ -83,16 +103,111 @@ func TestWorkerSweepEndpoint(t *testing.T) {
 	}
 
 	// A second request for the same key rides the worker's memo: same bytes.
-	_, body2 := postSweep(t, ts, serve.SweepRequest{Key: key, Warmup: opts.Warmup})
+	_, body2 := postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCounters, key, opts.Warmup))
 	if !bytes.Equal(body, body2) {
-		t.Fatal("repeated sweep request returned different bytes")
+		t.Fatal("repeated counters job returned different bytes")
 	}
 }
 
-// TestWorkerSweepRejections pins the endpoint's refusals: unknown
-// workloads, a config fingerprint the worker cannot rebuild, and garbage
-// bodies must all fail loudly — never simulate the wrong thing.
-func TestWorkerSweepRejections(t *testing.T) {
+// TestJobsClusterEndpoint: a cluster job runs one Figure 2/5 cell and
+// answers with a verifiable cluster record matching a local simulation of
+// the same key, memoized across requests.
+func TestJobsClusterEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a cluster experiment")
+	}
+	opts := testOptions()
+	srv := serve.New(serve.Config{Options: opts, Logger: quietLog})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	key := workloads.StatsKey{Workload: "Sort", Slaves: 4, Scale: opts.Scale, Seed: opts.Seed}
+	resp, body := postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCluster, key, 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster job status = %d: %s", resp.StatusCode, body)
+	}
+	gotKey, gotSt, err := store.DecodeStats(body)
+	if err != nil {
+		t.Fatalf("response does not verify: %v", err)
+	}
+	if gotKey != key {
+		t.Fatalf("response key = %+v, want %+v", gotKey, key)
+	}
+
+	// Local oracle: the same cell simulated directly.
+	w := workloads.ByName(key.Workload)
+	want, err := w.Run(workloads.NewEnv(key.Slaves, key.Scale, key.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSt, want) {
+		t.Fatalf("worker cluster stats diverge from a local run\ngot:  %+v\nwant: %+v", gotSt, want)
+	}
+
+	// Memoized: the repeat answers identical bytes.
+	_, body2 := postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCluster, key, 0))
+	if !bytes.Equal(body, body2) {
+		t.Fatal("repeated cluster job returned different bytes")
+	}
+}
+
+// TestSweepAliasByteCompatible pins the deprecated /v1/sweep alias to the
+// PR 4 contract: the old request shape (raw JSON, exactly as an old
+// front-end serialises it) still works, and its response is byte-identical
+// to the same key submitted as a kind-tagged counters job — so old and new
+// nodes interoperate during a rollout.
+func TestSweepAliasByteCompatible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a single-workload sweep")
+	}
+	opts := testOptions()
+	srv := serve.New(serve.Config{Options: opts, Logger: quietLog})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wl, err := core.ByName("Grep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sweep.Key{
+		Name:      wl.Name,
+		Profile:   wl.Profile,
+		ConfigFP:  opts.CoreConfig().Fingerprint(),
+		MaxInstrs: opts.Warmup + opts.Instrs,
+	}
+
+	// The PR 4 wire shape, built exactly as the old dispatch layer did:
+	// json.Marshal of an anonymous {Key, Warmup} struct.
+	oldBody, err := json.Marshal(struct {
+		Key    sweep.Key `json:"key"`
+		Warmup int64     `json:"warmup"`
+	}{key, opts.Warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliasResp, aliasBytes := postJSON(t, ts, "/v1/sweep", oldBody)
+	if aliasResp.StatusCode != http.StatusOK {
+		t.Fatalf("alias status = %d: %s", aliasResp.StatusCode, aliasBytes)
+	}
+	jobsResp, jobsBytes := postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCounters, key, opts.Warmup))
+	if jobsResp.StatusCode != http.StatusOK {
+		t.Fatalf("jobs status = %d: %s", jobsResp.StatusCode, jobsBytes)
+	}
+	if !bytes.Equal(aliasBytes, jobsBytes) {
+		t.Fatal("/v1/sweep alias bytes diverge from the equivalent /v1/jobs counters job")
+	}
+	if _, _, err := store.DecodeCounters(aliasBytes); err != nil {
+		t.Fatalf("alias response does not verify with the store codec: %v", err)
+	}
+}
+
+// TestJobsRejections pins the endpoint's refusals: unknown kinds, unknown
+// workloads, a config fingerprint the worker cannot rebuild, absurd
+// cluster keys and garbage bodies must all fail loudly — never simulate
+// the wrong thing.
+func TestJobsRejections(t *testing.T) {
 	opts := testOptions()
 	srv := serve.New(serve.Config{Options: opts, Logger: quietLog})
 	defer srv.Close()
@@ -105,42 +220,75 @@ func TestWorkerSweepRejections(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, _ := postSweep(t, ts, serve.SweepRequest{
-		Key:    sweep.Key{Name: "NoSuchWorkload", ConfigFP: cfg.Fingerprint()},
-		Warmup: opts.Warmup,
-	})
+	resp, _ := postJSON(t, ts, "/v1/jobs", jobRequest(t, "warp-drive", struct{}{}, 0))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kind status = %d, want 400", resp.StatusCode)
+	}
+
+	resp, _ = postJSON(t, ts, "/v1/jobs",
+		jobRequest(t, store.KindCounters, sweep.Key{Name: "NoSuchWorkload", ConfigFP: cfg.Fingerprint()}, opts.Warmup))
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown workload status = %d, want 404", resp.StatusCode)
 	}
 
-	resp, _ = postSweep(t, ts, serve.SweepRequest{
-		Key:    sweep.Key{Name: wl.Name, Profile: wl.Profile, ConfigFP: 0xdead},
-		Warmup: opts.Warmup,
-	})
+	resp, _ = postJSON(t, ts, "/v1/jobs",
+		jobRequest(t, store.KindCounters,
+			sweep.Key{Name: wl.Name, Profile: wl.Profile, ConfigFP: 0xdead, MaxInstrs: opts.Warmup + opts.Instrs},
+			opts.Warmup))
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("fingerprint mismatch status = %d, want 409", resp.StatusCode)
 	}
 
-	req, err := http.NewRequest("POST", ts.URL+"/v1/sweep", bytes.NewReader([]byte("not json")))
-	if err != nil {
-		t.Fatal(err)
+	// An absurd trace length must be refused, not simulated for hours
+	// while it pins an admission slot — whether it rides MaxInstrs or the
+	// profile's own cap. (Zero-everywhere keys stay legal: the tracer
+	// defaults them to a bounded 2M-instruction trace.)
+	absurdProfile := wl.Profile
+	absurdProfile.MaxInstrs = 1 << 59
+	for _, key := range []sweep.Key{
+		{Name: wl.Name, Profile: wl.Profile, ConfigFP: cfg.Fingerprint(), MaxInstrs: 1 << 60},
+		{Name: wl.Name, Profile: absurdProfile, ConfigFP: cfg.Fingerprint()},
+	} {
+		resp, _ = postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCounters, key, opts.Warmup))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("absurd counters key %+v status = %d, want 400", key, resp.StatusCode)
+		}
 	}
-	resp, err = ts.Client().Do(req)
-	if err != nil {
-		t.Fatal(err)
+
+	resp, _ = postJSON(t, ts, "/v1/jobs",
+		jobRequest(t, store.KindCluster, workloads.StatsKey{Workload: "NoSuchWorkload", Slaves: 4, Scale: 0.01}, 0))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cluster workload status = %d, want 404", resp.StatusCode)
 	}
-	resp.Body.Close()
+
+	for _, key := range []workloads.StatsKey{
+		{Workload: "Sort", Slaves: 0, Scale: 0.01},
+		{Workload: "Sort", Slaves: 1 << 20, Scale: 0.01},
+		{Workload: "Sort", Slaves: 4, Scale: 0},
+		{Workload: "Sort", Slaves: 4, Scale: 1e9},
+	} {
+		resp, _ = postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCluster, key, 0))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("absurd cluster key %+v status = %d, want 400", key, resp.StatusCode)
+		}
+	}
+
+	resp, _ = postJSON(t, ts, "/v1/jobs", []byte("not json"))
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("garbage body status = %d, want 400", resp.StatusCode)
 	}
+	resp, _ = postJSON(t, ts, "/v1/sweep", []byte("not json"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage alias body status = %d, want 400", resp.StatusCode)
+	}
 }
 
-// TestWorkerSweepPersists: a store-backed worker writes the computed
-// counters into its own store under the requested key, so the worker's
-// restarts are warm too.
-func TestWorkerSweepPersists(t *testing.T) {
+// TestJobsPersist: a store-backed worker writes both job kinds' results
+// into its own store under the requested keys, so the worker's restarts
+// are warm too.
+func TestJobsPersist(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs a single-workload sweep")
+		t.Skip("runs a sweep and a cluster experiment")
 	}
 	st, err := store.Open(t.TempDir())
 	if err != nil {
@@ -157,11 +305,10 @@ func TestWorkerSweepPersists(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := opts.CoreConfig()
-	key := sweep.Key{Name: wl.Name, Profile: wl.Profile, ConfigFP: cfg.Fingerprint(), MaxInstrs: opts.Warmup + opts.Instrs}
-	resp, body := postSweep(t, ts, serve.SweepRequest{Key: key, Warmup: opts.Warmup})
+	key := sweep.Key{Name: wl.Name, Profile: wl.Profile, ConfigFP: opts.CoreConfig().Fingerprint(), MaxInstrs: opts.Warmup + opts.Instrs}
+	resp, body := postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCounters, key, opts.Warmup))
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("sweep status = %d: %s", resp.StatusCode, body)
+		t.Fatalf("counters job status = %d: %s", resp.StatusCode, body)
 	}
 	stored, ok, err := st.Get(key)
 	if err != nil || !ok {
@@ -173,5 +320,125 @@ func TestWorkerSweepPersists(t *testing.T) {
 	}
 	if !reflect.DeepEqual(stored, served) {
 		t.Fatal("stored counters diverge from the served record")
+	}
+
+	skey := workloads.StatsKey{Workload: "Grep", Slaves: 4, Scale: opts.Scale, Seed: opts.Seed}
+	resp, body = postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCluster, skey, 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster job status = %d: %s", resp.StatusCode, body)
+	}
+	storedSt, ok, err := st.GetClusterStats(skey)
+	if err != nil || !ok {
+		t.Fatalf("worker store has no cluster record for the served key (ok=%v err=%v)", ok, err)
+	}
+	_, servedSt, err := store.DecodeStats(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(storedSt, servedSt) {
+		t.Fatal("stored cluster stats diverge from the served record")
+	}
+}
+
+// TestAdmissionControl: a worker with -max-inflight 1 sheds the second
+// concurrent job with 429 + Retry-After while the first holds the slot,
+// keeps read endpoints unthrottled, frees the slot when the job finishes,
+// and counts the shed in /healthz and /metrics.
+func TestAdmissionControl(t *testing.T) {
+	opts := testOptions()
+	gate := make(chan struct{})
+	backend := &countingBackend{inner: newMemoryBackend(), gate: gate}
+	srv := serve.New(serve.Config{Options: opts, Backend: backend, MaxInflight: 1, Logger: quietLog})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wl, err := core.ByName("Sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sweep.Key{Name: wl.Name, Profile: wl.Profile, ConfigFP: opts.CoreConfig().Fingerprint(), MaxInstrs: opts.Warmup + opts.Instrs}
+
+	// First job: parks on the gated backend Load, holding the only slot.
+	// (Raw http in the goroutine: t.Fatal must stay on the test goroutine.)
+	firstBody, err := json.Marshal(jobRequest(t, store.KindCounters, key, opts.Warmup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(firstBody))
+		if err != nil {
+			firstDone <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.JobStats().InFlight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never occupied the slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Second job — and the old-shape alias — are shed with the hint.
+	resp, body := postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCounters, key, opts.Warmup))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated worker answered %d, want 429: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	resp, _ = postJSON(t, ts, "/v1/sweep", serve.SweepRequest{Key: key, Warmup: opts.Warmup})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated alias answered %d, want 429", resp.StatusCode)
+	}
+
+	// Read endpoints stay admitted: admission bounds compute, not serving.
+	if hresp, _ := get(t, ts, "/healthz", nil); hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under saturation = %d, want 200", hresp.StatusCode)
+	}
+
+	// Release the gate: the first job completes and the slot frees.
+	close(gate)
+	select {
+	case code := <-firstDone:
+		if code != http.StatusOK {
+			t.Fatalf("gated job finished with %d, want 200", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("gated job never finished")
+	}
+	resp, _ = postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCounters, key, opts.Warmup))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release job answered %d, want 200 (slot must free)", resp.StatusCode)
+	}
+
+	// The sheds are on the books.
+	js := srv.JobStats()
+	if js.Shed != 2 || js.MaxInflight != 1 || js.InFlight != 0 {
+		t.Fatalf("JobStats = %+v, want 2 shed, bound 1, 0 in flight", js)
+	}
+	_, hbody := get(t, ts, "/healthz", nil)
+	var h struct {
+		Jobs serve.JobStats `json:"jobs"`
+	}
+	if err := json.Unmarshal(hbody, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Jobs.Shed != 2 || h.Jobs.MaxInflight != 1 {
+		t.Fatalf("healthz jobs block = %+v, want the shed count", h.Jobs)
+	}
+	_, mbody := get(t, ts, "/metrics", nil)
+	for _, want := range []string{
+		"dcserved_jobs_shed_total 2",
+		"dcserved_jobs_max_inflight 1",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("metrics lack %q:\n%s", want, mbody)
+		}
 	}
 }

@@ -262,8 +262,11 @@ func (sh *shard) install(s *Store, addr string, data []byte, now int64) error {
 	if err := os.Rename(tmp.Name(), sh.recordPath(addr)); err != nil {
 		return err
 	}
-	if _, ok := sh.index[addr]; !ok {
+	if old, ok := sh.index[addr]; ok {
+		s.bytes.Add(int64(len(data)) - old.size)
+	} else {
 		s.live.Add(1)
+		s.bytes.Add(int64(len(data)))
 	}
 	sh.index[addr] = &entry{lastAccess: now, size: int64(len(data))}
 	if err := sh.appendLocked(fmt.Sprintf("P %s %d %d\n", addr, now, int64(len(data)))); err != nil {
@@ -304,6 +307,7 @@ func (sh *shard) touch(s *Store, addr string, now, size int64) {
 		return
 	}
 	s.live.Add(1)
+	s.bytes.Add(size)
 	sh.index[addr] = &entry{lastAccess: now, size: size}
 	if err := sh.appendLocked(fmt.Sprintf("P %s %d %d\n", addr, now, size)); err != nil {
 		s.log.Warn("store: index append failed", "shard", filepath.Base(sh.dir), "err", err)
@@ -342,7 +346,8 @@ func (sh *shard) flushTouches(s *Store) {
 func (sh *shard) forget(s *Store, addr string) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, ok := sh.index[addr]; !ok {
+	e, ok := sh.index[addr]
+	if !ok {
 		return
 	}
 	// Re-check under the lock: a Put may have installed a fresh record
@@ -355,6 +360,7 @@ func (sh *shard) forget(s *Store, addr string) {
 	delete(sh.index, addr)
 	delete(sh.pending, addr) // a batched touch for a dead record is noise
 	s.live.Add(-1)
+	s.bytes.Add(-e.size)
 	if err := sh.appendLocked(fmt.Sprintf("D %s\n", addr)); err != nil {
 		s.log.Warn("store: index append failed", "shard", filepath.Base(sh.dir), "err", err)
 	}
@@ -377,6 +383,7 @@ func (sh *shard) evict(s *Store, addr string, lastSeen int64) bool {
 	delete(sh.index, addr)
 	delete(sh.pending, addr)
 	s.live.Add(-1)
+	s.bytes.Add(-e.size)
 	if err := sh.appendLocked(fmt.Sprintf("D %s\n", addr)); err != nil {
 		s.log.Warn("store: index append failed", "shard", filepath.Base(sh.dir), "err", err)
 	}

@@ -96,6 +96,10 @@ type OpenOptions struct {
 	// cap (so a sustained write load evicts per batch, not per Put); an
 	// explicit Evict trims to the cap exactly.
 	MaxRecords int
+	// MaxBytes, when positive, caps the total record bytes on disk with the
+	// same LRU policy and hysteresis as MaxRecords; the two budgets compose
+	// (eviction runs until both are satisfied).
+	MaxBytes int64
 	// MaxAge, when positive, makes eviction passes (including the one at
 	// Open) remove records not written or read for longer than this.
 	MaxAge time.Duration
@@ -115,6 +119,7 @@ func RegisterFlags(fs *flag.FlagSet, o *OpenOptions) {
 	}
 	fs.IntVar(&o.Shards, "store-shards", o.Shards, "shard count when creating a store (power of two; existing stores keep their manifest's count)")
 	fs.IntVar(&o.MaxRecords, "store-max-records", o.MaxRecords, "evict least-recently-used records beyond this count; 0 = unlimited")
+	fs.Int64Var(&o.MaxBytes, "store-max-bytes", o.MaxBytes, "evict least-recently-used records once total record bytes exceed this; 0 = unlimited")
 	fs.DurationVar(&o.MaxAge, "store-max-age", o.MaxAge, "evict records unused for longer than this; 0 = keep forever")
 }
 
@@ -130,11 +135,13 @@ type Store struct {
 	dir        string
 	shards     []*shard
 	maxRecords int
+	maxBytes   int64
 	maxAge     time.Duration
 	now        func() time.Time
 	log        *slog.Logger
 
 	live      atomic.Int64 // current record count across shards
+	bytes     atomic.Int64 // current record bytes across shards
 	hits      atomic.Int64
 	misses    atomic.Int64
 	writes    atomic.Int64
@@ -204,6 +211,7 @@ func OpenWith(dir string, opt OpenOptions) (*Store, error) {
 	s := &Store{
 		dir:        dir,
 		maxRecords: opt.MaxRecords,
+		maxBytes:   opt.MaxBytes,
 		maxAge:     opt.MaxAge,
 		now:        opt.Now,
 		log:        opt.Log,
@@ -224,6 +232,9 @@ func OpenWith(dir string, opt OpenOptions) (*Store, error) {
 			opt.Log.Debug("store: skipped malformed index lines", "shard", i, "lines", torn)
 		}
 		s.live.Add(int64(len(sh.index)))
+		for _, e := range sh.index {
+			s.bytes.Add(e.size)
+		}
 		s.shards = append(s.shards, sh)
 	}
 	if migrate {
@@ -243,7 +254,9 @@ func OpenWith(dir string, opt OpenOptions) (*Store, error) {
 			opt.Log.Info("store: removed migrated v1 leftovers from an interrupted cleanup")
 		}
 	}
-	if s.maxAge > 0 || (s.maxRecords > 0 && int(s.live.Load()) > s.maxRecords) {
+	if s.maxAge > 0 ||
+		(s.maxRecords > 0 && int(s.live.Load()) > s.maxRecords) ||
+		(s.maxBytes > 0 && s.bytes.Load() > s.maxBytes) {
 		s.Evict()
 	}
 	return s, nil
@@ -375,10 +388,15 @@ func (s *Store) ShardCount() int { return len(s.shards) }
 // index, not a directory walk (and, unlike v1's, infallible).
 func (s *Store) Len() int { return int(s.live.Load()) }
 
+// Bytes is the current total record bytes — the value the MaxBytes budget
+// is enforced against, an O(1) counter read like Len.
+func (s *Store) Bytes() int64 { return s.bytes.Load() }
+
 // Stats snapshots the store's counters.
 func (s *Store) Stats() Stats {
 	return Stats{
 		Records:   s.live.Load(),
+		Bytes:     s.bytes.Load(),
 		Shards:    int64(len(s.shards)),
 		Hits:      s.hits.Load(),
 		Misses:    s.misses.Load(),
@@ -451,45 +469,64 @@ func (s *Store) put(kind string, key, payload []byte) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.writes.Add(1)
-	if s.maxRecords > 0 && int(s.live.Load()) > s.maxRecords {
-		// Trim below the cap (10% hysteresis, at least one record) so a
-		// sustained write load triggers a pass per batch, not a full
-		// snapshot-and-sort per Put.
-		slack := s.maxRecords / 10
-		if slack < 1 {
-			slack = 1
+	overRecords := s.maxRecords > 0 && int(s.live.Load()) > s.maxRecords
+	overBytes := s.maxBytes > 0 && s.bytes.Load() > s.maxBytes
+	if overRecords || overBytes {
+		// Trim below the exceeded cap(s) (10% hysteresis, at least one
+		// record) so a sustained write load triggers a pass per batch, not
+		// a full snapshot-and-sort per Put. A budget that is not exceeded
+		// keeps its exact cap: hysteresis on it would evict warm records
+		// nothing required evicting.
+		recTarget := s.maxRecords
+		if overRecords {
+			slack := s.maxRecords / 10
+			if slack < 1 {
+				slack = 1
+			}
+			recTarget = s.maxRecords - slack
+			if recTarget < 1 {
+				recTarget = 1 // a zero target would mean "no budget" to evict
+			}
 		}
-		target := s.maxRecords - slack
-		if target < 1 {
-			target = 1 // a zero target would mean "no budget" to evict
+		byteTarget := s.maxBytes
+		if overBytes {
+			byteTarget = s.maxBytes - s.maxBytes/10
+			if byteTarget < 1 {
+				byteTarget = 1
+			}
 		}
-		s.evict(target)
+		s.evict(recTarget, byteTarget)
 	}
 	return nil
 }
 
 // Evict runs one eviction-and-compaction pass: every record idle past
-// MaxAge goes, then the least-recently-used records beyond MaxRecords. It
-// returns how many records were removed. Records touched after the pass
-// snapshots the index are spared, so a concurrent hit never has its record
-// yanked on the basis of a stale stamp.
-func (s *Store) Evict() int { return s.evict(s.maxRecords) }
+// MaxAge goes, then the least-recently-used records beyond MaxRecords and
+// beyond the MaxBytes byte budget. It returns how many records were
+// removed. Records touched after the pass snapshots the index are spared,
+// so a concurrent hit never has its record yanked on the basis of a stale
+// stamp.
+func (s *Store) Evict() int { return s.evict(s.maxRecords, s.maxBytes) }
 
 // evict removes age-expired records and the least-recently-used records
-// beyond maxRecords (0 = no count budget).
-func (s *Store) evict(maxRecords int) int {
+// beyond maxRecords (0 = no count budget) and beyond maxBytes (0 = no
+// byte budget).
+func (s *Store) evict(maxRecords int, maxBytes int64) int {
 	s.evictMu.Lock()
 	defer s.evictMu.Unlock()
 	type candidate struct {
 		sh   *shard
 		addr string
 		last int64
+		size int64
 	}
 	var all []candidate
+	var totalBytes int64
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for addr, e := range sh.index {
-			all = append(all, candidate{sh, addr, e.lastAccess})
+			all = append(all, candidate{sh, addr, e.lastAccess, e.size})
+			totalBytes += e.size
 		}
 		sh.mu.Unlock()
 	}
@@ -502,13 +539,18 @@ func (s *Store) evict(maxRecords int) int {
 	if maxRecords > 0 && len(all) > maxRecords {
 		over = len(all) - maxRecords
 	}
+	var bytesOver int64
+	if maxBytes > 0 && totalBytes > maxBytes {
+		bytesOver = totalBytes - maxBytes
+	}
 	evicted := 0
 	for i, c := range all {
-		if i >= over && c.last >= cutoff {
+		if i >= over && c.last >= cutoff && bytesOver <= 0 {
 			break // sorted by last access: everything after is younger
 		}
 		if c.sh.evict(s, c.addr, c.last) {
 			evicted++
+			bytesOver -= c.size
 		}
 	}
 	if evicted > 0 {

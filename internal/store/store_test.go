@@ -351,6 +351,86 @@ func TestEvictionLRU(t *testing.T) {
 	}
 }
 
+func TestEvictionMaxBytes(t *testing.T) {
+	// Calibrate one record's on-disk size: the keys differ only in a seed
+	// digit, so every record is the same width.
+	calib, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calib.Put(testKey("w", 0), &uarch.Counters{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recSize := calib.Bytes()
+	calib.Close()
+	if recSize <= 0 {
+		t.Fatalf("calibration Bytes = %d, want > 0", recSize)
+	}
+
+	clock := newClock()
+	dir := t.TempDir()
+	budget := 8*recSize + recSize/2 // room for 8 records, not 9
+	s, err := store.OpenWith(dir, store.OpenOptions{
+		Shards: 4, MaxBytes: budget, Now: clock.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]sweep.Key, 12)
+	for i := range keys {
+		keys[i] = testKey("w", uint64(i))
+		if err := s.Put(keys[i], &uarch.Counters{Cycles: 1}); err != nil {
+			t.Fatal(err)
+		}
+		clock.advance(time.Second)
+	}
+	if got := s.Bytes(); got > budget {
+		t.Fatalf("Bytes after capped puts = %d, want <= the %d budget", got, budget)
+	}
+	if st := s.Stats(); st.Evictions == 0 || st.Bytes != s.Bytes() {
+		t.Fatalf("Stats = %+v, want nonzero evictions and Bytes matching", st)
+	}
+	// LRU order: the oldest writes are the victims, the newest survive.
+	if _, ok, _ := s.Get(keys[0]); ok {
+		t.Fatal("oldest key survived the byte budget")
+	}
+	if _, ok, _ := s.Get(keys[11]); !ok {
+		t.Fatal("newest key was evicted")
+	}
+	// The byte ledger survives a reopen: replayed index sizes must sum to
+	// the same total (Get above refreshed stamps, so flush them first).
+	want := s.Bytes()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.OpenWith(dir, store.OpenOptions{Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Bytes(); got != want {
+		t.Fatalf("Bytes after reopen = %d, want %d", got, want)
+	}
+
+	// An explicit Evict with a tighter budget trims to it exactly.
+	s3, err := store.OpenWith(t.TempDir(), store.OpenOptions{
+		Shards: 4, MaxBytes: 2 * recSize, Now: clock.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	for i := 0; i < 2; i++ {
+		if err := s3.Put(testKey("w", uint64(i)), &uarch.Counters{Cycles: 1}); err != nil {
+			t.Fatal(err)
+		}
+		clock.advance(time.Second)
+	}
+	if got := s3.Len(); got != 2 {
+		t.Fatalf("Len under exact budget = %d, want 2 (no eviction below the cap)", got)
+	}
+}
+
 func TestEvictionMaxAge(t *testing.T) {
 	clock := newClock()
 	dir := t.TempDir()

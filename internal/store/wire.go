@@ -6,16 +6,19 @@ import (
 
 	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
+	"dcbench/internal/workloads"
 )
 
-// The dispatch layer ships counter results between nodes in exactly the
+// The dispatch layer ships job results between nodes in exactly the
 // bytes this package persists them in: a checksummed, kind-tagged,
 // key-embedding record. Reusing the record codec as the wire format means
 // one set of integrity guarantees covers both disk and network — a torn
 // response, a proxy mangling bytes, or a worker answering for the wrong
 // key all fail the same decode-and-verify the store already runs on every
 // Get, and a front-end can trust a decoded record enough to write it
-// straight through to its own store.
+// straight through to its own store. One codec per record kind: counters
+// records answer counter-sweep jobs, cluster records answer cluster
+// experiment jobs, and any future job kind rides the same envelope.
 
 // EncodeCounters serialises one sweep result as a checksummed counters
 // record — the wire format a worker answers /v1/sweep with.
@@ -54,4 +57,43 @@ func DecodeCounters(data []byte) (sweep.Key, *uarch.Counters, error) {
 		return zero, nil, fmt.Errorf("%w: unreadable counters: %v", errCorrupt, err)
 	}
 	return sweep.Key{Name: kj.Name, Profile: kj.Profile, ConfigFP: kj.ConfigFP, MaxInstrs: kj.MaxInstrs}, &c, nil
+}
+
+// EncodeStats serialises one cluster experiment result as a checksummed
+// cluster record — the wire format a worker answers a cluster job with.
+func EncodeStats(k workloads.StatsKey, st *workloads.Stats) ([]byte, error) {
+	key, err := clusterKey(k)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode stats: %w", err)
+	}
+	return encodeRecord(KindCluster, key, payload)
+}
+
+// DecodeStats parses and verifies a cluster record, returning the key it
+// was encoded under alongside the stats. Any failure — unparseable bytes,
+// a checksum mismatch, a record of another kind — is an error; the caller
+// must additionally check the returned key against the key it asked for
+// before trusting the stats.
+func DecodeStats(data []byte) (workloads.StatsKey, *workloads.Stats, error) {
+	var zero workloads.StatsKey
+	kind, key, payload, err := decodeRecord(data)
+	if err != nil {
+		return zero, nil, err
+	}
+	if kind != KindCluster {
+		return zero, nil, fmt.Errorf("%w: record kind %q, want %q", errCorrupt, kind, KindCluster)
+	}
+	var kj statsKeyJSON
+	if err := json.Unmarshal(key, &kj); err != nil {
+		return zero, nil, fmt.Errorf("%w: unreadable key: %v", errCorrupt, err)
+	}
+	var st workloads.Stats
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return zero, nil, fmt.Errorf("%w: unreadable stats: %v", errCorrupt, err)
+	}
+	return workloads.StatsKey{Workload: kj.Workload, Slaves: kj.Slaves, Scale: kj.Scale, Seed: kj.Seed}, &st, nil
 }

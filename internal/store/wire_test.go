@@ -7,6 +7,7 @@ import (
 	"dcbench/internal/memtrace"
 	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
+	"dcbench/internal/workloads"
 )
 
 // TestWireRoundTrip: the dispatch wire format carries key and counters
@@ -61,8 +62,34 @@ func TestWireRejectsMutation(t *testing.T) {
 	}
 }
 
+// TestStatsWireRoundTrip: the cluster-job wire format carries key and
+// stats bit-exactly, including the Quality map.
+func TestStatsWireRoundTrip(t *testing.T) {
+	k := workloads.StatsKey{Workload: "Sort", Slaves: 8, Scale: 0.05, Seed: 42}
+	st := &workloads.Stats{
+		Workload: "Sort", Slaves: 8, Makespan: 321.25, Jobs: 3,
+		InputSimBytes: 1 << 30, DiskWriteOps: 777, NetBytes: 555,
+		CoreSeconds: 12.5, Quality: map[string]float64{"sorted": 1},
+	}
+	data, err := EncodeStats(k, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKey, gotSt, err := DecodeStats(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != k {
+		t.Fatalf("key round trip: got %+v, want %+v", gotKey, k)
+	}
+	if gotSt.Workload != st.Workload || gotSt.Makespan != st.Makespan ||
+		gotSt.DiskWriteOps != st.DiskWriteOps || gotSt.Quality["sorted"] != 1 {
+		t.Fatalf("stats round trip: got %+v, want %+v", gotSt, st)
+	}
+}
+
 // TestWireRejectsWrongKind: a cluster record must not decode as counters
-// even though it passes the checksum.
+// (and vice versa) even though each passes the checksum.
 func TestWireRejectsWrongKind(t *testing.T) {
 	key := []byte(`{"workload":"Sort","slaves":4,"scale":0.05,"seed":42}`)
 	rec, err := encodeRecord(KindCluster, key, []byte(`{"Jobs":3}`))
@@ -71,5 +98,47 @@ func TestWireRejectsWrongKind(t *testing.T) {
 	}
 	if _, _, err := DecodeCounters(rec); err == nil || !strings.Contains(err.Error(), "kind") {
 		t.Fatalf("cluster record decoded as counters: err=%v", err)
+	}
+	crec, err := EncodeCounters(sweep.Key{Name: "Grep", MaxInstrs: 1}, &uarch.Counters{Cycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeStats(crec); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("counters record decoded as cluster stats: err=%v", err)
+	}
+}
+
+// TestWireFormatGolden pins the exact bytes of both wire codecs — field
+// names, field order, the schema tag and the checksum — to the format
+// PR 4-era nodes read and write. A diff here is a wire break: old
+// front-ends and workers would stop interoperating with new ones during
+// a rollout, so change it deliberately (with a schema bump and migration
+// story), never as a side effect.
+func TestWireFormatGolden(t *testing.T) {
+	k := sweep.Key{
+		Name:      "Sort",
+		Profile:   memtrace.Profile{Seed: 42, MaxInstrs: 40000, CodeKB: 128, FPUShare: 0.25},
+		ConfigFP:  0xabcdef0123456789,
+		MaxInstrs: 40000,
+	}
+	c := &uarch.Counters{Cycles: 123456, Instructions: 654321, L2Misses: 42}
+	data, err := EncodeCounters(k, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounters := `{"schema":2,"kind":"counters","key":{"name":"Sort","profile":{"Seed":42,"MaxInstrs":40000,"CodeKB":128,"HotCodeKB":0,"KernelKB":0,"BlockLen":0,"ColdJumpP":0,"FrameworkEvery":0,"FrameworkInstrs":0,"FrameworkJump":0,"GCEvery":0,"GCInstrs":0,"HeapMB":0,"ALUPerMem":0,"FPUShare":0.25,"NSrc2P":0,"NSrc3P":0,"ChainProb":0},"config_fp":12379813738877118345,"max_instrs":40000},"payload":{"Cycles":123456,"Instructions":654321,"KernelInstructions":0,"Branches":0,"BranchMispredicts":0,"L1IAccesses":0,"L1IMisses":0,"L1DAccesses":0,"L1DMisses":0,"L2Accesses":0,"L2Misses":42,"L3Accesses":0,"L3Misses":0,"ITLBWalks":0,"DTLBWalks":0,"FetchStall":0,"RATStall":0,"LoadBufStall":0,"StoreBufStall":0,"RSStall":0,"ROBStall":0},"sum":"004fa50e7727baac"}` + "\n"
+	if string(data) != wantCounters {
+		t.Errorf("counters wire format drifted from the PR 4 bytes\ngot:  %s\nwant: %s", data, wantCounters)
+	}
+
+	sk := workloads.StatsKey{Workload: "Sort", Slaves: 4, Scale: 0.05, Seed: 42}
+	st := &workloads.Stats{Workload: "Sort", Slaves: 4, Makespan: 123.5, Jobs: 3, DiskWriteOps: 777}
+	sdata, err := EncodeStats(sk, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats := `{"schema":2,"kind":"cluster","key":{"workload":"Sort","slaves":4,"scale":0.05,"seed":42},"payload":{"Workload":"Sort","Slaves":4,"Makespan":123.5,"Jobs":3,"InputSimBytes":0,"DiskWriteOps":777,"DiskWriteBytes":0,"NetBytes":0,"CoreSeconds":0,"Quality":null},"sum":"a18d112e7286306f"}` + "\n"
+	if string(sdata) != wantStats {
+		t.Errorf("cluster wire format drifted\ngot:  %s\nwant: %s", sdata, wantStats)
 	}
 }

@@ -102,6 +102,7 @@ type MemoBackend interface {
 // plain stores leave it nil.
 type BackendStats struct {
 	Records   int64          `json:"records"`
+	Bytes     int64          `json:"bytes"`
 	Shards    int64          `json:"shards"`
 	Hits      int64          `json:"hits"`
 	Misses    int64          `json:"misses"`
@@ -112,27 +113,48 @@ type BackendStats struct {
 }
 
 // DispatchStats is the remote-dispatch slice of BackendStats: how much
-// sweep work left this process, how much of it came back, and how often
+// compute work left this process, how much of it came back, and how often
 // the process had to degrade to simulating locally. Fallbacks > 0 with a
-// nonzero worker set is the operator's signal that the cluster is dark.
+// nonzero worker set is the operator's signal that the cluster is dark;
+// Shed > 0 says workers are answering but saturated (429), so the set is
+// undersized for the load, not broken. The aggregate counters sum over
+// job kinds; PerKind splits them so a cluster-job problem cannot hide
+// behind healthy counter traffic.
 type DispatchStats struct {
-	Workers    int64         `json:"workers"`
-	Healthy    int64         `json:"healthy"`
-	Dispatched int64         `json:"dispatched"`
-	RemoteHits int64         `json:"remote_hits"`
-	Fallbacks  int64         `json:"fallbacks"`
-	Errors     int64         `json:"errors"`
-	InFlight   int64         `json:"in_flight"`
-	PerWorker  []WorkerStats `json:"per_worker,omitempty"`
+	Workers    int64               `json:"workers"`
+	Healthy    int64               `json:"healthy"`
+	Dispatched int64               `json:"dispatched"`
+	RemoteHits int64               `json:"remote_hits"`
+	Fallbacks  int64               `json:"fallbacks"`
+	Errors     int64               `json:"errors"`
+	Shed       int64               `json:"shed"`
+	InFlight   int64               `json:"in_flight"`
+	PerKind    []DispatchKindStats `json:"per_kind,omitempty"`
+	PerWorker  []WorkerStats       `json:"per_worker,omitempty"`
+}
+
+// DispatchKindStats is one job kind's slice of the dispatch counters.
+// Kind names match the store's record kinds ("counters", "cluster").
+type DispatchKindStats struct {
+	Kind       string `json:"kind"`
+	Dispatched int64  `json:"dispatched"`
+	RemoteHits int64  `json:"remote_hits"`
+	Fallbacks  int64  `json:"fallbacks"`
+	Errors     int64  `json:"errors"`
+	Shed       int64  `json:"shed"`
 }
 
 // WorkerStats is one worker's traffic and health as seen by the dispatch
-// layer.
+// layer. Shedding means the worker's last answer was a 429 and its
+// Retry-After window has not yet passed — it is demoted in ranking but,
+// unlike an open circuit, still counts as alive.
 type WorkerStats struct {
 	Addr        string `json:"addr"`
 	Sent        int64  `json:"sent"`
 	Errors      int64  `json:"errors"`
+	Shed        int64  `json:"shed"`
 	CircuitOpen bool   `json:"circuit_open"`
+	Shedding    bool   `json:"shedding"`
 }
 
 // StatsReporter is the optional MemoBackend extension for observability:
