@@ -26,6 +26,8 @@
 //	-workers host:port,...  dispatch sweep and cluster-job misses to dcserved
 //	            workers, with -dispatch-timeout, -dispatch-retries,
 //	            -dispatch-hedge and -dispatch-cooldown as in dcserved
+//	-trace-cache-bytes n    byte budget for captured instruction traces
+//	            replayed across sweep configs; 0 disables (default 256 MiB)
 //
 // Sweeps are deterministic at any -j: parallel runs produce bit-identical
 // counters to -j 1 at the same seed — and to a dispatched run, since
@@ -41,6 +43,7 @@ import (
 
 	"dcbench/internal/core"
 	"dcbench/internal/dispatch"
+	"dcbench/internal/memtrace/tracecache"
 	"dcbench/internal/report"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
@@ -51,17 +54,19 @@ import (
 // flags, the shared store flags, the shared dispatch flags, plus dcbench's
 // output flags), defaulted from *opts and written back on Parse. Split out
 // of main so tests can pin the usage text to the real defaults.
-func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut *bool, storeDir *string, storeOpts *store.OpenOptions, dispatchOpts *dispatch.Options) {
+func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut *bool, storeDir *string, storeOpts *store.OpenOptions, dispatchOpts *dispatch.Options, traceOpts *tracecache.Options) {
 	report.RegisterFlags(fs, opts)
 	storeOpts = &store.OpenOptions{}
 	store.RegisterFlags(fs, storeOpts)
 	dispatchOpts = &dispatch.Options{}
 	dispatch.RegisterFlags(fs, dispatchOpts)
+	traceOpts = &tracecache.Options{}
+	tracecache.RegisterFlags(fs, traceOpts)
 	storeDir = fs.String("store", "", "persist results in this store directory across runs; empty disables")
 	csv = fs.Bool("csv", false, "emit CSV")
 	chart = fs.Bool("chart", false, "append ASCII bar charts")
 	jsonOut = fs.Bool("json", false, "emit the characterization sweep as JSON (figure/all)")
-	return csv, chart, jsonOut, storeDir, storeOpts, dispatchOpts
+	return csv, chart, jsonOut, storeDir, storeOpts, dispatchOpts, traceOpts
 }
 
 // wireBackends points opts at a run-owned engine when a store or a worker
@@ -107,7 +112,7 @@ func wireBackends(storeDir string, storeOpts store.OpenOptions, dispatchOpts dis
 
 func main() {
 	opts := report.DefaultOptions()
-	csv, chart, jsonOut, storeDir, storeOpts, dispatchOpts := registerFlags(flag.CommandLine, &opts)
+	csv, chart, jsonOut, storeDir, storeOpts, dispatchOpts, traceOpts := registerFlags(flag.CommandLine, &opts)
 	flag.Parse()
 
 	if *storeDir != "" || len(dispatchOpts.Workers) > 0 {
@@ -119,6 +124,15 @@ func main() {
 		if st != nil {
 			defer st.Close()
 		}
+	}
+	if traceOpts.MaxBytes > 0 {
+		// Trace capture/replay sits on the run's engine (creating one when
+		// no store or worker set already did), so figures that sweep one
+		// workload across machine configurations generate its trace once.
+		if opts.Engine == nil {
+			opts.Engine = sweep.NewEngine()
+		}
+		opts.Engine.SetTraceCache(tracecache.New(traceOpts.MaxBytes))
 	}
 
 	args := flag.Args()

@@ -26,6 +26,8 @@
 //	-store-max-bytes n     LRU-evict records beyond this many bytes; 0 = unlimited
 //	-store-max-age d       evict records unused for longer than d; 0 = keep forever
 //	-max-inflight n        bound concurrent compute jobs; excess shed 429 (0 = unlimited)
+//	-trace-cache-bytes n   byte budget for captured instruction traces replayed
+//	                       across sweep configs; 0 disables (default 256 MiB)
 //	-workers host:port,...     dispatch job misses to these dcserved workers
 //	-dispatch-timeout d        per-attempt timeout for dispatched jobs
 //	-dispatch-retries n        extra attempts on other workers after a failure
@@ -70,6 +72,7 @@ import (
 	"time"
 
 	"dcbench/internal/dispatch"
+	"dcbench/internal/memtrace/tracecache"
 	"dcbench/internal/report"
 	"dcbench/internal/serve"
 	"dcbench/internal/store"
@@ -81,6 +84,7 @@ func main() {
 	opts := report.DefaultOptions()
 	var storeOpts store.OpenOptions
 	var dispatchOpts dispatch.Options
+	var traceOpts tracecache.Options
 	addr := flag.String("addr", ":8337", "listen address")
 	storeDir := flag.String("store", "dcserved.store", "result store directory; empty disables persistence")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period")
@@ -88,12 +92,14 @@ func main() {
 	report.RegisterFlags(flag.CommandLine, &opts)
 	store.RegisterFlags(flag.CommandLine, &storeOpts)
 	dispatch.RegisterFlags(flag.CommandLine, &dispatchOpts)
+	tracecache.RegisterFlags(flag.CommandLine, &traceOpts)
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
 	slog.SetDefault(log)
 
-	cfg := serve.Config{Options: opts, MaxInflight: *maxInflight, Logger: log}
+	cfg := serve.Config{Options: opts, MaxInflight: *maxInflight,
+		TraceCacheBytes: traceOpts.MaxBytes, Logger: log}
 	var local sweep.MemoBackend
 	var localStats workloads.StatsBackend
 	if *storeDir != "" {

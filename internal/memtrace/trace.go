@@ -88,19 +88,18 @@ func (r *sliceReader) Read(buf []Inst) int {
 	return n
 }
 
-// Collect drains a reader into memory (tests and small traces only).
+// Collect drains a reader into memory (tests and small traces only). The
+// output is allocated at max up front and the reader decodes directly into
+// it — no intermediate batch, no append re-copies.
 func Collect(r Reader, max int) []Inst {
-	var out []Inst
-	buf := make([]Inst, 4096)
-	for len(out) < max {
-		n := r.Read(buf)
-		if n == 0 {
+	out := make([]Inst, max)
+	n := 0
+	for n < max {
+		m := r.Read(out[n:])
+		if m == 0 {
 			break
 		}
-		out = append(out, buf[:n]...)
+		n += m
 	}
-	if len(out) > max {
-		out = out[:max]
-	}
-	return out
+	return out[:n]
 }

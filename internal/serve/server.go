@@ -34,6 +34,7 @@ import (
 
 	"dcbench/internal/core"
 	"dcbench/internal/memo"
+	"dcbench/internal/memtrace/tracecache"
 	"dcbench/internal/report"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
@@ -57,6 +58,11 @@ type Config struct {
 	// Cluster overrides Store as the cluster memo's persistent backend
 	// (tests wrap the store in counting shims through this).
 	Cluster workloads.StatsBackend
+	// TraceCacheBytes, when positive, installs a trace capture/replay
+	// cache of that byte budget on the server's engine: each workload's
+	// instruction stream is generated once and replayed for every other
+	// machine configuration it is swept under. 0 runs without one.
+	TraceCacheBytes int64
 	// MaxInflight, when positive, bounds concurrent compute jobs
 	// (POST /v1/jobs and the /v1/sweep alias): excess requests are shed
 	// with 429 + Retry-After instead of queued without bound, so one
@@ -126,6 +132,9 @@ func New(cfg Config) *Server {
 	}
 	if backend != nil {
 		engine.SetMemoBackend(backend)
+	}
+	if cfg.TraceCacheBytes > 0 {
+		engine.SetTraceCache(tracecache.New(cfg.TraceCacheBytes))
 	}
 	opts.Engine = engine
 	// The cluster memo is the server's own (not the process-wide default),
@@ -350,14 +359,22 @@ func (s *Server) serveTable(w http.ResponseWriter, r *http.Request, key string, 
 // backendStats resolves the store-level counters for /healthz and
 // /metrics: the engine's memo backend when it reports them (the store's
 // does, and wrappers may forward), else the configured store directly.
+// The engine's trace-cache counters, when a cache is installed, ride in
+// the same block — even on storeless servers, so a worker's replay
+// savings are visible wherever it runs.
 func (s *Server) backendStats() (sweep.BackendStats, bool) {
-	if sr, ok := s.backend.(sweep.StatsReporter); ok {
-		return sr.BackendStats(), true
+	var bs sweep.BackendStats
+	ok := false
+	if sr, isReporter := s.backend.(sweep.StatsReporter); isReporter {
+		bs, ok = sr.BackendStats(), true
+	} else if s.store != nil {
+		bs, ok = s.store.BackendStats(), true
 	}
-	if s.store != nil {
-		return s.store.BackendStats(), true
+	if ts, on := s.engine.TraceCacheStats(); on {
+		bs.TraceCache = &ts
+		ok = true
 	}
-	return sweep.BackendStats{}, false
+	return bs, ok
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,97 @@
+package sweep_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"dcbench/internal/core"
+	"dcbench/internal/memtrace"
+	"dcbench/internal/memtrace/tracecache"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+// TestBenchArtifact writes the CI perf artifact (BENCH_sim.json): the
+// cost of sweeping one real workload across several machine
+// configurations with the trace regenerated per config (the cold path)
+// versus replayed from the trace cache, plus the bare step-loop
+// throughput and the encoded trace density. Gated on BENCH_SIM_OUT so
+// ordinary test runs skip it.
+func TestBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_SIM_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SIM_OUT=<path> to write the perf artifact")
+	}
+	job := core.RegistryJobs()[0]
+	const instrs = 400_000
+	cfgs := sweepConfigs(6)
+	totalInstrs := int64(instrs) * int64(len(cfgs))
+
+	runAll := func(e *sweep.Engine) time.Duration {
+		start := time.Now()
+		for _, cfg := range cfgs {
+			if _, err := e.Run(context.Background(), []sweep.Job{job}, cfg, instrs,
+				sweep.RunOptions{Workers: 1, NoMemo: true}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	// Cold: every config regenerates the workload's trace.
+	cold := runAll(sweep.NewEngine())
+
+	// Replay: capture once outside the timed window, then every config
+	// decodes the cached segments.
+	warm := sweep.NewEngine()
+	warm.SetTraceCache(tracecache.New(tracecache.DefaultMaxBytes))
+	if _, err := warm.Run(context.Background(), []sweep.Job{job}, cfgs[0], instrs,
+		sweep.RunOptions{Workers: 1, NoMemo: true}); err != nil {
+		t.Fatal(err)
+	}
+	replay := runAll(warm)
+	ts, _ := warm.TraceCacheStats()
+	if ts.Captures != 1 || ts.Hits != int64(len(cfgs)) {
+		t.Fatalf("trace cache stats = %+v, want captures=1 hits=%d (replay benchmark mis-primed)", ts, len(cfgs))
+	}
+
+	// Bare step throughput: the core loop over an in-memory trace, no
+	// generation and no decode — the floor replay is approaching.
+	p := job.Profile
+	p.MaxInstrs = instrs
+	trace := memtrace.Collect(memtrace.NewReader(p, job.Gen), instrs)
+	cfg := cfgs[0]
+	c := uarch.NewCore(cfg)
+	stepStart := time.Now()
+	const stepRounds = 3
+	for i := 0; i < stepRounds; i++ {
+		c.Reset(cfg)
+		c.Run(memtrace.NewSliceReader(trace))
+	}
+	stepNS := float64(time.Since(stepStart).Nanoseconds()) / float64(stepRounds*len(trace))
+
+	artifact := map[string]any{
+		"schema":               1,
+		"workload":             job.Name,
+		"configs":              len(cfgs),
+		"instrs_per_config":    instrs,
+		"cold_ns_per_instr":    float64(cold.Nanoseconds()) / float64(totalInstrs),
+		"replay_ns_per_instr":  float64(replay.Nanoseconds()) / float64(totalInstrs),
+		"replay_speedup":       float64(cold.Nanoseconds()) / float64(replay.Nanoseconds()),
+		"step_ns_per_instr":    stepNS,
+		"trace_bytes":          ts.Bytes,
+		"trace_bytes_per_inst": float64(ts.Bytes) / float64(len(trace)),
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", out, data)
+}

@@ -33,6 +33,7 @@ import (
 
 	"dcbench/internal/memo"
 	"dcbench/internal/memtrace"
+	"dcbench/internal/memtrace/tracecache"
 	"dcbench/internal/uarch"
 )
 
@@ -110,6 +111,9 @@ type BackendStats struct {
 	Evictions int64          `json:"evictions"`
 	Corrupt   int64          `json:"corrupt"`
 	Dispatch  *DispatchStats `json:"dispatch,omitempty"`
+	// TraceCache reports the engine's trace capture/replay layer when one
+	// is installed; engines running without one leave it nil.
+	TraceCache *tracecache.Stats `json:"trace_cache,omitempty"`
 }
 
 // DispatchStats is the remote-dispatch slice of BackendStats: how much
@@ -173,6 +177,7 @@ type Engine struct {
 	memo    *memo.Memo[Key, *uarch.Counters] // retaining: one simulation per key, shared forever
 	pools   map[uint64]*sync.Pool            // reusable cores keyed by config fingerprint
 	backend MemoBackend
+	traces  *tracecache.Cache // optional capture/replay layer; nil = live generation
 }
 
 // NewEngine returns an empty engine.
@@ -190,6 +195,30 @@ func (e *Engine) SetMemoBackend(b MemoBackend) {
 	e.mu.Lock()
 	e.backend = b
 	e.mu.Unlock()
+}
+
+// SetTraceCache installs (or, with nil, removes) a trace capture/replay
+// cache. With one installed, each (workload, profile, trace length) is
+// generated once and every other config in a sweep replays the cached
+// columnar encoding — the same instruction stream bit for bit, so results
+// are unchanged; only the generator work disappears. A nil-safe
+// tracecache.New(0) also counts as absent.
+func (e *Engine) SetTraceCache(c *tracecache.Cache) {
+	e.mu.Lock()
+	e.traces = c
+	e.mu.Unlock()
+}
+
+// TraceCacheStats snapshots the installed trace cache's counters; ok is
+// false when the engine runs without one.
+func (e *Engine) TraceCacheStats() (s tracecache.Stats, ok bool) {
+	e.mu.Lock()
+	tc := e.traces
+	e.mu.Unlock()
+	if tc == nil {
+		return tracecache.Stats{}, false
+	}
+	return tc.Stats(), true
 }
 
 // pool returns the core pool for the given config fingerprint. Pooled cores
@@ -228,7 +257,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, cfg uarch.Config, maxInstr
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			out[i], errs[i] = simulate(j, cfg, maxInstrs, nil)
+			out[i], errs[i] = e.simulate(j, cfg, maxInstrs, nil)
 		}
 		return out, joinJobErrors(jobs, errs)
 	}
@@ -236,7 +265,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, cfg uarch.Config, maxInstr
 	pool := e.pool(fp)
 	err := Each(ctx, opt.workers(), len(jobs), func(i int) {
 		if opt.NoMemo {
-			out[i], errs[i] = simulate(jobs[i], cfg, maxInstrs, pool)
+			out[i], errs[i] = e.simulate(jobs[i], cfg, maxInstrs, pool)
 		} else {
 			out[i], errs[i] = e.memoized(jobs[i], cfg, fp, maxInstrs, pool)
 		}
@@ -275,7 +304,7 @@ func (e *Engine) memoized(job Job, cfg uarch.Config, fp uint64, maxInstrs int64,
 				return c, nil
 			}
 		}
-		c, err := simulate(job, cfg, maxInstrs, pool)
+		c, err := e.simulate(job, cfg, maxInstrs, pool)
 		if backend != nil && err == nil {
 			backend.Store(key, c)
 		}
@@ -285,17 +314,36 @@ func (e *Engine) memoized(job Job, cfg uarch.Config, fp uint64, maxInstrs int64,
 
 // simulate runs one job through a core drawn from pool (or a fresh core
 // when pool is nil), returning a private copy of the counter file so the
-// core can be recycled immediately. Panics come back as errors: a
-// generator panic arrives wrapped in memtrace.TracePanic after its
-// goroutine has exited, while a core-model panic leaves the generator
-// goroutine mid-trace, so the abandoned reader is drained in the
-// background to let that goroutine finish and be collected.
-func simulate(job Job, cfg uarch.Config, maxInstrs int64, pool *sync.Pool) (counters *uarch.Counters, err error) {
+// core can be recycled immediately. With a trace cache installed the
+// instruction stream comes from a cached capture (replayed zero-copy, no
+// generator goroutine) whenever the cache can hold it; otherwise — no
+// cache, over-budget trace — it is generated live. Panics come back as
+// errors: a generator panic arrives wrapped in memtrace.TracePanic after
+// its goroutine has exited (the cache surfaces capture-time panics as
+// plain errors with the same text), while a core-model panic over a live
+// stream leaves the generator goroutine mid-trace, so the abandoned
+// reader is drained in the background to let that goroutine finish and be
+// collected; a replayed stream has no goroutine to drain.
+func (e *Engine) simulate(job Job, cfg uarch.Config, maxInstrs int64, pool *sync.Pool) (counters *uarch.Counters, err error) {
 	p := job.Profile
 	if maxInstrs > 0 {
 		p.MaxInstrs = maxInstrs
 	}
-	r := memtrace.NewReader(p, job.Gen)
+	e.mu.Lock()
+	tc := e.traces
+	e.mu.Unlock()
+	var r memtrace.Reader
+	live := true
+	if tc != nil {
+		var replay bool
+		r, replay, err = tc.Reader(job.Name, p, job.Gen)
+		if err != nil {
+			return nil, err
+		}
+		live = !replay
+	} else {
+		r = memtrace.NewReader(p, job.Gen)
+	}
 	defer func() {
 		rec := recover()
 		if rec == nil {
@@ -307,7 +355,9 @@ func simulate(job Job, cfg uarch.Config, maxInstrs int64, pool *sync.Pool) (coun
 			err = fmt.Errorf("trace generation panicked: %v", tp.Val)
 			return
 		}
-		go drain(r)
+		if live {
+			go drain(r)
+		}
 		err = fmt.Errorf("core model panicked: %v", rec)
 	}()
 	var c *uarch.Core

@@ -1,0 +1,163 @@
+package sweep_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dcbench/internal/core"
+	"dcbench/internal/memtrace"
+	"dcbench/internal/memtrace/tracecache"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+)
+
+// sweepConfigs returns n distinct machine configurations — the shape of a
+// design-space sweep over one workload (L3 sizing à la Figure 10, plus
+// back-end width) at a fixed warmup.
+func sweepConfigs(n int) []uarch.Config {
+	cfgs := make([]uarch.Config, n)
+	for i := range cfgs {
+		cfg := uarch.DefaultConfig()
+		cfg.Warmup = 10_000
+		cfg.L3Size = (3 + 6*i) << 20
+		cfg.ROB = 64 + 32*i
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+// TestTraceCacheSweepGeneratesOnce is the tentpole's acceptance criterion:
+// sweeping one workload across N configs with the trace cache installed
+// runs its generator exactly once — the cache counters say so, and so does
+// the instrumented generator — and every config's Counters are
+// bit-identical to the uncached path.
+func TestTraceCacheSweepGeneratesOnce(t *testing.T) {
+	const nConfigs = 5
+	var gens atomic.Int64
+	job := testJobs(1)[0]
+	inner := job.Gen
+	job.Gen = func(tr *memtrace.Tracer) {
+		gens.Add(1)
+		inner(tr)
+	}
+	cfgs := sweepConfigs(nConfigs)
+
+	cached := sweep.NewEngine()
+	cached.SetTraceCache(tracecache.New(tracecache.DefaultMaxBytes))
+	var got []*uarch.Counters
+	for _, cfg := range cfgs {
+		out, err := cached.Run(context.Background(), []sweep.Job{job}, cfg, 0, sweep.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, out[0])
+	}
+
+	if n := gens.Load(); n != 1 {
+		t.Fatalf("generator ran %d times across %d configs, want exactly 1", n, nConfigs)
+	}
+	s, ok := cached.TraceCacheStats()
+	if !ok {
+		t.Fatal("TraceCacheStats reports no cache installed")
+	}
+	if s.Captures != 1 || s.Misses != 1 || s.Hits != int64(nConfigs-1) || s.Fallbacks != 0 {
+		t.Fatalf("cache stats = %+v, want captures=1 misses=1 hits=%d fallbacks=0", s, nConfigs-1)
+	}
+
+	// The uncached engine re-generates per config; results must match bit
+	// for bit anyway.
+	uncached := sweep.NewEngine()
+	for i, cfg := range cfgs {
+		want, err := uncached.Run(context.Background(), []sweep.Job{job}, cfg, 0, sweep.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want[0], got[i]) {
+			t.Errorf("config %d: replayed counters diverge from generated\nreplay:   %+v\ngenerate: %+v",
+				i, got[i], want[0])
+		}
+	}
+}
+
+// TestTraceCacheRegistryReplayDeterminism sweeps the real 26-workload
+// registry at two machine configurations with and without the trace cache
+// and asserts bit-identical uarch.Counters everywhere — the replay path's
+// determinism contract, exercised concurrently (the race detector sees
+// the shared segment decode under -race).
+func TestTraceCacheRegistryReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep")
+	}
+	jobs := core.RegistryJobs()
+	const instrs = 120_000
+	cfgA := uarch.DefaultConfig()
+	cfgA.Warmup = 40_000
+	cfgB := cfgA
+	cfgB.L3Size = 3 << 20
+	cfgB.ROB = 64
+
+	cached := sweep.NewEngine()
+	cached.SetTraceCache(tracecache.New(tracecache.DefaultMaxBytes))
+	plain := sweep.NewEngine()
+	for _, cfg := range []uarch.Config{cfgA, cfgB} {
+		got, err := cached.Run(context.Background(), jobs, cfg, instrs, sweep.RunOptions{Workers: 4, NoMemo: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := plain.Run(context.Background(), jobs, cfg, instrs, sweep.RunOptions{Workers: 4, NoMemo: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, j := range jobs {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%s: replayed counters diverge from generated\nreplay:   %+v\ngenerate: %+v",
+					j.Name, got[i], want[i])
+			}
+		}
+	}
+	s, _ := cached.TraceCacheStats()
+	if s.Captures != int64(len(jobs)) {
+		t.Errorf("captures = %d, want one per workload (%d)", s.Captures, len(jobs))
+	}
+	if s.Hits != int64(len(jobs)) {
+		t.Errorf("hits = %d, want one per workload on the second config (%d)", s.Hits, len(jobs))
+	}
+}
+
+// TestTraceCacheErrorSurfaces: a generator that panics during capture
+// fails its job with the same error text as the live path, and healthy
+// sibling jobs still complete.
+func TestTraceCacheErrorSurfaces(t *testing.T) {
+	jobs := testJobs(3)
+	jobs[1].Name = "exploding"
+	jobs[1].Gen = func(tr *memtrace.Tracer) {
+		tr.ALU(100)
+		panic("boom")
+	}
+	e := sweep.NewEngine()
+	e.SetTraceCache(tracecache.New(tracecache.DefaultMaxBytes))
+	out, err := e.Run(context.Background(), jobs, uarch.DefaultConfig(), 0, sweep.RunOptions{Workers: 2})
+	if err == nil || !containsAll(err.Error(), "exploding", "boom", "trace generation panicked") {
+		t.Fatalf("err = %v, want capture panic attributed to job %q", err, "exploding")
+	}
+	if out[1] != nil {
+		t.Errorf("failed job returned counters")
+	}
+	for _, i := range []int{0, 2} {
+		if out[i] == nil || out[i].Instructions == 0 {
+			t.Errorf("job %d did not complete despite sibling failure", i)
+		}
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}

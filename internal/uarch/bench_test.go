@@ -1,0 +1,108 @@
+package uarch
+
+import (
+	"reflect"
+	"testing"
+
+	"dcbench/internal/memtrace"
+)
+
+// TestRingCursorInvariants pins the wrap-around cursors that replaced the
+// per-instruction modulo ring indexing: after any run, every cursor must
+// equal the count of its ring's advances mod the ring length — exactly
+// the index the old `%` computed — and the run must be deterministic.
+// Geometries are deliberately odd-sized so a masking shortcut or an
+// off-by-one in the wrap test cannot pass by accident.
+func TestRingCursorInvariants(t *testing.T) {
+	const n = 120_000
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"default", func(*Config) {}},
+		{"odd-rings", func(cfg *Config) {
+			cfg.ROB = 97
+			cfg.RS = 23
+			cfg.LQ = 31
+			cfg.SQ = 17
+			cfg.MSHRs = 7
+			cfg.IssueWidth = 5
+		}},
+		{"tiny-rings", func(cfg *Config) {
+			cfg.ROB = 3
+			cfg.RS = 2
+			cfg.LQ = 2
+			cfg.SQ = 2
+			cfg.MSHRs = 1
+			cfg.IssueWidth = 1
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+
+			trace := memtrace.Collect(randomTrace(9, n), n)
+			var loads, stores int64
+			for i := range trace {
+				switch trace[i].Op {
+				case memtrace.OpLoad:
+					loads++
+				case memtrace.OpStore:
+					stores++
+				}
+			}
+
+			c := NewCore(cfg)
+			first := *c.Run(memtrace.NewSliceReader(trace))
+
+			// Every-instruction rings advance once per instruction.
+			if got, want := int64(c.robCur), c.idx%int64(cfg.ROB); got != want {
+				t.Errorf("robCur = %d, want idx %% ROB = %d", got, want)
+			}
+			if got, want := int64(c.rsCur), c.idx%int64(cfg.RS); got != want {
+				t.Errorf("rsCur = %d, want idx %% RS = %d", got, want)
+			}
+			if got, want := int64(c.winCur), c.idx%int64(cfg.IssueWidth); got != want {
+				t.Errorf("winCur = %d, want idx %% IssueWidth = %d", got, want)
+			}
+			// Per-class rings advance once per load / store.
+			if got, want := int64(c.lqCur), loads%int64(cfg.LQ); got != want {
+				t.Errorf("lqCur = %d, want loads %% LQ = %d", got, want)
+			}
+			if got, want := int64(c.sqCur), stores%int64(cfg.SQ); got != want {
+				t.Errorf("sqCur = %d, want stores %% SQ = %d", got, want)
+			}
+			// The MSHR ring advances once per L1D miss (loads and store
+			// drains both walk dataAccess, which probes the L1D exactly
+			// once per call).
+			if got, want := int64(c.mshrCur), c.l1d.Misses%int64(cfg.MSHRs); got != want {
+				t.Errorf("mshrCur = %d, want L1D misses %% MSHRs = %d", got, want)
+			}
+			if c.idx != n {
+				t.Errorf("idx = %d, want %d", c.idx, n)
+			}
+
+			// Same trace, fresh core: bit-identical counters.
+			second := *NewCore(cfg).Run(memtrace.NewSliceReader(trace))
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("repeat run diverges:\nfirst:  %+v\nsecond: %+v", first, second)
+			}
+		})
+	}
+}
+
+// BenchmarkCoreStep measures the step loop itself — trace pre-collected,
+// no generator in the timing — which is where the ring-cursor refactor
+// and any future step batching land.
+func BenchmarkCoreStep(b *testing.B) {
+	const n = 200_000
+	trace := memtrace.Collect(randomTrace(11, n), n)
+	cfg := DefaultConfig()
+	c := NewCore(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset(cfg)
+		c.Run(memtrace.NewSliceReader(trace))
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(len(trace))), "ns/instr")
+}

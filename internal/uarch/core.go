@@ -260,8 +260,17 @@ type Core struct {
 	mshrRing     []int64        // outstanding miss completion times
 	issueWin     []int64        // recent issue times for width throttling
 
-	idx, loadIdx, storeIdx, mshrIdx int64
-	lastStoreDrain                  int64
+	// Ring cursors: each ring is walked with an incrementing wrap-around
+	// cursor instead of a per-instruction `%` of the running index — the
+	// divides were the hottest scalar ops in step's profile. idx still
+	// counts instructions (dependency distances need it); the cursors
+	// track idx (or the load/store/miss counts) mod their ring length.
+	idx            int64
+	robCur, rsCur  int
+	winCur         int
+	lqCur, sqCur   int
+	mshrCur        int
+	lastStoreDrain int64
 
 	frontCycle    int64
 	frontCount    int
@@ -383,7 +392,9 @@ func (c *Core) Reset(cfg Config) {
 	clear(c.storeRing)
 	clear(c.mshrRing)
 	clear(c.issueWin)
-	c.idx, c.loadIdx, c.storeIdx, c.mshrIdx = 0, 0, 0, 0
+	c.idx = 0
+	c.robCur, c.rsCur, c.winCur = 0, 0, 0
+	c.lqCur, c.sqCur, c.mshrCur = 0, 0, 0
 	c.lastStoreDrain = 0
 	c.frontCycle, c.frontCount = 0, 0
 	c.renameTime, c.renameCnt, c.renameSrc = 0, 0, 0
@@ -405,7 +416,7 @@ func (c *Core) dataAccess(addr uint64, start int64) int64 {
 		return start + int64(c.cfg.L1DLat)
 	}
 	// L1D miss: take an MSHR (FIFO approximation of the miss queue).
-	slot := c.mshrIdx % int64(len(c.mshrRing))
+	slot := c.mshrCur
 	if c.mshrRing[slot] > start {
 		start = c.mshrRing[slot]
 	}
@@ -424,7 +435,10 @@ func (c *Core) dataAccess(addr uint64, start int64) int64 {
 		done = start + int64(c.cfg.MemLat)
 	}
 	c.mshrRing[slot] = done
-	c.mshrIdx++
+	c.mshrCur++
+	if c.mshrCur == len(c.mshrRing) {
+		c.mshrCur = 0
+	}
 	return done
 }
 
@@ -615,15 +629,15 @@ func (c *Core) step(in *memtrace.Inst) {
 			dispatch = free
 		}
 	}
-	consider(c.commitRing[c.idx%int64(cfg.ROB)], &c.C.ROBStall)
-	consider(c.issueRing[c.idx%int64(cfg.RS)], &c.C.RSStall)
+	consider(c.commitRing[c.robCur], &c.C.ROBStall)
+	consider(c.issueRing[c.rsCur], &c.C.RSStall)
 	isLoad := in.Op == memtrace.OpLoad
 	isStore := in.Op == memtrace.OpStore
 	if isLoad {
-		consider(c.loadRing[c.loadIdx%int64(cfg.LQ)], &c.C.LoadBufStall)
+		consider(c.loadRing[c.lqCur], &c.C.LoadBufStall)
 	}
 	if isStore {
-		consider(c.storeRing[c.storeIdx%int64(cfg.SQ)], &c.C.StoreBufStall)
+		consider(c.storeRing[c.sqCur], &c.C.StoreBufStall)
 	}
 	// Back-pressure: a blocked dispatch holds the rename stage, so later
 	// instructions measure their stalls from the caught-up point rather
@@ -633,34 +647,40 @@ func (c *Core) step(in *memtrace.Inst) {
 	}
 
 	// ---- Ready: operand dependencies ----
+	// depRing is a power of two, so the dependency lookback masks instead
+	// of dividing (Dep <= idx is guaranteed by the guard, so the index
+	// stays non-negative).
 	ready := dispatch + 1
 	if in.Dep1 > 0 && int64(in.Dep1) <= c.idx {
-		if t := c.completeRing[(c.idx-int64(in.Dep1))%depRing]; t > ready {
+		if t := c.completeRing[(c.idx-int64(in.Dep1))&(depRing-1)]; t > ready {
 			ready = t
 		}
 	}
 	if in.Dep2 > 0 && int64(in.Dep2) <= c.idx {
-		if t := c.completeRing[(c.idx-int64(in.Dep2))%depRing]; t > ready {
+		if t := c.completeRing[(c.idx-int64(in.Dep2))&(depRing-1)]; t > ready {
 			ready = t
 		}
 	}
 
 	// ---- Issue: width-limited ----
 	issue := ready
-	if w := c.issueWin[c.idx%int64(cfg.IssueWidth)]; issue <= w {
+	if w := c.issueWin[c.winCur]; issue <= w {
 		issue = w + 1
 	}
-	c.issueWin[c.idx%int64(cfg.IssueWidth)] = issue
+	c.issueWin[c.winCur] = issue
 	// The RS entry is held from dispatch until issue.
-	c.issueRing[c.idx%int64(cfg.RS)] = issue
+	c.issueRing[c.rsCur] = issue
 
 	// ---- Execute ----
 	var complete int64
 	switch in.Op {
 	case memtrace.OpLoad:
 		complete = c.dataAccess(in.Addr, issue)
-		c.loadRing[c.loadIdx%int64(cfg.LQ)] = complete
-		c.loadIdx++
+		c.loadRing[c.lqCur] = complete
+		c.lqCur++
+		if c.lqCur == len(c.loadRing) {
+			c.lqCur = 0
+		}
 	case memtrace.OpStore:
 		// Stores complete for dependents immediately; the cache write
 		// happens at drain time, charged below against the SQ.
@@ -691,7 +711,7 @@ func (c *Core) step(in *memtrace.Inst) {
 	default:
 		complete = issue + int64(cfg.ALULat)
 	}
-	c.completeRing[c.idx%depRing] = complete
+	c.completeRing[c.idx&(depRing-1)] = complete
 
 	// ---- Commit: in-order, width-limited ----
 	commit := complete
@@ -706,7 +726,7 @@ func (c *Core) step(in *memtrace.Inst) {
 		c.commitCnt = 1
 	}
 	c.commitPrev = commit
-	c.commitRing[c.idx%int64(cfg.ROB)] = commit
+	c.commitRing[c.robCur] = commit
 
 	// Store drain: after commit, the store writes the cache, holding its
 	// SQ entry until done. Drains retire in order.
@@ -716,8 +736,23 @@ func (c *Core) step(in *memtrace.Inst) {
 			drain = c.lastStoreDrain
 		}
 		c.lastStoreDrain = drain
-		c.storeRing[c.storeIdx%int64(cfg.SQ)] = drain
-		c.storeIdx++
+		c.storeRing[c.sqCur] = drain
+		c.sqCur++
+		if c.sqCur == len(c.storeRing) {
+			c.sqCur = 0
+		}
 	}
 	c.idx++
+	c.robCur++
+	if c.robCur == len(c.commitRing) {
+		c.robCur = 0
+	}
+	c.rsCur++
+	if c.rsCur == len(c.issueRing) {
+		c.rsCur = 0
+	}
+	c.winCur++
+	if c.winCur == len(c.issueWin) {
+		c.winCur = 0
+	}
 }

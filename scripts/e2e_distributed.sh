@@ -104,6 +104,13 @@ CLUSTER_HITS=$(kind_field $FRONT_PORT cluster remote_hits)
 [ "$CLUSTER_HITS" -gt 0 ] || { echo "FAIL: no cluster jobs reached the worker (Figure 2/5 ran on the front-end)" >&2; exit 1; }
 echo "   ok: per-kind remote hits: counters = $COUNTER_HITS, cluster = $CLUSTER_HITS"
 assert_eq "cluster-job fallbacks" "$(kind_field $FRONT_PORT cluster fallbacks)" 0
+# The worker runs with the default trace cache: every counter job it
+# simulated captured its workload's trace, and the counters surface in
+# its /healthz store block.
+TC_CAPTURES=$(healthz_field $WORKER_PORT "h['store']['trace_cache']['captures']")
+[ "$TC_CAPTURES" -gt 0 ] || { echo "FAIL: worker trace cache captured nothing" >&2; exit 1; }
+TC_HITS=$(healthz_field $WORKER_PORT "h['store']['trace_cache']['hits']")
+echo "   ok: worker trace cache: captures = $TC_CAPTURES, hits = $TC_HITS"
 
 echo "== 3. front-end restart with a dark worker: warm store, no dispatch, no re-simulation"
 kill $FRONT_PID $WORKER_PID 2>/dev/null || true
