@@ -28,6 +28,8 @@
 //	            -dispatch-hedge and -dispatch-cooldown as in dcserved
 //	-trace-cache-bytes n    byte budget for captured instruction traces
 //	            replayed across sweep configs; 0 disables (default 256 MiB)
+//	-debug-addr addr   serve /debug/traces and /debug/pprof while the run
+//	            lasts (profile a long `all` in flight); empty disables
 //
 // Sweeps are deterministic at any -j: parallel runs produce bit-identical
 // counters to -j 1 at the same seed — and to a dispatched run, since
@@ -38,12 +40,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 
 	"dcbench/internal/core"
 	"dcbench/internal/dispatch"
 	"dcbench/internal/memtrace/tracecache"
+	"dcbench/internal/obs"
 	"dcbench/internal/report"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
@@ -54,7 +58,7 @@ import (
 // flags, the shared store flags, the shared dispatch flags, plus dcbench's
 // output flags), defaulted from *opts and written back on Parse. Split out
 // of main so tests can pin the usage text to the real defaults.
-func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut *bool, storeDir *string, storeOpts *store.OpenOptions, dispatchOpts *dispatch.Options, traceOpts *tracecache.Options) {
+func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut *bool, storeDir, debugAddr *string, storeOpts *store.OpenOptions, dispatchOpts *dispatch.Options, traceOpts *tracecache.Options) {
 	report.RegisterFlags(fs, opts)
 	storeOpts = &store.OpenOptions{}
 	store.RegisterFlags(fs, storeOpts)
@@ -63,10 +67,11 @@ func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut 
 	traceOpts = &tracecache.Options{}
 	tracecache.RegisterFlags(fs, traceOpts)
 	storeDir = fs.String("store", "", "persist results in this store directory across runs; empty disables")
+	debugAddr = fs.String("debug-addr", "", "serve /debug/traces and /debug/pprof on this address for the run's duration; empty disables")
 	csv = fs.Bool("csv", false, "emit CSV")
 	chart = fs.Bool("chart", false, "append ASCII bar charts")
 	jsonOut = fs.Bool("json", false, "emit the characterization sweep as JSON (figure/all)")
-	return csv, chart, jsonOut, storeDir, storeOpts, dispatchOpts, traceOpts
+	return csv, chart, jsonOut, storeDir, debugAddr, storeOpts, dispatchOpts, traceOpts
 }
 
 // wireBackends points opts at a run-owned engine when a store or a worker
@@ -112,7 +117,7 @@ func wireBackends(storeDir string, storeOpts store.OpenOptions, dispatchOpts dis
 
 func main() {
 	opts := report.DefaultOptions()
-	csv, chart, jsonOut, storeDir, storeOpts, dispatchOpts, traceOpts := registerFlags(flag.CommandLine, &opts)
+	csv, chart, jsonOut, storeDir, debugAddr, storeOpts, dispatchOpts, traceOpts := registerFlags(flag.CommandLine, &opts)
 	flag.Parse()
 
 	if *storeDir != "" || len(dispatchOpts.Workers) > 0 {
@@ -139,6 +144,21 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
+	// With -debug-addr the run carries a process recorder and one trace
+	// per invocation, so a long `all` can be profiled (and, once finished,
+	// its phase timeline fetched) over HTTP while it runs.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *debugAddr != "" {
+		rec := obs.NewRecorder(0)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(rec)); err != nil {
+				fmt.Fprintln(os.Stderr, "dcbench: debug listener:", err)
+			}
+		}()
+		tr = rec.StartTrace("dcbench "+args[0], "")
+		ctx = obs.With(ctx, tr)
+	}
 	var err error
 	switch args[0] {
 	case "list":
@@ -155,20 +175,21 @@ func main() {
 		if *jsonOut {
 			err = exportJSON(opts)
 		} else {
-			err = figure(args[1], opts, *csv, *chart)
+			err = figure(ctx, args[1], opts, *csv, *chart)
 		}
 	case "table":
 		if len(args) < 2 {
 			usage()
 		}
-		err = table(args[1], opts, *csv)
+		err = table(ctx, args[1], opts, *csv)
 	case "export":
 		err = exportJSON(opts)
 	case "all":
-		err = all(opts, *csv, *chart)
+		err = all(ctx, opts, *csv, *chart)
 	default:
 		usage()
 	}
+	tr.Finish()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcbench:", err)
 		os.Exit(1)
@@ -240,12 +261,12 @@ func emit(t *report.Table, csv, chart bool) {
 	fmt.Println()
 }
 
-func figure(num string, o report.Options, csv, chart bool) error {
+func figure(ctx context.Context, num string, o report.Options, csv, chart bool) error {
 	n, err := strconv.Atoi(num)
 	if err != nil {
 		return fmt.Errorf("figure number must be 1..12")
 	}
-	t, err := report.FigureByNumber(context.Background(), o, n)
+	t, err := report.FigureByNumber(ctx, o, n)
 	if err != nil {
 		return err
 	}
@@ -253,12 +274,12 @@ func figure(num string, o report.Options, csv, chart bool) error {
 	return nil
 }
 
-func table(num string, o report.Options, csv bool) error {
+func table(ctx context.Context, num string, o report.Options, csv bool) error {
 	n, err := strconv.Atoi(num)
 	if err != nil {
 		return fmt.Errorf("table number must be 1..3")
 	}
-	t, text, err := report.TableByNumber(context.Background(), o, n)
+	t, text, err := report.TableByNumber(ctx, o, n)
 	if err != nil {
 		return err
 	}
@@ -270,22 +291,22 @@ func table(num string, o report.Options, csv bool) error {
 	return nil
 }
 
-func all(o report.Options, csv, chart bool) error {
+func all(ctx context.Context, o report.Options, csv, chart bool) error {
 	emit(report.Figure1(), csv, chart)
 	fmt.Println(report.Table2())
 	fmt.Println(report.Table3())
-	t2, err := report.Figure2(context.Background(), o)
+	t2, err := report.Figure2(ctx, o)
 	if err != nil {
 		return err
 	}
 	emit(t2, csv, chart)
-	t5, err := report.Figure5(context.Background(), o)
+	t5, err := report.Figure5(ctx, o)
 	if err != nil {
 		return err
 	}
 	emit(t5, csv, chart)
 	results := report.Characterized(o)
-	t1, err := report.Table1(context.Background(), o, results)
+	t1, err := report.Table1(ctx, o, results)
 	if err != nil {
 		return err
 	}

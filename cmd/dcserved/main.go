@@ -33,6 +33,8 @@
 //	-dispatch-retries n        extra attempts on other workers after a failure
 //	-dispatch-hedge d          hedge a silent dispatch onto the next worker; 0 disables
 //	-dispatch-cooldown d       how long a repeatedly failing worker stays demoted
+//	-debug-addr addr   serve /debug/traces and /debug/pprof on a separate
+//	                   listener, kept off the service port; empty disables
 //	-grace  shutdown grace period for in-flight requests (default 15s)
 //	-scale, -seed, -instrs, -warmup, -j   as in dcbench
 //
@@ -73,6 +75,7 @@ import (
 
 	"dcbench/internal/dispatch"
 	"dcbench/internal/memtrace/tracecache"
+	"dcbench/internal/obs"
 	"dcbench/internal/report"
 	"dcbench/internal/serve"
 	"dcbench/internal/store"
@@ -88,6 +91,7 @@ func main() {
 	addr := flag.String("addr", ":8337", "listen address")
 	storeDir := flag.String("store", "dcserved.store", "result store directory; empty disables persistence")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/traces and /debug/pprof on this separate address; empty disables")
 	maxInflight := flag.Int("max-inflight", 0, "bound concurrent compute jobs; excess answered 429 + Retry-After (0 = unlimited)")
 	report.RegisterFlags(flag.CommandLine, &opts)
 	store.RegisterFlags(flag.CommandLine, &storeOpts)
@@ -128,6 +132,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := serve.New(cfg)
+	if *debugAddr != "" {
+		// Its own listener on purpose: profiling a drowning server must
+		// not compete with the traffic drowning it.
+		go func() {
+			log.Info("debug listener", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(srv.Recorder())); err != nil {
+				log.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+	}
 	if err := srv.Run(ctx, *addr, *grace); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "dcserved:", err)
 		os.Exit(1)

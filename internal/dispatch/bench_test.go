@@ -62,7 +62,7 @@ func TestBenchArtifact(t *testing.T) {
 	loadCounters := func() time.Duration {
 		start := time.Now()
 		for _, k := range keys {
-			if _, ok := remote.Load(k); !ok {
+			if _, ok := remote.Load(context.Background(), k); !ok {
 				t.Fatalf("%s: dispatched load missed", k.Name)
 			}
 		}
@@ -71,7 +71,7 @@ func TestBenchArtifact(t *testing.T) {
 	loadCluster := func() time.Duration {
 		start := time.Now()
 		for _, k := range statsKeys {
-			if _, ok := remote.LoadStats(k); !ok {
+			if _, ok := remote.LoadStats(context.Background(), k); !ok {
 				t.Fatalf("%s/%d: dispatched cluster load missed", k.Workload, k.Slaves)
 			}
 		}
@@ -99,7 +99,7 @@ func TestBenchArtifact(t *testing.T) {
 		t.Fatal(err)
 	}
 	start = time.Now()
-	if _, ok := dead.Load(keys[0]); ok {
+	if _, ok := dead.Load(context.Background(), keys[0]); ok {
 		t.Fatal("dead worker answered")
 	}
 	fallbackDetect := time.Since(start)

@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"dcbench/internal/memo"
+	"dcbench/internal/obs"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
@@ -314,6 +315,8 @@ func New(opts Options, warmup int64, local sweep.MemoBackend, localStats workloa
 		flight:      memo.NewFlight[sweep.Key, *uarch.Counters](),
 		statsFlight: memo.NewFlight[workloads.StatsKey, *workloads.Stats](),
 	}
+	b.flight.SetName("dispatch")
+	b.statsFlight.SetName("dispatch")
 	for _, addr := range opts.Workers {
 		b.workers = append(b.workers, &worker{
 			addr:     addr,
@@ -338,13 +341,13 @@ func (b *RemoteBackend) kindOf(kind string) *kindStats {
 // remote result is written through to the local backend before it is
 // returned. Total remote failure is a counted fallback and a plain miss —
 // the engine then simulates locally, preserving single-process behaviour.
-func (b *RemoteBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
+func (b *RemoteBackend) Load(ctx context.Context, k sweep.Key) (*uarch.Counters, bool) {
 	if b.local != nil {
-		if c, ok := b.local.Load(k); ok {
+		if c, ok := b.local.Load(ctx, k); ok {
 			return c, true
 		}
 	}
-	c, err := b.flight.Do(k, func() (*uarch.Counters, error) { return b.fetchCounters(k) })
+	c, err := b.flight.DoCtx(ctx, k, func(ctx context.Context) (*uarch.Counters, error) { return b.fetchCounters(ctx, k) })
 	if err != nil {
 		b.counters.fallbacks.Add(1)
 		b.log.Warn("dispatch failed; falling back to local simulation", "kind", store.KindCounters, "workload", k.Name, "err", err)
@@ -356,16 +359,16 @@ func (b *RemoteBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
 // Store writes a locally simulated result through to the local backend.
 // Workers are not told: the cluster's copy lives wherever the key's
 // rendezvous owner keeps its store.
-func (b *RemoteBackend) Store(k sweep.Key, c *uarch.Counters) {
+func (b *RemoteBackend) Store(ctx context.Context, k sweep.Key, c *uarch.Counters) {
 	if b.local != nil {
-		b.local.Store(k, c)
+		b.local.Store(ctx, k, c)
 	}
 }
 
 // fetchCounters runs one dispatched counters job inside the key's flight
 // cell: encode the kind-tagged request, walk the workers, verify the
 // response record against the key, write through.
-func (b *RemoteBackend) fetchCounters(k sweep.Key) (*uarch.Counters, error) {
+func (b *RemoteBackend) fetchCounters(ctx context.Context, k sweep.Key) (*uarch.Counters, error) {
 	body, err := jobBody(store.KindCounters, k, b.warmup)
 	if err != nil {
 		return nil, err
@@ -379,7 +382,7 @@ func (b *RemoteBackend) fetchCounters(k sweep.Key) (*uarch.Counters, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := b.fetch(store.KindCounters, counterHash(k), body, legacyBody, func(data []byte) (any, error) {
+	v, err := b.fetch(ctx, store.KindCounters, counterHash(k), body, legacyBody, func(data []byte) (any, error) {
 		gotKey, c, err := store.DecodeCounters(data)
 		if err != nil {
 			return nil, fmt.Errorf("unverifiable response: %w", err)
@@ -395,7 +398,7 @@ func (b *RemoteBackend) fetchCounters(k sweep.Key) (*uarch.Counters, error) {
 	}
 	out := v.(*uarch.Counters)
 	if b.local != nil {
-		b.local.Store(k, out) // write through: restarts stay warm
+		b.local.Store(ctx, k, out) // write through: restarts stay warm
 	}
 	return out, nil
 }
@@ -406,13 +409,13 @@ func (b *RemoteBackend) fetchCounters(k sweep.Key) (*uarch.Counters, error) {
 // a sweep key: local stats backend first, then the worker set, write
 // through, counted per-kind fallback on total failure (the cluster cache
 // then simulates locally).
-func (b *RemoteBackend) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) {
+func (b *RemoteBackend) LoadStats(ctx context.Context, k workloads.StatsKey) (*workloads.Stats, bool) {
 	if b.localStats != nil {
-		if st, ok := b.localStats.LoadStats(k); ok {
+		if st, ok := b.localStats.LoadStats(ctx, k); ok {
 			return st, true
 		}
 	}
-	st, err := b.statsFlight.Do(k, func() (*workloads.Stats, error) { return b.fetchStats(k) })
+	st, err := b.statsFlight.DoCtx(ctx, k, func(ctx context.Context) (*workloads.Stats, error) { return b.fetchStats(ctx, k) })
 	if err != nil {
 		b.cluster.fallbacks.Add(1)
 		b.log.Warn("dispatch failed; falling back to local simulation", "kind", store.KindCluster, "workload", k.Workload, "err", err)
@@ -423,19 +426,19 @@ func (b *RemoteBackend) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool)
 
 // StoreStats writes a locally simulated cluster result through to the
 // local stats backend.
-func (b *RemoteBackend) StoreStats(k workloads.StatsKey, st *workloads.Stats) {
+func (b *RemoteBackend) StoreStats(ctx context.Context, k workloads.StatsKey, st *workloads.Stats) {
 	if b.localStats != nil {
-		b.localStats.StoreStats(k, st)
+		b.localStats.StoreStats(ctx, k, st)
 	}
 }
 
 // fetchStats is fetchCounters for cluster jobs.
-func (b *RemoteBackend) fetchStats(k workloads.StatsKey) (*workloads.Stats, error) {
+func (b *RemoteBackend) fetchStats(ctx context.Context, k workloads.StatsKey) (*workloads.Stats, error) {
 	body, err := jobBody(store.KindCluster, k, 0)
 	if err != nil {
 		return nil, err
 	}
-	v, err := b.fetch(store.KindCluster, statsHash(k), body, nil, func(data []byte) (any, error) {
+	v, err := b.fetch(ctx, store.KindCluster, statsHash(k), body, nil, func(data []byte) (any, error) {
 		gotKey, st, err := store.DecodeStats(data)
 		if err != nil {
 			return nil, fmt.Errorf("unverifiable response: %w", err)
@@ -450,7 +453,7 @@ func (b *RemoteBackend) fetchStats(k workloads.StatsKey) (*workloads.Stats, erro
 	}
 	out := v.(*workloads.Stats)
 	if b.localStats != nil {
-		b.localStats.StoreStats(k, out)
+		b.localStats.StoreStats(ctx, k, out)
 	}
 	return out, nil
 }
@@ -499,8 +502,10 @@ func jobBody(kind string, key any, warmup int64) ([]byte, error) {
 // shape for workers that turn out not to speak /v1/jobs; a kind with no
 // legacy shape skips known-legacy workers instead of failing them. Runs
 // inside the key's flight cell, so concurrent engine misses for one key
-// cost one remote round trip.
-func (b *RemoteBackend) fetch(kind string, keyHash uint64, body, legacyBody []byte, decode func([]byte) (any, error)) (any, error) {
+// cost one remote round trip. ctx carries trace values only — each
+// attempt records a "dispatch" span and forwards the trace ID to the
+// worker — never cancellation (see the WithoutCancel below).
+func (b *RemoteBackend) fetch(ctx context.Context, kind string, keyHash uint64, body, legacyBody []byte, decode func([]byte) (any, error)) (any, error) {
 	ks := b.kindOf(kind)
 	ks.dispatched.Add(1)
 	b.inFlight.Add(1)
@@ -545,8 +550,10 @@ func (b *RemoteBackend) fetch(kind string, keyHash uint64, body, legacyBody []by
 	// coalesced callers survive any one client's disconnect), so a hedged
 	// simulation already started runs to completion there. A hedge
 	// therefore costs a duplicate simulation, which is why it is off by
-	// default.
-	ctx, cancel := context.WithCancel(context.Background())
+	// default. WithoutCancel keeps the incoming trace values while
+	// severing the caller's cancellation — a flight cell's fetch must not
+	// die with the one request that happened to start it.
+	ctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	defer cancel()
 	type result struct {
 		w   *worker
@@ -556,6 +563,7 @@ func (b *RemoteBackend) fetch(kind string, keyHash uint64, body, legacyBody []by
 	resc := make(chan result, attempts)
 	launch := func(w *worker) {
 		go func() {
+			sp := obs.Start(ctx, "dispatch", "worker", w.addr, "kind", kind)
 			data, err := b.post(ctx, w, kind, body, legacyBody)
 			var val any
 			if err == nil {
@@ -567,6 +575,14 @@ func (b *RemoteBackend) fetch(kind string, keyHash uint64, body, legacyBody []by
 				} else {
 					w.succeeded()
 				}
+			}
+			switch {
+			case err == nil:
+				sp.End("outcome", "ok")
+			case errors.Is(err, errShed):
+				sp.End("outcome", "shed")
+			default:
+				sp.End("outcome", "error")
 			}
 			resc <- result{w, val, err}
 		}()
@@ -636,6 +652,11 @@ func (b *RemoteBackend) post(parent context.Context, w *worker, kind string, bod
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := obs.From(parent).ID(); id != "" {
+		// Forward the trace so the worker's spans for this job land in a
+		// trace with the same ID — one request, one timeline, two rings.
+		req.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := b.client.Do(req)
 	if err != nil {
 		if parent.Err() != nil {

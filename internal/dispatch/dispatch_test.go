@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"io"
@@ -21,6 +22,10 @@ import (
 )
 
 var quietLog = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// testCtx is the untraced context every backend call in these tests runs
+// under; tracing has its own tests.
+var testCtx = context.Background()
 
 func testKey(name string, seed uint64) sweep.Key {
 	return sweep.Key{
@@ -53,27 +58,27 @@ func newMapBackend() *mapBackend {
 	}
 }
 
-func (b *mapBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
+func (b *mapBackend) Load(_ context.Context, k sweep.Key) (*uarch.Counters, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	c, ok := b.m[k]
 	return c, ok
 }
 
-func (b *mapBackend) Store(k sweep.Key, c *uarch.Counters) {
+func (b *mapBackend) Store(_ context.Context, k sweep.Key, c *uarch.Counters) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.m[k] = c
 }
 
-func (b *mapBackend) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) {
+func (b *mapBackend) LoadStats(_ context.Context, k workloads.StatsKey) (*workloads.Stats, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	st, ok := b.st[k]
 	return st, ok
 }
 
-func (b *mapBackend) StoreStats(k workloads.StatsKey, st *workloads.Stats) {
+func (b *mapBackend) StoreStats(_ context.Context, k workloads.StatsKey, st *workloads.Stats) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.st[k] = st
@@ -167,10 +172,10 @@ func TestLoadPrefersLocal(t *testing.T) {
 	local := newMapBackend()
 	k := testKey("w", 1)
 	want := &uarch.Counters{Cycles: 77}
-	local.Store(k, want)
+	local.Store(testCtx, k, want)
 
 	b := newTestBackend(t, local, addrOf(ts))
-	c, ok := b.Load(k)
+	c, ok := b.Load(testCtx, k)
 	if !ok || c != want {
 		t.Fatalf("Load = %v, %v; want the local pointer", c, ok)
 	}
@@ -190,14 +195,14 @@ func TestRemoteHitWritesThrough(t *testing.T) {
 	b := newTestBackend(t, local, addrOf(ts))
 	k := testKey("w", 9)
 
-	c, ok := b.Load(k)
+	c, ok := b.Load(testCtx, k)
 	if !ok || c.Cycles != 9 {
 		t.Fatalf("Load = %+v, %v", c, ok)
 	}
-	if got, ok := local.Load(k); !ok || got.Cycles != 9 {
+	if got, ok := local.Load(testCtx, k); !ok || got.Cycles != 9 {
 		t.Fatal("remote result was not written through to the local backend")
 	}
-	if _, ok := b.Load(k); !ok {
+	if _, ok := b.Load(testCtx, k); !ok {
 		t.Fatal("second Load missed")
 	}
 	if served.Load() != 1 {
@@ -218,14 +223,14 @@ func TestClusterJobDispatch(t *testing.T) {
 	b := newTestBackend(t, local, addrOf(ts))
 	k := testStatsKey("Sort", 8)
 
-	st, ok := b.LoadStats(k)
+	st, ok := b.LoadStats(testCtx, k)
 	if !ok || st.Jobs != 8 {
 		t.Fatalf("LoadStats = %+v, %v", st, ok)
 	}
-	if got, ok := local.LoadStats(k); !ok || got.Jobs != 8 {
+	if got, ok := local.LoadStats(testCtx, k); !ok || got.Jobs != 8 {
 		t.Fatal("remote cluster result was not written through to the local stats backend")
 	}
-	if _, ok := b.LoadStats(k); !ok {
+	if _, ok := b.LoadStats(testCtx, k); !ok {
 		t.Fatal("second LoadStats missed")
 	}
 	if served.Load() != 1 {
@@ -255,8 +260,8 @@ func TestClusterJobDispatch(t *testing.T) {
 	// StoreStats writes through like Store.
 	k2 := testStatsKey("Grep", 2)
 	sim := &workloads.Stats{Workload: "Grep", Jobs: 2}
-	b.StoreStats(k2, sim)
-	if got, ok := local.LoadStats(k2); !ok || got != sim {
+	b.StoreStats(testCtx, k2, sim)
+	if got, ok := local.LoadStats(testCtx, k2); !ok || got != sim {
 		t.Fatal("StoreStats did not write through to the local stats backend")
 	}
 }
@@ -303,7 +308,7 @@ func TestLegacyWorkerDowngrade(t *testing.T) {
 
 	for seed := uint64(0); seed < 4; seed++ {
 		k := testKey("w", seed)
-		c, ok := b.Load(k)
+		c, ok := b.Load(testCtx, k)
 		if !ok || c.Cycles != int64(seed) {
 			t.Fatalf("seed %d: Load = %+v, %v; the legacy worker must answer via the alias", seed, c, ok)
 		}
@@ -326,14 +331,14 @@ func TestLegacyWorkerDowngrade(t *testing.T) {
 	// request sent (the known-legacy worker is skipped, not failed), no
 	// circuit charge — and counters keep flowing afterwards.
 	sentBefore := b.BackendStats().Dispatch.PerWorker[0].Sent
-	if _, ok := b.LoadStats(testStatsKey("Sort", 4)); ok {
+	if _, ok := b.LoadStats(testCtx, testStatsKey("Sort", 4)); ok {
 		t.Fatal("legacy worker answered a cluster job")
 	}
 	d = b.BackendStats().Dispatch
 	if d.PerWorker[0].Sent != sentBefore || d.PerWorker[0].Errors != 0 || d.PerWorker[0].CircuitOpen {
 		t.Fatalf("cluster job against a known-legacy worker: per-worker = %+v, want untouched", d.PerWorker[0])
 	}
-	if _, ok := b.Load(testKey("w", 9)); !ok {
+	if _, ok := b.Load(testCtx, testKey("w", 9)); !ok {
 		t.Fatal("counters dispatch broke after a cluster-job failure")
 	}
 }
@@ -346,7 +351,7 @@ func TestLegacyWorkerClusterFirst(t *testing.T) {
 	b := newTestBackend(t, nil, addrOf(ts))
 
 	for slaves := 1; slaves <= 4; slaves++ {
-		if _, ok := b.LoadStats(testStatsKey("Sort", slaves)); ok {
+		if _, ok := b.LoadStats(testCtx, testStatsKey("Sort", slaves)); ok {
 			t.Fatal("legacy worker answered a cluster job")
 		}
 	}
@@ -357,7 +362,7 @@ func TestLegacyWorkerClusterFirst(t *testing.T) {
 	if d.PerWorker[0].Sent != 1 {
 		t.Fatalf("sent = %d, want exactly 1 discovery probe for 4 cluster keys", d.PerWorker[0].Sent)
 	}
-	c, ok := b.Load(testKey("w", 7))
+	c, ok := b.Load(testCtx, testKey("w", 7))
 	if !ok || c.Cycles != 7 {
 		t.Fatalf("counters Load after cluster-first discovery = %+v, %v", c, ok)
 	}
@@ -389,16 +394,16 @@ func TestLegacyWorkerRecheck(t *testing.T) {
 	b.now = func() time.Time { return clock }
 
 	k := testStatsKey("Sort", 4)
-	if _, ok := b.LoadStats(k); ok {
+	if _, ok := b.LoadStats(testCtx, k); ok {
 		t.Fatal("pre-upgrade worker answered a cluster job")
 	}
 	upgraded.Store(true)
 	// Within the recheck window the worker is still taken as legacy.
-	if _, ok := b.LoadStats(testStatsKey("Sort", 8)); ok {
+	if _, ok := b.LoadStats(testCtx, testStatsKey("Sort", 8)); ok {
 		t.Fatal("cluster job dispatched inside the legacy window")
 	}
 	clock = clock.Add(legacyRecheck + time.Second)
-	st, ok := b.LoadStats(testStatsKey("Sort", 16))
+	st, ok := b.LoadStats(testCtx, testStatsKey("Sort", 16))
 	if !ok || st.Jobs != 16 {
 		t.Fatalf("post-recheck LoadStats = %+v, %v; the upgraded worker must answer", st, ok)
 	}
@@ -413,7 +418,7 @@ func TestRetryOnFailingWorker(t *testing.T) {
 
 	// Whatever the rendezvous order, with retries both workers get a shot.
 	for seed := uint64(0); seed < 4; seed++ {
-		c, ok := b.Load(testKey("w", seed))
+		c, ok := b.Load(testCtx, testKey("w", seed))
 		if !ok || c.Cycles != int64(seed) {
 			t.Fatalf("seed %d: Load = %+v, %v; the surviving worker must answer", seed, c, ok)
 		}
@@ -437,7 +442,7 @@ func TestFallbackWhenAllWorkersDark(t *testing.T) {
 	b := newTestBackend(t, local, addrOf(dead))
 	k := testKey("w", 3)
 
-	if _, ok := b.Load(k); ok {
+	if _, ok := b.Load(testCtx, k); ok {
 		t.Fatal("Load succeeded against a dead worker set")
 	}
 	d := b.BackendStats().Dispatch
@@ -446,8 +451,8 @@ func TestFallbackWhenAllWorkersDark(t *testing.T) {
 	}
 	// The engine's write-through path after a local simulation.
 	sim := &uarch.Counters{Cycles: 42}
-	b.Store(k, sim)
-	if got, ok := local.Load(k); !ok || got != sim {
+	b.Store(testCtx, k, sim)
+	if got, ok := local.Load(testCtx, k); !ok || got != sim {
 		t.Fatal("Store did not write through to the local backend")
 	}
 }
@@ -471,7 +476,7 @@ func TestShedWorkerDemotedAndRecovers(t *testing.T) {
 			break
 		}
 	}
-	c, ok := b.Load(k)
+	c, ok := b.Load(testCtx, k)
 	if !ok || c.Cycles != int64(k.Profile.Seed) {
 		t.Fatalf("Load = %+v, %v; the un-saturated worker must answer", c, ok)
 	}
@@ -517,10 +522,10 @@ func TestFullySheddingClusterFallsBack(t *testing.T) {
 	local := newMapBackend()
 	b := newTestBackend(t, local, addrOf(s1), addrOf(s2))
 
-	if _, ok := b.Load(testKey("w", 3)); ok {
+	if _, ok := b.Load(testCtx, testKey("w", 3)); ok {
 		t.Fatal("Load succeeded against a fully shedding worker set")
 	}
-	if _, ok := b.LoadStats(testStatsKey("Sort", 4)); ok {
+	if _, ok := b.LoadStats(testCtx, testStatsKey("Sort", 4)); ok {
 		t.Fatal("LoadStats succeeded against a fully shedding worker set")
 	}
 	if served1.Load()+served2.Load() == 0 {
@@ -577,7 +582,7 @@ func TestHedgeRescuesSilentWorker(t *testing.T) {
 		}
 	}
 	start := time.Now()
-	c, ok := b.Load(k)
+	c, ok := b.Load(testCtx, k)
 	if !ok || c.Cycles != int64(k.Profile.Seed) {
 		t.Fatalf("Load = %+v, %v", c, ok)
 	}
@@ -605,7 +610,7 @@ func TestCircuitOpensAndRecovers(t *testing.T) {
 		if order, _ := b.rank(counterHash(k)); order[0].addr != addrOf(bad) {
 			continue
 		}
-		if _, ok := b.Load(k); !ok {
+		if _, ok := b.Load(testCtx, k); !ok {
 			t.Fatalf("seed %d: fetch failed with a healthy worker present", seed)
 		}
 		opened = b.BackendStats().Dispatch.Healthy == 1
@@ -628,7 +633,7 @@ func TestCircuitOpensAndRecovers(t *testing.T) {
 	// fetches succeed first-try and the demoted worker sees no traffic.
 	sentBefore := badStats.Sent
 	for seed := uint64(300); seed < 308; seed++ {
-		if _, ok := b.Load(testKey("w", seed)); !ok {
+		if _, ok := b.Load(testCtx, testKey("w", seed)); !ok {
 			t.Fatalf("seed %d: fetch failed while circuit open", seed)
 		}
 	}
@@ -656,12 +661,12 @@ func TestDarkClusterFailsFast(t *testing.T) {
 	b.now = func() time.Time { return clock }
 
 	for seed := uint64(0); seed < uint64(failThreshold); seed++ {
-		if _, ok := b.Load(testKey("w", seed)); ok {
+		if _, ok := b.Load(testCtx, testKey("w", seed)); ok {
 			t.Fatal("broken worker answered")
 		}
 	}
 	sentBefore := b.BackendStats().Dispatch.PerWorker[0].Sent
-	if _, ok := b.Load(testKey("w", 99)); ok {
+	if _, ok := b.Load(testCtx, testKey("w", 99)); ok {
 		t.Fatal("dark cluster answered")
 	}
 	d := b.BackendStats().Dispatch
@@ -674,7 +679,7 @@ func TestDarkClusterFailsFast(t *testing.T) {
 
 	// The cooldown restores probing by itself.
 	clock = clock.Add(DefaultCooldown + time.Second)
-	if _, ok := b.Load(testKey("w", 100)); ok {
+	if _, ok := b.Load(testCtx, testKey("w", 100)); ok {
 		t.Fatal("broken worker answered after cooldown")
 	}
 	if got := b.BackendStats().Dispatch.PerWorker[0].Sent; got != sentBefore+1 {

@@ -1,6 +1,7 @@
 package dispatch_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -95,8 +96,8 @@ type countingShim struct {
 	statsHits int
 }
 
-func (c *countingShim) Load(k sweep.Key) (*uarch.Counters, bool) {
-	v, ok := c.inner.Load(k)
+func (c *countingShim) Load(ctx context.Context, k sweep.Key) (*uarch.Counters, bool) {
+	v, ok := c.inner.Load(ctx, k)
 	if ok {
 		c.mu.Lock()
 		c.hits++
@@ -105,15 +106,15 @@ func (c *countingShim) Load(k sweep.Key) (*uarch.Counters, bool) {
 	return v, ok
 }
 
-func (c *countingShim) Store(k sweep.Key, v *uarch.Counters) {
+func (c *countingShim) Store(ctx context.Context, k sweep.Key, v *uarch.Counters) {
 	c.mu.Lock()
 	c.sims++
 	c.mu.Unlock()
-	c.inner.Store(k, v)
+	c.inner.Store(ctx, k, v)
 }
 
-func (c *countingShim) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) {
-	v, ok := c.inner.LoadStats(k)
+func (c *countingShim) LoadStats(ctx context.Context, k workloads.StatsKey) (*workloads.Stats, bool) {
+	v, ok := c.inner.LoadStats(ctx, k)
 	if ok {
 		c.mu.Lock()
 		c.statsHits++
@@ -122,11 +123,11 @@ func (c *countingShim) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) 
 	return v, ok
 }
 
-func (c *countingShim) StoreStats(k workloads.StatsKey, v *workloads.Stats) {
+func (c *countingShim) StoreStats(ctx context.Context, k workloads.StatsKey, v *workloads.Stats) {
 	c.mu.Lock()
 	c.statsSims++
 	c.mu.Unlock()
-	c.inner.StoreStats(k, v)
+	c.inner.StoreStats(ctx, k, v)
 }
 
 func (c *countingShim) counts() (sims, hits int) {

@@ -24,8 +24,11 @@
 package memo
 
 import (
+	"context"
 	"fmt"
 	"sync"
+
+	"dcbench/internal/obs"
 )
 
 // cell is one key's flight: done closes when the call completes, after
@@ -42,6 +45,7 @@ type Memo[K comparable, V any] struct {
 	mu     sync.Mutex
 	m      map[K]*cell[V]
 	retain bool
+	name   string
 	onJoin func()
 }
 
@@ -66,6 +70,19 @@ func NewFlight[K comparable, V any]() *Memo[K, V] {
 // OnJoin is not synchronized against concurrent Do.
 func (m *Memo[K, V]) OnJoin(fn func()) { m.onJoin = fn }
 
+// SetName labels the memo for tracing: a caller that joins another
+// caller's in-flight cell through DoCtx records a "<name>.join" span
+// covering its wait. Set before use (like OnJoin, it is not synchronized
+// against concurrent Do); the default name is "memo".
+func (m *Memo[K, V]) SetName(name string) { m.name = name }
+
+func (m *Memo[K, V]) spanName() string {
+	if m.name == "" {
+		return "memo.join"
+	}
+	return m.name + ".join"
+}
+
 // Len reports how many keys currently hold a cell (in-flight or retained).
 func (m *Memo[K, V]) Len() int {
 	m.mu.Lock()
@@ -77,6 +94,17 @@ func (m *Memo[K, V]) Len() int {
 // callers. Sharers of one flight all receive its value and error; values
 // may therefore be shared across goroutines — treat them as read-only.
 func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	return m.DoCtx(context.Background(), key, func(context.Context) (V, error) { return fn() })
+}
+
+// DoCtx is Do with request-context plumbing for observability: fn runs
+// with the executing caller's ctx (so spans it starts land in that
+// caller's trace), and a caller that instead joins an in-flight cell
+// records a "<name>.join" span on its own trace covering the wait —
+// coalescing is visible in the timeline of the request that benefited
+// from it. The context carries values only; like Do, a caller's
+// cancellation does not abort the shared call.
+func (m *Memo[K, V]) DoCtx(ctx context.Context, key K, fn func(context.Context) (V, error)) (V, error) {
 	m.mu.Lock()
 	if c, ok := m.m[key]; ok {
 		m.mu.Unlock()
@@ -86,7 +114,9 @@ func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 			if m.onJoin != nil {
 				m.onJoin()
 			}
+			sp := obs.Start(ctx, m.spanName())
 			<-c.done
+			sp.End()
 		}
 		return c.val, c.err
 	}
@@ -112,7 +142,7 @@ func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 			}
 			m.mu.Unlock()
 		}()
-		c.val, c.err = fn()
+		c.val, c.err = fn(ctx)
 	}()
 	return c.val, c.err
 }

@@ -1,11 +1,14 @@
 package memo
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"dcbench/internal/obs"
 )
 
 // TestRetainCachesSuccess: a retaining memo runs fn once per key and then
@@ -154,5 +157,90 @@ func TestPanicDoesNotWedge(t *testing.T) {
 	body, err := m.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
 	if err != nil || string(body) != "ok" {
 		t.Fatalf("post-panic call = %q, %v; the key is wedged", body, err)
+	}
+}
+
+// TestDoCtxJoinSpan pins the observability contract of DoCtx: the
+// executing caller's fn receives a context carrying that caller's trace,
+// and a caller that joins the in-flight cell records a "<name>.join" span
+// on its own trace covering the wait — while the executor's trace gets no
+// join span.
+func TestDoCtxJoinSpan(t *testing.T) {
+	m := NewFlight[string, int]()
+	m.SetName("sweep")
+	rec := obs.NewRecorder(8)
+
+	execTr := rec.StartTrace("executor", "")
+	joinTr := rec.StartTrace("joiner", "")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	joined := make(chan struct{})
+	m.OnJoin(func() { close(joined) })
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		m.DoCtx(obs.With(context.Background(), execTr), "k", func(ctx context.Context) (int, error) {
+			// Spans started inside fn land in the executing caller's trace.
+			obs.Start(ctx, "simulate").End()
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-started
+		v, err := m.DoCtx(obs.With(context.Background(), joinTr), "k", func(context.Context) (int, error) {
+			t.Error("joiner must not run fn")
+			return 0, nil
+		})
+		if v != 1 || err != nil {
+			t.Errorf("joiner got %d, %v", v, err)
+		}
+	}()
+	<-joined
+	close(release)
+	wg.Wait()
+	execTr.Finish()
+	joinTr.Finish()
+
+	spans := func(id string) []string {
+		var names []string
+		for _, td := range rec.Traces(0) {
+			if td.ID == id {
+				for _, sp := range td.Spans {
+					names = append(names, sp.Name)
+				}
+			}
+		}
+		return names
+	}
+	if got := spans(execTr.ID()); len(got) != 1 || got[0] != "simulate" {
+		t.Errorf("executor spans = %v, want [simulate]", got)
+	}
+	if got := spans(joinTr.ID()); len(got) != 1 || got[0] != "sweep.join" {
+		t.Errorf("joiner spans = %v, want [sweep.join]", got)
+	}
+}
+
+// TestDoCtxRetainedValueNoJoinSpan: returning an already-retained value is
+// not coalescing — no join span is recorded for it.
+func TestDoCtxRetainedValueNoJoinSpan(t *testing.T) {
+	m := New[string, int]()
+	rec := obs.NewRecorder(8)
+	if _, err := m.Do("k", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.StartTrace("warm", "")
+	if v, err := m.DoCtx(obs.With(context.Background(), tr), "k", func(context.Context) (int, error) {
+		return 0, errors.New("must not run")
+	}); v != 1 || err != nil {
+		t.Fatalf("retained read = %d, %v", v, err)
+	}
+	tr.Finish()
+	if td := rec.Traces(0)[0]; len(td.Spans) != 0 {
+		t.Errorf("warm read recorded spans %+v, want none", td.Spans)
 	}
 }

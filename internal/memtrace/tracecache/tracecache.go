@@ -30,14 +30,17 @@ package tracecache
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"dcbench/internal/memo"
 	"dcbench/internal/memtrace"
+	"dcbench/internal/obs"
 )
 
 // Key identifies one generated trace: the workload name (the generator
@@ -126,13 +129,15 @@ func New(maxBytes int64) *Cache {
 	if maxBytes <= 0 {
 		return nil
 	}
-	return &Cache{
+	c := &Cache{
 		max:         maxBytes,
 		flight:      memo.NewFlight[Key, *Trace](),
 		entries:     make(map[Key]*list.Element),
 		lru:         list.New(),
 		uncacheable: make(map[Key]struct{}),
 	}
+	c.flight.SetName("trace.capture")
+	return c
 }
 
 // Stats snapshots the cache counters.
@@ -161,7 +166,13 @@ func (c *Cache) Stats() Stats {
 // trace cannot be cached (over budget or unencodable). A non-nil error is
 // a generator failure: the trace blew up during capture, exactly as it
 // would have mid-simulation on the live path.
-func (c *Cache) Reader(name string, p memtrace.Profile, gen func(*memtrace.Tracer)) (r memtrace.Reader, replay bool, err error) {
+//
+// The context carries the requesting trace (obs): the caller that pays
+// for a capture records a "trace.capture" span, a budget fallback records
+// a "trace.fallback" event, and callers that merely join an in-flight
+// capture record the singleflight's join span. Cancellation is ignored —
+// a captured trace is shared state, not one request's work.
+func (c *Cache) Reader(ctx context.Context, name string, p memtrace.Profile, gen func(*memtrace.Tracer)) (r memtrace.Reader, replay bool, err error) {
 	p = p.Normalize()
 	key := Key{Name: name, Profile: p}
 
@@ -169,6 +180,7 @@ func (c *Cache) Reader(name string, p memtrace.Profile, gen func(*memtrace.Trace
 	if _, bad := c.uncacheable[key]; bad {
 		c.mu.Unlock()
 		c.fallbacks.Add(1)
+		obs.Event(ctx, "trace.fallback", "workload", name)
 		return memtrace.NewReader(p, gen), false, nil
 	}
 	if el, ok := c.entries[key]; ok {
@@ -181,24 +193,30 @@ func (c *Cache) Reader(name string, p memtrace.Profile, gen func(*memtrace.Trace
 	c.mu.Unlock()
 
 	c.misses.Add(1)
-	t, err := c.flight.Do(key, func() (*Trace, error) {
+	t, err := c.flight.DoCtx(ctx, key, func(ctx context.Context) (*Trace, error) {
 		c.captures.Add(1)
+		sp := obs.Start(ctx, "trace.capture", "workload", name)
 		t, err := capture(p, gen, c.max)
 		switch {
 		case err == nil:
 			c.insert(key, t)
+			sp.End("bytes", strconv.FormatInt(t.bytes, 10), "instrs", strconv.FormatInt(t.n, 10))
 		case errors.Is(err, errTooLarge) || errors.Is(err, errUnencodable):
 			// Deterministic per key: remember, so later sweeps skip the
 			// doomed capture instead of re-paying it per config.
 			c.mu.Lock()
 			c.uncacheable[key] = struct{}{}
 			c.mu.Unlock()
+			sp.End("uncacheable", "true")
+		default:
+			sp.End("err", err.Error())
 		}
 		return t, err
 	})
 	if err != nil {
 		if errors.Is(err, errTooLarge) || errors.Is(err, errUnencodable) {
 			c.fallbacks.Add(1)
+			obs.Event(ctx, "trace.fallback", "workload", name)
 			return memtrace.NewReader(p, gen), false, nil
 		}
 		return nil, false, err

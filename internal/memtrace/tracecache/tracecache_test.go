@@ -1,6 +1,7 @@
 package tracecache
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"sync"
@@ -59,7 +60,7 @@ func TestRoundTrip(t *testing.T) {
 	}
 
 	c := New(DefaultMaxBytes)
-	r, replay, err := c.Reader("w", p, testGen)
+	r, replay, err := c.Reader(context.Background(), "w", p, testGen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestRoundTrip(t *testing.T) {
 	}
 
 	// Second reader: pure LRU hit, no capture.
-	r2, replay, err := c.Reader("w", p, testGen)
+	r2, replay, err := c.Reader(context.Background(), "w", p, testGen)
 	if err != nil || !replay {
 		t.Fatalf("second Reader: replay=%v err=%v", replay, err)
 	}
@@ -137,7 +138,7 @@ func TestBudgetFallback(t *testing.T) {
 	live := collectLive(p, n)
 
 	c := New(1024) // far below the ~4 B/instr encoding
-	r, replay, err := c.Reader("w", p, testGen)
+	r, replay, err := c.Reader(context.Background(), "w", p, testGen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestBudgetFallback(t *testing.T) {
 	}
 
 	// The key is remembered as uncacheable: no second capture.
-	if _, replay, err = c.Reader("w", p, testGen); err != nil || replay {
+	if _, replay, err = c.Reader(context.Background(), "w", p, testGen); err != nil || replay {
 		t.Fatalf("second Reader: replay=%v err=%v", replay, err)
 	}
 	s = c.Stats()
@@ -180,10 +181,10 @@ func TestEviction(t *testing.T) {
 	}
 
 	c := New(tA.Bytes() + tB.Bytes() - 1) // each fits; both together do not
-	if _, _, err := c.Reader("a", pA, testGen); err != nil {
+	if _, _, err := c.Reader(context.Background(), "a", pA, testGen); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.Reader("b", pB, testGen); err != nil {
+	if _, _, err := c.Reader(context.Background(), "b", pB, testGen); err != nil {
 		t.Fatal(err)
 	}
 	s := c.Stats()
@@ -192,7 +193,7 @@ func TestEviction(t *testing.T) {
 	}
 
 	// The survivor is B; A re-captures on its next request.
-	if _, replay, err := c.Reader("b", pB, testGen); err != nil || !replay {
+	if _, replay, err := c.Reader(context.Background(), "b", pB, testGen); err != nil || !replay {
 		t.Fatalf("evicting insert displaced the wrong entry: replay=%v err=%v", replay, err)
 	}
 	if got := c.Stats(); got.Captures != 2 || got.Hits != 1 {
@@ -210,10 +211,10 @@ func TestCapturePanic(t *testing.T) {
 		panic("boom")
 	}
 	c := New(DefaultMaxBytes)
-	if _, _, err := c.Reader("bad", p, boom); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, _, err := c.Reader(context.Background(), "bad", p, boom); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("err = %v, want generator panic", err)
 	}
-	if _, _, err := c.Reader("bad", p, boom); err == nil {
+	if _, _, err := c.Reader(context.Background(), "bad", p, boom); err == nil {
 		t.Fatal("second request silently succeeded")
 	}
 	if s := c.Stats(); s.Captures != 2 || s.Traces != 0 {
@@ -256,7 +257,7 @@ func TestConcurrentSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, replay, err := c.Reader("w", p, testGen)
+			r, replay, err := c.Reader(context.Background(), "w", p, testGen)
 			if err != nil {
 				errs[i] = err
 				return

@@ -3,12 +3,32 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dcbench/internal/sweep"
 )
+
+// buildInfo resolves the dcserved_build_info labels once: the Go
+// toolchain version and the VCS revision baked in by `go build` (or
+// "unknown" outside a checkout, e.g. a test binary).
+var buildInfo = sync.OnceValue(func() (bi struct{ GoVersion, Revision string }) {
+	bi.GoVersion, bi.Revision = "unknown", "unknown"
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			bi.Revision = s.Value
+		}
+	}
+	return bi
+})
 
 // handleMetrics renders the Prometheus text exposition (version 0.0.4) of
 // the server's request counters and, when a result store is wired in, its
@@ -17,6 +37,10 @@ import (
 // golden test pins the output so the surface cannot drift silently.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
+	bi := buildInfo()
+	fmt.Fprintf(&b, "# HELP dcserved_build_info Build metadata; the value is always 1.\n"+
+		"# TYPE dcserved_build_info gauge\ndcserved_build_info{goversion=%q,revision=%q} 1\n",
+		bi.GoVersion, bi.Revision)
 	st := s.Stats()
 	writeMetric(&b, "dcserved_requests_total", "counter",
 		"HTTP requests handled.", float64(st.Requests))
@@ -33,6 +57,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Admission-control bound on concurrent compute jobs; 0 = unlimited.", float64(js.MaxInflight))
 	writeMetric(&b, "dcserved_jobs_shed_total", "counter",
 		"Compute jobs shed with 429 because the worker was saturated.", float64(js.Shed))
+	s.reqHist.WriteProm(&b, "dcserved_request_duration_seconds", "endpoint",
+		"HTTP request latency by mux pattern; probe endpoints are not sampled.")
+	s.jobHist.WriteProm(&b, "dcserved_job_duration_seconds", "kind",
+		"Compute job latency by job kind, admission to response.")
 	if bs, ok := s.backendStats(); ok {
 		writeMetric(&b, "dcserved_store_records", "gauge",
 			"Records currently in the result store.", float64(bs.Records))

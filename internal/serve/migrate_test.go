@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -29,8 +30,8 @@ type countingStatsBackend struct {
 	runs  int
 }
 
-func (b *countingStatsBackend) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) {
-	st, ok := b.inner.LoadStats(k)
+func (b *countingStatsBackend) LoadStats(ctx context.Context, k workloads.StatsKey) (*workloads.Stats, bool) {
+	st, ok := b.inner.LoadStats(ctx, k)
 	if ok {
 		b.mu.Lock()
 		b.hits++
@@ -39,11 +40,11 @@ func (b *countingStatsBackend) LoadStats(k workloads.StatsKey) (*workloads.Stats
 	return st, ok
 }
 
-func (b *countingStatsBackend) StoreStats(k workloads.StatsKey, st *workloads.Stats) {
+func (b *countingStatsBackend) StoreStats(ctx context.Context, k workloads.StatsKey, st *workloads.Stats) {
 	b.mu.Lock()
 	b.runs++
 	b.mu.Unlock()
-	b.inner.StoreStats(k, st)
+	b.inner.StoreStats(ctx, k, st)
 }
 
 func (b *countingStatsBackend) counts() (hits, runs int) {

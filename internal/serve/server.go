@@ -35,6 +35,7 @@ import (
 	"dcbench/internal/core"
 	"dcbench/internal/memo"
 	"dcbench/internal/memtrace/tracecache"
+	"dcbench/internal/obs"
 	"dcbench/internal/report"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
@@ -103,6 +104,13 @@ type Server struct {
 	cancel  context.CancelFunc
 	started time.Time
 
+	// Observability (see internal/obs): the trace ring /debug/traces
+	// serves, and the latency histograms /metrics exports per endpoint
+	// and per job kind.
+	recorder *obs.Recorder
+	reqHist  *obs.HistogramSet
+	jobHist  *obs.HistogramSet
+
 	requests  atomic.Int64
 	coalesced atomic.Int64
 	errors    atomic.Int64
@@ -157,12 +165,17 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		cancel:  cancel,
 		started: time.Now(),
+
+		recorder: obs.NewRecorder(0),
+		reqHist:  obs.NewHistogramSet(nil),
+		jobHist:  obs.NewHistogramSet(nil),
 	}
 	if cfg.MaxInflight > 0 {
 		s.maxInflight = cfg.MaxInflight
 		s.jobSem = make(chan struct{}, cfg.MaxInflight)
 	}
 	s.flight.OnJoin(func() { s.coalesced.Add(1) })
+	s.flight.SetName("render")
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
@@ -171,8 +184,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep) // deprecated alias: a counters job
+	// The trace ring is also on the service port (not only -debug-addr):
+	// correlating a front-end's trace with a worker's means asking every
+	// node, and workers are addressed by their service port.
+	s.mux.Handle("GET /debug/traces", obs.TracesHandler(s.recorder))
 	return s
 }
+
+// Recorder exposes the server's trace ring — what a -debug-addr listener
+// serves alongside pprof.
+func (s *Server) Recorder() *obs.Recorder { return s.recorder }
 
 // Close cancels the server's base context, aborting in-flight sweeps.
 // Call it after (not instead of) http.Server.Shutdown: Shutdown drains
@@ -198,28 +219,59 @@ func (s *Server) JobStats() JobStats {
 }
 
 // Handler returns the service's root handler: the v1 mux wrapped in
-// request logging.
+// request logging, tracing and latency measurement. Every non-probe
+// request gets a trace — adopted from the X-Dcs-Trace header when the
+// caller sent a valid ID (a front-end dispatching a job), fresh
+// otherwise — echoed in the response header, recorded into the ring on
+// completion, and stamped as trace=<id> on the request log line.
+// Probes (/healthz, /metrics, /debug/*) get neither traces nor
+// histogram samples: a scrape every few seconds would wash both the
+// ring and the latency distribution out with noise.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		probe := r.URL.Path == "/healthz" || r.URL.Path == "/metrics" ||
+			strings.HasPrefix(r.URL.Path, "/debug/")
+		var tr *obs.Trace
+		if !probe {
+			tr = s.recorder.StartTrace(r.Method+" "+r.URL.Path, r.Header.Get(obs.TraceHeader))
+			w.Header().Set(obs.TraceHeader, tr.ID())
+			r = r.WithContext(obs.With(r.Context(), tr))
+		}
 		start := time.Now()
 		s.mux.ServeHTTP(rec, r)
+		dur := time.Since(start)
 		if rec.status >= 500 {
 			s.errors.Add(1)
 		}
+		if !probe {
+			// Label by the mux pattern, not the raw path: every workload's
+			// counters URL is one endpoint, not a cardinality explosion.
+			_, pattern := s.mux.Handler(r)
+			if pattern == "" {
+				pattern = "unmatched"
+			}
+			s.reqHist.Observe(pattern, dur)
+			tr.SetAttr("status", strconv.Itoa(rec.status))
+			tr.Finish()
+		}
 		lvl := slog.LevelInfo
-		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+		if probe {
 			lvl = slog.LevelDebug // probes and scrapes would drown real traffic
 		}
-		s.log.Log(r.Context(), lvl, "request",
+		args := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,
 			"bytes", rec.bytes,
-			"dur", time.Since(start).Round(time.Microsecond),
+			"dur", dur.Round(time.Microsecond),
 			"remote", r.RemoteAddr,
-		)
+		}
+		if id := tr.ID(); id != "" {
+			args = append(args, "trace", id)
+		}
+		s.log.Log(r.Context(), lvl, "request", args...)
 	})
 }
 
@@ -315,10 +367,12 @@ func (s *Server) serveBody(w http.ResponseWriter, r *http.Request, key, contentT
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	body, err := s.flight.Do(key, func() ([]byte, error) {
+	body, err := s.flight.DoCtx(r.Context(), key, func(ctx context.Context) ([]byte, error) {
 		// Base context, not r.Context(): a coalesced render must survive
-		// the starting client's disconnect, and shutdown cancels it.
-		return render(s.baseCtx)
+		// the starting client's disconnect, and shutdown cancels it. The
+		// executing request's trace rides along so the render's spans land
+		// in the timeline of the request that paid for it.
+		return render(obs.With(s.baseCtx, obs.From(ctx)))
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -379,12 +433,12 @@ func (s *Server) backendStats() (sweep.BackendStats, bool) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := struct {
-		Status    string              `json:"status"`
-		UptimeSec float64             `json:"uptime_sec"`
-		Stats     Stats               `json:"stats"`
-		Jobs      JobStats            `json:"jobs"`
-		Store     *sweep.BackendStats `json:"store,omitempty"`
-	}{Status: "ok", UptimeSec: time.Since(s.started).Seconds(), Stats: s.Stats(), Jobs: s.JobStats()}
+		Status        string              `json:"status"`
+		UptimeSeconds float64             `json:"uptime_seconds"`
+		Stats         Stats               `json:"stats"`
+		Jobs          JobStats            `json:"jobs"`
+		Store         *sweep.BackendStats `json:"store,omitempty"`
+	}{Status: "ok", UptimeSeconds: time.Since(s.started).Seconds(), Stats: s.Stats(), Jobs: s.JobStats()}
 	if bs, ok := s.backendStats(); ok {
 		h.Store = &bs
 	}

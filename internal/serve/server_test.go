@@ -44,11 +44,11 @@ type countingBackend struct {
 	sims  int // Store calls, i.e. real simulations
 }
 
-func (b *countingBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
+func (b *countingBackend) Load(ctx context.Context, k sweep.Key) (*uarch.Counters, bool) {
 	if b.gate != nil {
 		<-b.gate
 	}
-	c, ok := b.inner.Load(k)
+	c, ok := b.inner.Load(ctx, k)
 	if ok {
 		b.mu.Lock()
 		b.hits++
@@ -57,11 +57,11 @@ func (b *countingBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
 	return c, ok
 }
 
-func (b *countingBackend) Store(k sweep.Key, c *uarch.Counters) {
+func (b *countingBackend) Store(ctx context.Context, k sweep.Key, c *uarch.Counters) {
 	b.mu.Lock()
 	b.sims++
 	b.mu.Unlock()
-	b.inner.Store(k, c)
+	b.inner.Store(ctx, k, c)
 }
 
 func (b *countingBackend) counts() (hits, sims int) {
@@ -78,14 +78,14 @@ type memoryBackend struct {
 
 func newMemoryBackend() *memoryBackend { return &memoryBackend{m: map[sweep.Key]*uarch.Counters{}} }
 
-func (b *memoryBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
+func (b *memoryBackend) Load(_ context.Context, k sweep.Key) (*uarch.Counters, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	c, ok := b.m[k]
 	return c, ok
 }
 
-func (b *memoryBackend) Store(k sweep.Key, c *uarch.Counters) {
+func (b *memoryBackend) Store(_ context.Context, k sweep.Key, c *uarch.Counters) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.m[k] = c

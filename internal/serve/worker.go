@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"dcbench/internal/core"
+	"dcbench/internal/obs"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
@@ -90,18 +92,21 @@ const (
 // table before shedding would need a memo-level join-without-running API;
 // until then the cost is a duplicated simulation in the (two front-ends,
 // same cold key, saturated owner) corner, never a wrong result.
-func (s *Server) admitJob(w http.ResponseWriter) (func(), bool) {
+func (s *Server) admitJob(ctx context.Context, w http.ResponseWriter) (func(), bool) {
+	sp := obs.Start(ctx, "admission")
 	if s.jobSem != nil {
 		select {
 		case s.jobSem <- struct{}{}:
 		default:
 			s.shed.Add(1)
+			sp.End("shed", "true")
 			w.Header().Set("Retry-After", strconv.Itoa(jobRetryAfterSeconds))
 			http.Error(w, fmt.Sprintf("worker saturated: %d jobs in flight (-max-inflight)", s.maxInflight),
 				http.StatusTooManyRequests)
 			return nil, false
 		}
 	}
+	sp.End("shed", "false")
 	s.jobsInFlight.Add(1)
 	return func() {
 		s.jobsInFlight.Add(-1)
@@ -130,25 +135,27 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "unreadable counters job key: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		run = func() { s.runCounterJob(w, key, req.Warmup) }
+		run = func() { s.runCounterJob(w, r, key, req.Warmup) }
 	case store.KindCluster:
 		var key workloads.StatsKey
 		if err := json.Unmarshal(req.Key, &key); err != nil {
 			http.Error(w, "unreadable cluster job key: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		run = func() { s.runClusterJob(w, key) }
+		run = func() { s.runClusterJob(w, r, key) }
 	default:
 		http.Error(w, fmt.Sprintf("unknown job kind %q (want %q or %q)",
 			req.Kind, store.KindCounters, store.KindCluster), http.StatusBadRequest)
 		return
 	}
-	release, ok := s.admitJob(w)
+	release, ok := s.admitJob(r.Context(), w)
 	if !ok {
 		return
 	}
 	defer release()
+	start := time.Now()
 	run()
+	s.jobHist.Observe(req.Kind, time.Since(start))
 }
 
 // handleSweep is the deprecated /v1/sweep alias: the PR 4 counters-only
@@ -160,12 +167,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unreadable sweep request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	release, ok := s.admitJob(w)
+	release, ok := s.admitJob(r.Context(), w)
 	if !ok {
 		return
 	}
 	defer release()
-	s.runCounterJob(w, req.Key, req.Warmup)
+	start := time.Now()
+	s.runCounterJob(w, r, req.Key, req.Warmup)
+	s.jobHist.Observe(store.KindCounters, time.Since(start))
 }
 
 // runCounterJob simulates one sweep key and answers with the checksummed
@@ -175,7 +184,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // coalesce into one simulation, results land in the worker's own store
 // (when configured), and a worker that itself has a dispatch backend
 // forwards misses further down the chain.
-func (s *Server) runCounterJob(w http.ResponseWriter, key sweep.Key, warmup int64) {
+func (s *Server) runCounterJob(w http.ResponseWriter, r *http.Request, key sweep.Key, warmup int64) {
 	wl, err := core.ByName(key.Name)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -211,7 +220,12 @@ func (s *Server) runCounterJob(w http.ResponseWriter, key sweep.Key, warmup int6
 	// name + profile identify the trace; the generator is keyed by name),
 	// so the engine's memo key here equals key exactly.
 	jobs := []sweep.Job{{Name: wl.Name, Profile: key.Profile, Gen: wl.Gen}}
-	cs, err := s.engine.Run(s.baseCtx, jobs, cfg, key.MaxInstrs, sweep.RunOptions{Workers: 1})
+	// Base context for cancellation (coalesced jobs survive any one
+	// client's disconnect; shutdown still aborts them), the request's
+	// trace for observability — the worker-side spans of a dispatched job
+	// land in a trace carrying the front-end's ID.
+	ctx := obs.With(s.baseCtx, obs.From(r.Context()))
+	cs, err := s.engine.Run(ctx, jobs, cfg, key.MaxInstrs, sweep.RunOptions{Workers: 1})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			http.Error(w, "worker shutting down", http.StatusServiceUnavailable)
@@ -235,7 +249,7 @@ func (s *Server) runCounterJob(w http.ResponseWriter, key sweep.Key, warmup int6
 // concurrent requests for one key coalesce and the result lands in the
 // worker's own store; unlike counters there is no machine fingerprint to
 // verify — the key alone fully determines the simulation.
-func (s *Server) runClusterJob(w http.ResponseWriter, key workloads.StatsKey) {
+func (s *Server) runClusterJob(w http.ResponseWriter, r *http.Request, key workloads.StatsKey) {
 	wl := workloads.ByName(key.Workload)
 	if wl == nil {
 		http.Error(w, fmt.Sprintf("unknown cluster workload %q", key.Workload), http.StatusNotFound)
@@ -255,7 +269,7 @@ func (s *Server) runClusterJob(w http.ResponseWriter, key workloads.StatsKey) {
 		http.Error(w, "worker shutting down", http.StatusServiceUnavailable)
 		return
 	}
-	st, err := s.opts.Cluster.Do(key, func() (*workloads.Stats, error) {
+	st, err := s.opts.Cluster.Do(obs.With(s.baseCtx, obs.From(r.Context())), key, func() (*workloads.Stats, error) {
 		env := workloads.NewEnv(key.Slaves, key.Scale, key.Seed)
 		return wl.Run(env)
 	})

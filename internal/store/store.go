@@ -43,6 +43,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -53,12 +54,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dcbench/internal/memtrace"
+	"dcbench/internal/obs"
 	"dcbench/internal/sweep"
 	"dcbench/internal/uarch"
 	"dcbench/internal/workloads"
@@ -669,8 +672,10 @@ type backend struct {
 	log *slog.Logger
 }
 
-func (b *backend) Load(k sweep.Key) (*uarch.Counters, bool) {
+func (b *backend) Load(ctx context.Context, k sweep.Key) (*uarch.Counters, bool) {
+	sp := obs.Start(ctx, "store.read", "workload", k.Name)
 	c, ok, err := b.s.Get(k)
+	sp.End("hit", strconv.FormatBool(ok && err == nil))
 	if err != nil {
 		b.log.Warn("store load failed; re-simulating", "workload", k.Name, "err", err)
 		return nil, false
@@ -678,8 +683,11 @@ func (b *backend) Load(k sweep.Key) (*uarch.Counters, bool) {
 	return c, ok
 }
 
-func (b *backend) Store(k sweep.Key, c *uarch.Counters) {
-	if err := b.s.Put(k, c); err != nil {
+func (b *backend) Store(ctx context.Context, k sweep.Key, c *uarch.Counters) {
+	sp := obs.Start(ctx, "store.write", "workload", k.Name)
+	err := b.s.Put(k, c)
+	sp.End()
+	if err != nil {
 		b.log.Warn("store put failed; result not persisted", "workload", k.Name, "err", err)
 	}
 }
@@ -700,8 +708,10 @@ type statsBackend struct {
 	log *slog.Logger
 }
 
-func (b *statsBackend) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) {
+func (b *statsBackend) LoadStats(ctx context.Context, k workloads.StatsKey) (*workloads.Stats, bool) {
+	sp := obs.Start(ctx, "store.read", "workload", k.Workload)
 	st, ok, err := b.s.GetClusterStats(k)
+	sp.End("hit", strconv.FormatBool(ok && err == nil))
 	if err != nil {
 		b.log.Warn("store load failed; re-running cluster experiment", "workload", k.Workload, "err", err)
 		return nil, false
@@ -709,8 +719,11 @@ func (b *statsBackend) LoadStats(k workloads.StatsKey) (*workloads.Stats, bool) 
 	return st, ok
 }
 
-func (b *statsBackend) StoreStats(k workloads.StatsKey, st *workloads.Stats) {
-	if err := b.s.PutClusterStats(k, st); err != nil {
+func (b *statsBackend) StoreStats(ctx context.Context, k workloads.StatsKey, st *workloads.Stats) {
+	sp := obs.Start(ctx, "store.write", "workload", k.Workload)
+	err := b.s.PutClusterStats(k, st)
+	sp.End()
+	if err != nil {
 		b.log.Warn("store put failed; cluster stats not persisted", "workload", k.Workload, "err", err)
 	}
 }

@@ -1,6 +1,7 @@
 package store_test
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"os"
@@ -236,8 +237,8 @@ func TestBackendSwallowsFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := testKey("pagerank", 2)
-	b.Store(k, &uarch.Counters{Cycles: 3})
-	if _, ok := b.Load(k); ok {
+	b.Store(context.Background(), k, &uarch.Counters{Cycles: 3})
+	if _, ok := b.Load(context.Background(), k); ok {
 		t.Fatal("Load on a broken store reported a hit")
 	}
 }
@@ -621,17 +622,17 @@ func TestStatsBackendRoundTrip(t *testing.T) {
 		return &workloads.Stats{Workload: "Grep", Slaves: 4, Makespan: 5}, nil
 	}
 	cold := workloads.NewStatsCache(b)
-	if _, err := cold.Do(k, run); err != nil {
+	if _, err := cold.Do(context.Background(), k, run); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cold.Do(k, run); err != nil {
+	if _, err := cold.Do(context.Background(), k, run); err != nil {
 		t.Fatal(err)
 	}
 	if ran != 1 {
 		t.Fatalf("cold cache ran %d times, want 1", ran)
 	}
 	warm := workloads.NewStatsCache(b) // the restart: fresh L1, same store
-	st, err := warm.Do(k, run)
+	st, err := warm.Do(context.Background(), k, run)
 	if err != nil {
 		t.Fatal(err)
 	}

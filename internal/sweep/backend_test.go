@@ -22,7 +22,7 @@ type memBackend struct {
 
 func newMemBackend() *memBackend { return &memBackend{m: map[sweep.Key]*uarch.Counters{}} }
 
-func (b *memBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
+func (b *memBackend) Load(_ context.Context, k sweep.Key) (*uarch.Counters, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	c, ok := b.m[k]
@@ -34,7 +34,7 @@ func (b *memBackend) Load(k sweep.Key) (*uarch.Counters, bool) {
 	return c, ok
 }
 
-func (b *memBackend) Store(k sweep.Key, c *uarch.Counters) {
+func (b *memBackend) Store(_ context.Context, k sweep.Key, c *uarch.Counters) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.m[k] = c

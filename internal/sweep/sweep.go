@@ -28,12 +28,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"dcbench/internal/memo"
 	"dcbench/internal/memtrace"
 	"dcbench/internal/memtrace/tracecache"
+	"dcbench/internal/obs"
 	"dcbench/internal/uarch"
 )
 
@@ -90,9 +92,17 @@ type Key struct {
 // re-simulation, not break the sweep): Load reports a miss, Store drops the
 // write. Counters handed to and from the backend are shared with the memo
 // table — treat them as read-only.
+//
+// The context carries request-scoped values only — most importantly the
+// obs trace of whichever request is paying for the miss, so a backend
+// that does real work (a store read, a dispatched RPC) records its spans
+// into that request's timeline and propagates the trace ID across
+// processes. Backends must not treat it as a cancellation signal: the
+// engine calls them inside a singleflight cell whose result outlives any
+// one caller.
 type MemoBackend interface {
-	Load(Key) (*uarch.Counters, bool)
-	Store(Key, *uarch.Counters)
+	Load(context.Context, Key) (*uarch.Counters, bool)
+	Store(context.Context, Key, *uarch.Counters)
 }
 
 // BackendStats is a point-in-time snapshot of a MemoBackend's store-level
@@ -182,10 +192,12 @@ type Engine struct {
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{
+	e := &Engine{
 		memo:  memo.New[Key, *uarch.Counters](),
 		pools: make(map[uint64]*sync.Pool),
 	}
+	e.memo.SetName("sweep")
+	return e
 }
 
 // SetMemoBackend installs (or, with nil, removes) the engine's second-level
@@ -257,7 +269,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, cfg uarch.Config, maxInstr
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			out[i], errs[i] = e.simulate(j, cfg, maxInstrs, nil)
+			out[i], errs[i] = e.simulate(ctx, j, cfg, maxInstrs, nil)
 		}
 		return out, joinJobErrors(jobs, errs)
 	}
@@ -265,9 +277,9 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, cfg uarch.Config, maxInstr
 	pool := e.pool(fp)
 	err := Each(ctx, opt.workers(), len(jobs), func(i int) {
 		if opt.NoMemo {
-			out[i], errs[i] = e.simulate(jobs[i], cfg, maxInstrs, pool)
+			out[i], errs[i] = e.simulate(ctx, jobs[i], cfg, maxInstrs, pool)
 		} else {
-			out[i], errs[i] = e.memoized(jobs[i], cfg, fp, maxInstrs, pool)
+			out[i], errs[i] = e.memoized(ctx, jobs[i], cfg, fp, maxInstrs, pool)
 		}
 	})
 	if err != nil {
@@ -293,20 +305,25 @@ func joinJobErrors(jobs []Job, errs []error) error {
 // through to it — both inside the key's singleflight cell. A failed
 // simulation is not retained (the shared memo's contract), so a later Run
 // retries the job instead of replaying the failure.
-func (e *Engine) memoized(job Job, cfg uarch.Config, fp uint64, maxInstrs int64, pool *sync.Pool) (*uarch.Counters, error) {
+func (e *Engine) memoized(ctx context.Context, job Job, cfg uarch.Config, fp uint64, maxInstrs int64, pool *sync.Pool) (*uarch.Counters, error) {
 	key := Key{Name: job.Name, Profile: job.Profile, ConfigFP: fp, MaxInstrs: maxInstrs}
 	e.mu.Lock()
 	backend := e.backend
 	e.mu.Unlock()
-	return e.memo.Do(key, func() (*uarch.Counters, error) {
+	return e.memo.DoCtx(ctx, key, func(ctx context.Context) (*uarch.Counters, error) {
 		if backend != nil {
-			if c, ok := backend.Load(key); ok {
+			sp := obs.Start(ctx, "backend.load", "workload", job.Name)
+			c, ok := backend.Load(ctx, key)
+			sp.End("hit", strconv.FormatBool(ok))
+			if ok {
 				return c, nil
 			}
 		}
-		c, err := e.simulate(job, cfg, maxInstrs, pool)
+		c, err := e.simulate(ctx, job, cfg, maxInstrs, pool)
 		if backend != nil && err == nil {
-			backend.Store(key, c)
+			sp := obs.Start(ctx, "backend.store", "workload", job.Name)
+			backend.Store(ctx, key, c)
+			sp.End()
 		}
 		return c, err
 	})
@@ -324,7 +341,7 @@ func (e *Engine) memoized(job Job, cfg uarch.Config, fp uint64, maxInstrs int64,
 // stream leaves the generator goroutine mid-trace, so the abandoned
 // reader is drained in the background to let that goroutine finish and be
 // collected; a replayed stream has no goroutine to drain.
-func (e *Engine) simulate(job Job, cfg uarch.Config, maxInstrs int64, pool *sync.Pool) (counters *uarch.Counters, err error) {
+func (e *Engine) simulate(ctx context.Context, job Job, cfg uarch.Config, maxInstrs int64, pool *sync.Pool) (counters *uarch.Counters, err error) {
 	p := job.Profile
 	if maxInstrs > 0 {
 		p.MaxInstrs = maxInstrs
@@ -334,16 +351,22 @@ func (e *Engine) simulate(job Job, cfg uarch.Config, maxInstrs int64, pool *sync
 	e.mu.Unlock()
 	var r memtrace.Reader
 	live := true
+	source := "live"
 	if tc != nil {
 		var replay bool
-		r, replay, err = tc.Reader(job.Name, p, job.Gen)
+		r, replay, err = tc.Reader(ctx, job.Name, p, job.Gen)
 		if err != nil {
 			return nil, err
 		}
 		live = !replay
+		if replay {
+			source = "replay"
+		}
 	} else {
 		r = memtrace.NewReader(p, job.Gen)
 	}
+	sp := obs.Start(ctx, "simulate", "workload", job.Name, "source", source)
+	defer sp.End()
 	defer func() {
 		rec := recover()
 		if rec == nil {

@@ -1,6 +1,11 @@
 package workloads
 
-import "dcbench/internal/memo"
+import (
+	"context"
+
+	"dcbench/internal/memo"
+	"dcbench/internal/obs"
+)
 
 // StatsKey identifies one cluster experiment run: a workload simulated on a
 // cluster of Slaves nodes at a given input scale and seed. Those four
@@ -18,13 +23,18 @@ type StatsKey struct {
 // in-memory table — typically the same persistent store that backs the
 // sweep engine, so restarts skip the cluster simulations too.
 //
+// The context carries request-scoped observability values only (trace
+// spans land in the requesting caller's timeline); backends must not treat
+// it as a cancellation signal, because calls run inside a singleflight
+// cell shared with other requests.
+//
 // Backends swallow their own failures (a broken store must degrade to
 // re-simulation, not break a figure render): LoadStats reports a miss,
 // StoreStats drops the write. Stats handed to and from the backend are
 // shared with the cache — treat them as read-only.
 type StatsBackend interface {
-	LoadStats(StatsKey) (*Stats, bool)
-	StoreStats(StatsKey, *Stats)
+	LoadStats(context.Context, StatsKey) (*Stats, bool)
+	StoreStats(context.Context, StatsKey, *Stats)
 }
 
 // StatsCache memoizes cluster runs on the shared singleflight memo: an
@@ -39,26 +49,32 @@ type StatsCache struct {
 
 // NewStatsCache returns an empty cache over backend (nil for memory-only).
 func NewStatsCache(backend StatsBackend) *StatsCache {
-	return &StatsCache{memo: memo.New[StatsKey, *Stats](), backend: backend}
+	m := memo.New[StatsKey, *Stats]()
+	m.SetName("cluster")
+	return &StatsCache{memo: m, backend: backend}
 }
 
 // Do returns the stats for key, calling run at most once per key even under
 // concurrent callers; the backend (when present) is consulted first and
 // filled after, both inside the key's singleflight cell. A failed run
-// (cancellation included) is not cached, so a later call retries.
-func (c *StatsCache) Do(key StatsKey, run func() (*Stats, error)) (*Stats, error) {
+// (cancellation included) is not cached, so a later call retries. The
+// context carries trace values only — a caller's cancellation does not
+// abort the shared run.
+func (c *StatsCache) Do(ctx context.Context, key StatsKey, run func() (*Stats, error)) (*Stats, error) {
 	if c == nil {
 		return run()
 	}
-	return c.memo.Do(key, func() (*Stats, error) {
+	return c.memo.DoCtx(ctx, key, func(ctx context.Context) (*Stats, error) {
 		if c.backend != nil {
-			if st, ok := c.backend.LoadStats(key); ok {
+			if st, ok := c.backend.LoadStats(ctx, key); ok {
 				return st, nil
 			}
 		}
+		sp := obs.Start(ctx, "cluster.run", "workload", key.Workload)
 		st, err := run()
+		sp.End()
 		if err == nil && c.backend != nil {
-			c.backend.StoreStats(key, st)
+			c.backend.StoreStats(ctx, key, st)
 		}
 		return st, err
 	})

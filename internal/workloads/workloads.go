@@ -196,7 +196,7 @@ func SlaveSweepMemo(ctx context.Context, cache *StatsCache, ws []*Workload, slav
 	n := len(ws) * len(slaveCounts)
 	flat, err := sweep.Collect(ctx, workers, n, func(i int) (*Stats, error) {
 		w, slaves := ws[i/len(slaveCounts)], slaveCounts[i%len(slaveCounts)]
-		return cache.Do(StatsKey{Workload: w.Name, Slaves: slaves, Scale: scale, Seed: seed}, func() (*Stats, error) {
+		return cache.Do(ctx, StatsKey{Workload: w.Name, Slaves: slaves, Scale: scale, Seed: seed}, func() (*Stats, error) {
 			env := NewEnv(slaves, scale, seed)
 			st, err := w.Run(env)
 			if err != nil {

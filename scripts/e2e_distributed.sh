@@ -10,7 +10,12 @@
 #   2. a worker + front-end pair serves the same endpoints byte-identically
 #      — Figures 2/5 and Table I included, so cluster experiments dispatch
 #      too — with every counter key AND every cluster cell answered
-#      remotely (no fallbacks of either kind);
+#      remotely (no fallbacks of either kind); a traced cold request's
+#      X-Dcs-Trace ID shows up in BOTH processes' /debug/traces rings with
+#      spans covering the job's phases, the worker's per-kind job-latency
+#      histogram counts agree with the front-end's per-kind dispatch
+#      counters, and both trace rings are dumped to $TRACES_OUT (CI uploads
+#      it beside the BENCH_* artifacts);
 #   3. a restarted front-end over the same store — its worker now dark —
 #      serves the same bytes again with zero dispatches and zero
 #      re-simulation of either kind (everything from the write-through
@@ -27,6 +32,8 @@ trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
 # Small, deterministic run parameters shared by every server and the client.
 FLAGS=(-scale 0.004 -instrs 30000 -warmup 10000)
 BASE_PORT=18470 WORKER_PORT=18471 FRONT_PORT=18472 FRONT2_PORT=18473 SHED_PORT=18474 DEAD_PORT=18479
+WORKER_DEBUG_PORT=18475 FRONT_DEBUG_PORT=18476
+TRACES_OUT=${TRACES_OUT:-$WORK/TRACES_e2e.json}
 
 echo "== build"
 go build -o "$WORK/bin/" ./cmd/...
@@ -83,13 +90,24 @@ kill $BASE_PID 2>/dev/null || true
 wait $BASE_PID 2>/dev/null || true
 
 echo "== 2. worker + front-end: both job kinds dispatch"
-"$WORK/bin/dcserved" -addr "127.0.0.1:$WORKER_PORT" -store "$WORK/worker.store" "${FLAGS[@]}" 2>"$WORK/worker.log" &
+"$WORK/bin/dcserved" -addr "127.0.0.1:$WORKER_PORT" -store "$WORK/worker.store" \
+  -debug-addr "127.0.0.1:$WORKER_DEBUG_PORT" "${FLAGS[@]}" 2>"$WORK/worker.log" &
 WORKER_PID=$!
 wait_ready $WORKER_PORT
 "$WORK/bin/dcserved" -addr "127.0.0.1:$FRONT_PORT" -store "$WORK/front.store" \
+  -debug-addr "127.0.0.1:$FRONT_DEBUG_PORT" \
   -workers "127.0.0.1:$WORKER_PORT" "${FLAGS[@]}" 2>"$WORK/front.log" &
 FRONT_PID=$!
 wait_ready $FRONT_PORT
+# A cold counters request under a caller-chosen trace ID, fired while the
+# stores are empty so it must dispatch: the ID has to come back in the
+# response header and appear in both processes' trace rings below.
+TRACE_ID=e2e0123456789abc
+curl -sf -H "X-Dcs-Trace: $TRACE_ID" -D "$WORK/traced.hdr" -o /dev/null \
+  "http://127.0.0.1:$FRONT_PORT/v1/workloads/Sort/counters"
+grep -qi "^X-Dcs-Trace: $TRACE_ID" "$WORK/traced.hdr" \
+  || { echo "FAIL: response did not echo the inbound trace ID" >&2; exit 1; }
+echo "   ok: response echoed X-Dcs-Trace: $TRACE_ID"
 fetch_all $FRONT_PORT "$WORK/dist"
 diff -r "$WORK/baseline" "$WORK/dist" \
   || { echo "FAIL: front-end bytes diverge from single-process dcserved" >&2; exit 1; }
@@ -111,6 +129,63 @@ TC_CAPTURES=$(healthz_field $WORKER_PORT "h['store']['trace_cache']['captures']"
 [ "$TC_CAPTURES" -gt 0 ] || { echo "FAIL: worker trace cache captured nothing" >&2; exit 1; }
 TC_HITS=$(healthz_field $WORKER_PORT "h['store']['trace_cache']['hits']")
 echo "   ok: worker trace cache: captures = $TC_CAPTURES, hits = $TC_HITS"
+
+# Trace propagation: the traced request's ID must be in BOTH rings — the
+# front-end's inbound trace and the worker-side trace of the dispatched
+# job — with the phases each side owns.
+trace_phases() { # debug-port trace-id -> space-joined sorted distinct span names
+  curl -sf "http://127.0.0.1:$1/debug/traces?limit=512" | python3 -c "
+import json, sys
+doc = json.load(sys.stdin)
+for td in doc['traces']:
+    if td['id'] == '$2':
+        print(' '.join(sorted({s['name'] for s in td.get('spans', [])})))
+        break"
+}
+FRONT_PHASES=$(trace_phases $FRONT_DEBUG_PORT "$TRACE_ID")
+WORKER_PHASES=$(trace_phases $WORKER_DEBUG_PORT "$TRACE_ID")
+[ -n "$FRONT_PHASES" ] || { echo "FAIL: front-end ring lacks trace $TRACE_ID" >&2; exit 1; }
+[ -n "$WORKER_PHASES" ] \
+  || { echo "FAIL: worker ring lacks trace $TRACE_ID (dispatch dropped the ID)" >&2; exit 1; }
+echo "   front-end phases: $FRONT_PHASES"
+echo "   worker phases:    $WORKER_PHASES"
+case " $FRONT_PHASES " in *" dispatch "*) ;; *)
+  echo "FAIL: front-end trace has no dispatch span" >&2; exit 1 ;; esac
+for p in admission simulate; do
+  case " $WORKER_PHASES " in *" $p "*) ;; *)
+    echo "FAIL: worker trace has no $p span" >&2; exit 1 ;; esac
+done
+UNION=$(echo "$FRONT_PHASES $WORKER_PHASES" | tr ' ' '\n' | sort -u | grep -c .)
+[ "$UNION" -ge 5 ] || { echo "FAIL: trace covers $UNION distinct phases, want >= 5" >&2; exit 1; }
+echo "   ok: trace $TRACE_ID spans both processes, $UNION distinct phases"
+
+# Histogram consistency: every job the front-end counts as a per-kind
+# remote hit ran on the worker, where it is one observation in the
+# per-kind job-latency histogram.
+job_hist_count() { # port kind
+  curl -sf "http://127.0.0.1:$1/metrics" \
+    | sed -n "s/^dcserved_job_duration_seconds_count{kind=\"$2\"} //p"
+}
+assert_eq "worker counters histogram _count vs front-end remote hits" \
+  "$(job_hist_count $WORKER_PORT counters)" "$COUNTER_HITS"
+assert_eq "worker cluster histogram _count vs front-end remote hits" \
+  "$(job_hist_count $WORKER_PORT cluster)" "$CLUSTER_HITS"
+# The cold-vs-replay latency split is visible in the bucket ladder; leave
+# it in the log (and the trace artifact) for eyeballing.
+curl -sf "http://127.0.0.1:$WORKER_PORT/metrics" \
+  | grep '^dcserved_job_duration_seconds_bucket{kind="counters"' | sed 's/^/   /'
+
+# Dump both rings (newest-first, slowest requests and all their spans
+# included) as the run's trace artifact.
+curl -sf "http://127.0.0.1:$FRONT_DEBUG_PORT/debug/traces?limit=512" >"$WORK/front_traces.json"
+curl -sf "http://127.0.0.1:$WORKER_DEBUG_PORT/debug/traces?limit=512" >"$WORK/worker_traces.json"
+python3 -c "
+import json
+out = {'trace_id': '$TRACE_ID',
+       'front': json.load(open('$WORK/front_traces.json')),
+       'worker': json.load(open('$WORK/worker_traces.json'))}
+json.dump(out, open('$TRACES_OUT', 'w'), indent=2)"
+echo "   ok: trace artifact at $TRACES_OUT"
 
 echo "== 3. front-end restart with a dark worker: warm store, no dispatch, no re-simulation"
 kill $FRONT_PID $WORKER_PID 2>/dev/null || true
