@@ -34,6 +34,11 @@
 // Sweeps are deterministic at any -j: parallel runs produce bit-identical
 // counters to -j 1 at the same seed — and to a dispatched run, since
 // workers simulate the same keys on the same machine model.
+//
+// SIGINT/SIGTERM cancel the run: local simulations stop between trace
+// batches, and with -workers the in-flight dispatched requests are
+// aborted so the workers' own refcounted cancellation frees their
+// admission slots.
 package main
 
 import (
@@ -42,7 +47,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"dcbench/internal/core"
 	"dcbench/internal/dispatch"
@@ -144,10 +151,16 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
+	// An interrupted run cancels its context: local sweeps stop between
+	// trace batches, and dispatched jobs abort their worker HTTP requests —
+	// through the workers' refcounted cancellation, a Ctrl-C here frees
+	// worker slots instead of leaving remote simulations burning. A second
+	// signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	// With -debug-addr the run carries a process recorder and one trace
 	// per invocation, so a long `all` can be profiled (and, once finished,
 	// its phase timeline fetched) over HTTP while it runs.
-	ctx := context.Background()
 	var tr *obs.Trace
 	if *debugAddr != "" {
 		rec := obs.NewRecorder(0)

@@ -14,7 +14,14 @@
 //	GET  /v1/figures/{1..12}             the paper's figures
 //	GET  /v1/tables/{1..3}               the paper's tables
 //	POST /v1/jobs                        compute endpoint: run one kind-tagged job
-//	                                     ("counters" or "cluster"), return its record
+//	                                     ("counters" or "cluster"), return its record;
+//	                                     ?wait=false (or "async": true) answers 202 + job id
+//	GET  /v1/jobs                        list tracked async jobs
+//	GET  /v1/jobs/{id}                   one job's state + history (SSE under
+//	                                     Accept: text/event-stream)
+//	GET  /v1/jobs/{id}/result            the finished job's record
+//	DELETE /v1/jobs/{id}                 cancel: frees the slot, stops the simulation
+//	                                     once no other caller shares it
 //	POST /v1/sweep                       deprecated alias: a counters job in the old shape
 //
 // Flags:
@@ -46,8 +53,14 @@
 // verified and written through to the local store, and when no worker is
 // reachable the front-end degrades to local simulation (counted per kind
 // in /healthz under store.dispatch). A worker started with -max-inflight
-// sheds excess jobs with 429 + Retry-After; front-ends demote shedding
-// workers in their ranking for exactly that window.
+// sheds excess jobs with 429 and a Retry-After derived from its queue
+// depth and measured per-kind service time — unless the request is for a
+// key the worker is already computing, in which case it joins that
+// in-flight simulation instead of shedding; front-ends demote shedding
+// workers in their ranking for exactly the hinted window. Cancellation is
+// refcounted end to end: a client that hangs up (or DELETEs its async
+// job) releases its share of the computation, and the simulation itself
+// stops only when the last sharer is gone.
 //
 // The store is sharded on disk and carries a persisted manifest; a store
 // directory written by the previous flat layout (schema 1) is migrated in

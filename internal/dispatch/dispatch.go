@@ -347,8 +347,14 @@ func (b *RemoteBackend) Load(ctx context.Context, k sweep.Key) (*uarch.Counters,
 			return c, true
 		}
 	}
-	c, err := b.flight.DoCtx(ctx, k, func(ctx context.Context) (*uarch.Counters, error) { return b.fetchCounters(ctx, k) })
+	c, err := b.flight.DoShared(ctx, k, func(ctx context.Context) (*uarch.Counters, error) { return b.fetchCounters(ctx, k) })
 	if err != nil {
+		if ctx.Err() != nil {
+			// The caller itself was cancelled (every sharer of the engine's
+			// memo cell has left): not a cluster failure, and the engine
+			// will abort rather than simulate, so no fallback is counted.
+			return nil, false
+		}
 		b.counters.fallbacks.Add(1)
 		b.log.Warn("dispatch failed; falling back to local simulation", "kind", store.KindCounters, "workload", k.Name, "err", err)
 		return nil, false
@@ -415,8 +421,11 @@ func (b *RemoteBackend) LoadStats(ctx context.Context, k workloads.StatsKey) (*w
 			return st, true
 		}
 	}
-	st, err := b.statsFlight.DoCtx(ctx, k, func(ctx context.Context) (*workloads.Stats, error) { return b.fetchStats(ctx, k) })
+	st, err := b.statsFlight.DoShared(ctx, k, func(ctx context.Context) (*workloads.Stats, error) { return b.fetchStats(ctx, k) })
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false // caller cancelled, not a cluster failure
+		}
 		b.cluster.fallbacks.Add(1)
 		b.log.Warn("dispatch failed; falling back to local simulation", "kind", store.KindCluster, "workload", k.Workload, "err", err)
 		return nil, false
@@ -502,9 +511,11 @@ func jobBody(kind string, key any, warmup int64) ([]byte, error) {
 // shape for workers that turn out not to speak /v1/jobs; a kind with no
 // legacy shape skips known-legacy workers instead of failing them. Runs
 // inside the key's flight cell, so concurrent engine misses for one key
-// cost one remote round trip. ctx carries trace values only — each
-// attempt records a "dispatch" span and forwards the trace ID to the
-// worker — never cancellation (see the WithoutCancel below).
+// cost one remote round trip. ctx carries the trace (each attempt records
+// a "dispatch" span and forwards the trace ID to the worker) and the
+// flight's refcounted cancellation: it fires only when every caller
+// sharing the cell has left, aborting the worker HTTP request so the
+// worker sees its own request context die and can release the slot.
 func (b *RemoteBackend) fetch(ctx context.Context, kind string, keyHash uint64, body, legacyBody []byte, decode func([]byte) (any, error)) (any, error) {
 	ks := b.kindOf(kind)
 	ks.dispatched.Add(1)
@@ -545,15 +556,15 @@ func (b *RemoteBackend) fetch(ctx context.Context, kind string, keyHash uint64, 
 		attempts = len(order)
 	}
 	// One parent context for the whole fetch: a win by any attempt cancels
-	// the stragglers' HTTP requests. Note this only frees the front-end's
-	// wait — a worker runs simulations under its own base context (so
-	// coalesced callers survive any one client's disconnect), so a hedged
-	// simulation already started runs to completion there. A hedge
-	// therefore costs a duplicate simulation, which is why it is off by
-	// default. WithoutCancel keeps the incoming trace values while
-	// severing the caller's cancellation — a flight cell's fetch must not
-	// die with the one request that happened to start it.
-	ctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	// the stragglers' HTTP requests. The incoming ctx is the flight cell's
+	// run context (memo.DoShared), already severed from any single caller —
+	// it dies only when every caller sharing the cell has left, at which
+	// point aborting the worker request is exactly right: the worker's own
+	// request context cancels, its simulation joiner leaves, and (if it was
+	// the last) the worker's simulation stops and frees its slot. This
+	// replaced an earlier blanket WithoutCancel that kept a remote job
+	// burning a worker slot after every caller had hung up.
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type result struct {
 		w   *worker
@@ -660,7 +671,9 @@ func (b *RemoteBackend) post(parent context.Context, w *worker, kind string, bod
 	resp, err := b.client.Do(req)
 	if err != nil {
 		if parent.Err() != nil {
-			return nil, parent.Err() // the fetch already won elsewhere: not this worker's fault
+			// The fetch already won elsewhere, or every caller left: either
+			// way, not this worker's fault.
+			return nil, parent.Err()
 		}
 		b.workerFailed(w, kind)
 		return nil, err

@@ -748,3 +748,59 @@ func TestRegisterFlagsParsesWorkerList(t *testing.T) {
 		t.Fatal("New accepted an empty worker set")
 	}
 }
+
+// TestCancelAbortsWorkerRequest: when every caller of a dispatched fetch
+// cancels, the in-flight HTTP request to the worker is aborted (the
+// refcounted run context reaches the wire) and the cancellation is NOT
+// counted as a cluster fallback — the engine aborts instead of simulating.
+func TestCancelAbortsWorkerRequest(t *testing.T) {
+	var started, aborted atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: the server only watches for a client
+		// disconnect (and cancels r.Context) once the request is consumed.
+		io.Copy(io.Discard, r.Body)
+		started.Add(1)
+		<-r.Context().Done() // park until the dispatcher hangs up
+		aborted.Add(1)
+	}))
+	t.Cleanup(ts.Close)
+	b := newTestBackend(t, nil, addrOf(ts))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	loadDone := make(chan bool, 1)
+	go func() {
+		_, ok := b.Load(ctx, testKey("w", 3))
+		loadDone <- ok
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for started.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never saw the dispatched request")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case ok := <-loadDone:
+		if ok {
+			t.Fatal("cancelled Load reported a hit")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Load did not return after cancellation")
+	}
+	// Every attempt the dispatcher had in flight (retries and hedges
+	// included) must observe the abort.
+	for aborted.Load() != started.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d/%d worker requests aborted", aborted.Load(), started.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d := b.BackendStats().Dispatch
+	if d.Fallbacks != 0 {
+		t.Fatalf("caller cancellation counted %d fallbacks, want 0", d.Fallbacks)
+	}
+	if d.InFlight != 0 {
+		t.Fatalf("dispatch still reports %d in flight", d.InFlight)
+	}
+}

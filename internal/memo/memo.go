@@ -16,7 +16,13 @@
 //   - retention is the only knob: New keeps successful values for the
 //     memo's lifetime (the sweep engine's and stats cache's semantics),
 //     NewFlight drops them once the last sharer returns (the serve layer's
-//     request coalescing, where the layer below is already a cache).
+//     request coalescing, where the layer below is already a cache);
+//   - cancellation is refcounted: DoShared participants leave a flight when
+//     their own context is cancelled, and only the LAST departure cancels
+//     the running function's context — one impatient caller among N never
+//     aborts work the other N-1 are waiting on. Do/DoCtx participants are
+//     pinned (they never leave), so blocking callers keep their current
+//     semantics even when sharing a cell with cancellable ones.
 //
 // The sweep engine, the serve layer's request coalescing, the cluster
 // stats cache and the dispatch layer's remote fetches all run on this one
@@ -33,10 +39,21 @@ import (
 
 // cell is one key's flight: done closes when the call completes, after
 // which val/err are immutable.
+//
+// The remaining fields implement refcounted cancellation and are guarded
+// by the memo's mu. joiners counts the participants whose result delivery
+// is still pending; cancel (non-nil only for DoShared-started cells) stops
+// the running function's context; abandoned flips when the last joiner
+// leaves before completion, at which point the cell is dead to new
+// callers — they start a replacement instead of joining a cancelled run.
 type cell[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+
+	joiners   int
+	cancel    context.CancelFunc
+	abandoned bool
 }
 
 // Memo is a per-key singleflight table. The zero value is NOT ready;
@@ -106,7 +123,11 @@ func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 // cancellation does not abort the shared call.
 func (m *Memo[K, V]) DoCtx(ctx context.Context, key K, fn func(context.Context) (V, error)) (V, error) {
 	m.mu.Lock()
-	if c, ok := m.m[key]; ok {
+	if c, ok := m.joinable(key); ok {
+		// A DoCtx joiner is pinned: it increments the refcount and never
+		// leaves, so a cell with a DoCtx participant can never be cancelled
+		// out from under it by DoShared joiners departing.
+		c.joiners++
 		m.mu.Unlock()
 		select {
 		case <-c.done: // retained value: no coalescing happened
@@ -120,7 +141,7 @@ func (m *Memo[K, V]) DoCtx(ctx context.Context, key K, fn func(context.Context) 
 		}
 		return c.val, c.err
 	}
-	c := &cell[V]{done: make(chan struct{})}
+	c := &cell[V]{done: make(chan struct{}), joiners: 1}
 	m.m[key] = c
 	m.mu.Unlock()
 
@@ -128,21 +149,165 @@ func (m *Memo[K, V]) DoCtx(ctx context.Context, key K, fn func(context.Context) 
 	// panics): without the defer, every sharer — and all future callers of
 	// the key — would block forever on a done channel nobody closes.
 	func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				c.err = fmt.Errorf("memo: call panicked: %v", rec)
-			}
-			close(c.done)
-			m.mu.Lock()
-			// Drop failures always (the next caller retries) and successes
-			// in flight mode; the identity check keeps a concurrent
-			// replacement cell, if one ever existed, intact.
-			if (c.err != nil || !m.retain) && m.m[key] == c {
-				delete(m.m, key)
-			}
-			m.mu.Unlock()
-		}()
+		defer m.settle(key, c)()
 		c.val, c.err = fn(ctx)
 	}()
 	return c.val, c.err
+}
+
+// DoShared is DoCtx with refcounted cancellation: fn runs on its own
+// goroutine under a context derived from the starting caller's (values
+// preserved, cancellation severed), and every participant — starter and
+// joiners alike — waits under its own ctx. A caller whose ctx is cancelled
+// leaves the flight with ctx.Err() while the others keep waiting; when the
+// LAST participant leaves, the function's context is cancelled, so the
+// underlying work observes cancellation exactly when nobody wants the
+// result anymore. A cancelled-and-abandoned cell is dead: later callers
+// start a fresh run rather than joining a doomed one.
+//
+// DoCtx/Do participants on the same key are pinned joiners (they never
+// leave), so mixing the two is safe: a DoShared canceller cannot abort a
+// run a blocking caller is still waiting on.
+func (m *Memo[K, V]) DoShared(ctx context.Context, key K, fn func(context.Context) (V, error)) (V, error) {
+	var zero V
+	m.mu.Lock()
+	if c, ok := m.joinable(key); ok {
+		c.joiners++
+		m.mu.Unlock()
+		select {
+		case <-c.done: // retained value: no coalescing happened
+			return c.val, c.err
+		default:
+		}
+		if m.onJoin != nil {
+			m.onJoin()
+		}
+		sp := obs.Start(ctx, m.spanName())
+		select {
+		case <-c.done:
+			sp.End()
+			return c.val, c.err
+		case <-ctx.Done():
+			sp.End("cancelled", "true")
+			m.leave(c)
+			return zero, ctx.Err()
+		}
+	}
+	c := &cell[V]{done: make(chan struct{}), joiners: 1}
+	// The run's context outlives the starter: values (trace spans) come
+	// from the starting caller, cancellation only from the refcount.
+	runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c.cancel = cancel
+	m.m[key] = c
+	m.mu.Unlock()
+
+	go func() {
+		defer m.settle(key, c)()
+		c.val, c.err = fn(runCtx)
+	}()
+
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		m.leave(c)
+		return zero, ctx.Err()
+	}
+}
+
+// Join waits for key's retained or in-flight result without ever starting
+// a run: ok is false (immediately) when there is nothing to join. It is
+// the shed-or-join peek — a caller with no capacity to start work can
+// still collect a result someone else is already computing. The wait is
+// cancellable and refcounted exactly like a DoShared join.
+func (m *Memo[K, V]) Join(ctx context.Context, key K) (val V, err error, ok bool) {
+	var zero V
+	m.mu.Lock()
+	c, joinable := m.joinable(key)
+	if !joinable {
+		m.mu.Unlock()
+		return zero, nil, false
+	}
+	c.joiners++
+	m.mu.Unlock()
+	select {
+	case <-c.done: // retained value
+		return c.val, c.err, true
+	default:
+	}
+	if m.onJoin != nil {
+		m.onJoin()
+	}
+	sp := obs.Start(ctx, m.spanName())
+	select {
+	case <-c.done:
+		sp.End()
+		return c.val, c.err, true
+	case <-ctx.Done():
+		sp.End("cancelled", "true")
+		m.leave(c)
+		return zero, ctx.Err(), true
+	}
+}
+
+// joinable returns key's cell when a caller may attach to it. An abandoned
+// cell (every joiner left before completion) is treated as absent: its run
+// is cancelled and its error, if any, must not be shared with fresh
+// callers. Callers must hold m.mu.
+func (m *Memo[K, V]) joinable(key K) (*cell[V], bool) {
+	c, ok := m.m[key]
+	if !ok || c.abandoned {
+		return nil, false
+	}
+	return c, true
+}
+
+// settle returns the deferred cleanup for a cell whose fn is about to run:
+// panic conversion, completion signalling, and map maintenance. The
+// identity check keeps a concurrent replacement cell (started after this
+// one was abandoned) intact.
+func (m *Memo[K, V]) settle(key K, c *cell[V]) func() {
+	return func() {
+		if rec := recover(); rec != nil {
+			c.err = fmt.Errorf("memo: call panicked: %v", rec)
+		}
+		close(c.done)
+		m.mu.Lock()
+		if c.err == nil {
+			// A run that completed successfully despite being abandoned
+			// still yields a perfectly good value; un-abandon it so
+			// retained-mode lookups serve it.
+			c.abandoned = false
+		}
+		// Drop failures always (the next caller retries) and successes
+		// in flight mode.
+		if (c.err != nil || !m.retain) && m.m[key] == c {
+			delete(m.m, key)
+		}
+		m.mu.Unlock()
+		if c.cancel != nil {
+			c.cancel() // release the run context's resources
+		}
+	}
+}
+
+// leave records one cancellable participant's departure from an unfinished
+// cell; the last one out cancels the run's context and marks the cell
+// abandoned. Departures from completed cells are moot.
+func (m *Memo[K, V]) leave(c *cell[V]) {
+	var cancel context.CancelFunc
+	m.mu.Lock()
+	c.joiners--
+	select {
+	case <-c.done: // completed concurrently: nothing to cancel
+	default:
+		if c.joiners == 0 && c.cancel != nil {
+			c.abandoned = true
+			cancel = c.cancel
+		}
+	}
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 }

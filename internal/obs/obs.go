@@ -81,11 +81,46 @@ type TraceData struct {
 // never had one just records nothing — and safe for concurrent use:
 // spans land from whichever goroutines the work fanned out to.
 type Trace struct {
-	rec *Recorder
+	rec      *Recorder
+	observer func(SpanEvent)
 
 	mu       sync.Mutex
 	data     TraceData
 	finished bool
+}
+
+// SpanEvent is one span-lifecycle notification delivered to a trace's
+// observer: End is false when a span opens (Attrs holds its start
+// attributes) and true when it records (Attrs holds the merged start+end
+// attributes). Events (instantaneous spans) arrive once, with End true.
+// The Attrs map is shared with the span — observers must not retain or
+// mutate it.
+type SpanEvent struct {
+	Name  string
+	Attrs Attrs
+	End   bool
+}
+
+// OnSpan registers fn to be called synchronously at every span start and
+// end on this trace — the hook a job-state machine derives progress from
+// without the instrumented code knowing jobs exist. Set it before the
+// trace is shared across goroutines (like a Memo's OnJoin, it is not
+// synchronized against concurrent spans); fn itself must be safe for
+// concurrent calls. Nil-safe.
+func (t *Trace) OnSpan(fn func(SpanEvent)) {
+	if t == nil {
+		return
+	}
+	t.observer = fn
+}
+
+// observe delivers one span event to the observer, if any. Called outside
+// t.mu so observers may inspect the trace.
+func (t *Trace) observe(ev SpanEvent) {
+	if t == nil || t.observer == nil {
+		return
+	}
+	t.observer(ev)
 }
 
 // ID returns the trace ID ("" on a nil trace).
@@ -119,10 +154,14 @@ func (t *Trace) addSpan(sd SpanData) {
 		return
 	}
 	t.mu.Lock()
-	if !t.finished {
+	recorded := !t.finished
+	if recorded {
 		t.data.Spans = append(t.data.Spans, sd)
 	}
 	t.mu.Unlock()
+	if recorded {
+		t.observe(SpanEvent{Name: sd.Name, Attrs: sd.Attrs, End: true})
+	}
 }
 
 // Finish seals the trace, computes its duration and records it into the
@@ -193,6 +232,7 @@ func Start(ctx context.Context, name string, kv ...string) *Span {
 	}
 	s := &Span{t: t, name: name, start: time.Now()}
 	s.attrs = kvAttrs(nil, kv)
+	t.observe(SpanEvent{Name: name, Attrs: s.attrs})
 	return s
 }
 

@@ -304,3 +304,45 @@ func TestTracesHandler(t *testing.T) {
 		}
 	}
 }
+
+// TestOnSpan pins the observer contract: every span start arrives with
+// End=false, every recorded span (End and Event alike) with End=true and
+// the merged attributes, and span ends after Finish notify nothing.
+func TestOnSpan(t *testing.T) {
+	rec := NewRecorder(4)
+	tr := rec.StartTrace("job", "")
+	var mu sync.Mutex
+	var got []SpanEvent
+	tr.OnSpan(func(ev SpanEvent) {
+		mu.Lock()
+		// Attrs are shared with the span; copy what the assertion needs.
+		got = append(got, SpanEvent{Name: ev.Name, Attrs: Attrs{"shed": ev.Attrs["shed"]}, End: ev.End})
+		mu.Unlock()
+	})
+	ctx := With(context.Background(), tr)
+
+	sp := Start(ctx, "admission", "shed", "maybe")
+	sp.End("shed", "false")
+	Event(ctx, "note")
+	tr.Finish()
+	// After Finish the span is dropped, so its End notifies nothing; the
+	// open still does (harmless for observers whose terminal states latch).
+	Start(ctx, "late").End()
+
+	want := []SpanEvent{
+		{Name: "admission", Attrs: Attrs{"shed": "maybe"}, End: false},
+		{Name: "admission", Attrs: Attrs{"shed": "false"}, End: true},
+		{Name: "note", Attrs: Attrs{"shed": ""}, End: true},
+		{Name: "late", Attrs: Attrs{"shed": ""}, End: false},
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("observer saw %d events %+v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].End != want[i].End || got[i].Attrs["shed"] != want[i].Attrs["shed"] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

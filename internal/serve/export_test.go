@@ -1,0 +1,10 @@
+package serve
+
+// SetServiceTimeForTest seeds the per-kind service-time estimate feeding
+// the adaptive Retry-After hint, so tests can exercise the hint's scaling
+// without running multi-second jobs.
+func (s *Server) SetServiceTimeForTest(kind string, secs float64) {
+	s.svcMu.Lock()
+	s.svcSecs[kind] = secs
+	s.svcMu.Unlock()
+}

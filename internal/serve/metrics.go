@@ -57,6 +57,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Admission-control bound on concurrent compute jobs; 0 = unlimited.", float64(js.MaxInflight))
 	writeMetric(&b, "dcserved_jobs_shed_total", "counter",
 		"Compute jobs shed with 429 because the worker was saturated.", float64(js.Shed))
+	writeMetric(&b, "dcserved_jobs_queued", "gauge",
+		"Async jobs accepted and waiting for an admission slot.", float64(js.Queued))
+	writeMetric(&b, "dcserved_jobs_joined_total", "counter",
+		"Saturated requests that joined an in-flight job instead of shedding.", float64(js.Joined))
+	writeMetric(&b, "dcserved_jobs_cancelled_total", "counter",
+		"Jobs cancelled by DELETE /v1/jobs/{id}.", float64(js.Cancelled))
 	s.reqHist.WriteProm(&b, "dcserved_request_duration_seconds", "endpoint",
 		"HTTP request latency by mux pattern; probe endpoints are not sampled.")
 	s.jobHist.WriteProm(&b, "dcserved_job_duration_seconds", "kind",

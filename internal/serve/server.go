@@ -29,10 +29,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"dcbench/internal/core"
+	"dcbench/internal/jobs"
 	"dcbench/internal/memo"
 	"dcbench/internal/memtrace/tracecache"
 	"dcbench/internal/obs"
@@ -82,12 +84,17 @@ type Stats struct {
 }
 
 // JobStats is the compute-endpoint admission state: how many jobs are
-// running now, the -max-inflight bound (0 = unlimited), and how many
-// requests have been shed with a 429 since boot.
+// running now, the -max-inflight bound (0 = unlimited), how many requests
+// have been shed with a 429 since boot, how many async jobs are waiting
+// for a slot, how many shed-time requests instead joined an in-flight
+// computation, and how many jobs have been cancelled.
 type JobStats struct {
 	InFlight    int64 `json:"in_flight"`
 	MaxInflight int64 `json:"max_inflight"`
 	Shed        int64 `json:"shed"`
+	Queued      int64 `json:"queued"`
+	Joined      int64 `json:"joined"`
+	Cancelled   int64 `json:"cancelled"`
 }
 
 // Server is the dcserved HTTP service. Create with New, expose with
@@ -120,6 +127,15 @@ type Server struct {
 	maxInflight  int
 	jobsInFlight atomic.Int64
 	shed         atomic.Int64
+	queuedJobs   atomic.Int64 // async jobs waiting for a slot
+	joined       atomic.Int64 // shed-time requests answered from an in-flight cell
+	cancelled    atomic.Int64 // jobs cancelled via DELETE /v1/jobs/{id}
+
+	// Async job lifecycle (see async.go) and the per-kind service-time
+	// moving average feeding the adaptive Retry-After hint.
+	registry *jobs.Registry
+	svcMu    sync.Mutex
+	svcSecs  map[string]float64
 }
 
 // New builds a Server with its own sweep engine (plus the configured memo
@@ -169,6 +185,9 @@ func New(cfg Config) *Server {
 		recorder: obs.NewRecorder(0),
 		reqHist:  obs.NewHistogramSet(nil),
 		jobHist:  obs.NewHistogramSet(nil),
+
+		registry: jobs.NewRegistry(0),
+		svcSecs:  make(map[string]float64),
 	}
 	if cfg.MaxInflight > 0 {
 		s.maxInflight = cfg.MaxInflight
@@ -184,6 +203,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep) // deprecated alias: a counters job
+	// Async job lifecycle (async.go): list, poll/stream, fetch result,
+	// cancel. Job IDs double as trace IDs, so a job's timeline is at
+	// /debug/traces under the same identifier.
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	// The trace ring is also on the service port (not only -debug-addr):
 	// correlating a front-end's trace with a worker's means asking every
 	// node, and workers are addressed by their service port.
@@ -215,6 +241,9 @@ func (s *Server) JobStats() JobStats {
 		InFlight:    s.jobsInFlight.Load(),
 		MaxInflight: int64(s.maxInflight),
 		Shed:        s.shed.Load(),
+		Queued:      s.queuedJobs.Load(),
+		Joined:      s.joined.Load(),
+		Cancelled:   s.cancelled.Load(),
 	}
 }
 
@@ -325,6 +354,15 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so SSE streams (GET
+// /v1/jobs/{id} with Accept: text/event-stream) survive the logging
+// wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // wantCSV is the content negotiation rule: ?format=csv|json wins, then an
 // Accept header naming text/csv; JSON is the default.
 func wantCSV(r *http.Request) bool {
@@ -433,12 +471,18 @@ func (s *Server) backendStats() (sweep.BackendStats, bool) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := struct {
-		Status        string              `json:"status"`
-		UptimeSeconds float64             `json:"uptime_seconds"`
-		Stats         Stats               `json:"stats"`
-		Jobs          JobStats            `json:"jobs"`
-		Store         *sweep.BackendStats `json:"store,omitempty"`
-	}{Status: "ok", UptimeSeconds: time.Since(s.started).Seconds(), Stats: s.Stats(), Jobs: s.JobStats()}
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		// ConfigFP is the default machine's fingerprint at this server's
+		// warmup — exactly what a counters job key's ConfigFP must be, so
+		// a client can build valid keys from /healthz alone.
+		ConfigFP string              `json:"config_fp"`
+		Stats    Stats               `json:"stats"`
+		Jobs     JobStats            `json:"jobs"`
+		Store    *sweep.BackendStats `json:"store,omitempty"`
+	}{Status: "ok", UptimeSeconds: time.Since(s.started).Seconds(),
+		ConfigFP: fmt.Sprintf("%016x", s.opts.CoreConfig().Fingerprint()),
+		Stats:    s.Stats(), Jobs: s.JobStats()}
 	if bs, ok := s.backendStats(); ok {
 		h.Store = &bs
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -24,27 +25,35 @@ import (
 // and the answer is the store's checksummed, kind-tagged record of the
 // result: the same bytes the store persists, so the caller verifies kind,
 // key and checksum with the store's own codec and can write the record
-// through untouched. New job kinds add a case to handleJobs and a codec
-// beside the others in internal/store/wire.go; the dispatch, admission
-// and observability machinery is kind-agnostic.
+// through untouched. New job kinds add a case to buildRunner and a codec
+// beside the others in internal/store/wire.go; the dispatch, admission,
+// async-lifecycle and observability machinery is kind-agnostic.
 //
-// POST /v1/sweep is the deprecated spelling of a counters job from the
-// era when sweeps were the only kind that dispatched. It stays mounted,
-// byte-compatible (same request shape, same response record), so old
-// front-ends interoperate with new workers during a rollout.
+// By default a job blocks the request until its record is ready (the wire
+// contract every dispatch front-end speaks). With ?wait=false or
+// "async": true in the body the job instead runs in the background and
+// the response is its id — see async.go for the lifecycle endpoints.
+//
+// POST /v1/sweep is the deprecated spelling of a blocking counters job
+// from the era when sweeps were the only kind that dispatched. It stays
+// mounted, byte-compatible (same request shape, same response record), so
+// old front-ends interoperate with new workers during a rollout.
 
 // JobRequest is the body of POST /v1/jobs. Kind selects the computation
 // (store.KindCounters or store.KindCluster) and how Key is decoded: a
 // sweep.Key for counters, a workloads.StatsKey for cluster. Warmup is
 // meaningful for counters only — the run parameter the key's config
 // fingerprint was derived from, so the worker can rebuild the machine
-// config and prove it matches before simulating. The dispatch layer is
-// the intended client, but the contract is plain JSON so anything can
-// drive a worker.
+// config and prove it matches before simulating. Async (equivalently the
+// ?wait=false query parameter) detaches the job from the request: the
+// response is 202 + the job's id instead of its result record. The
+// dispatch layer is the intended client, but the contract is plain JSON
+// so anything can drive a worker.
 type JobRequest struct {
 	Kind   string          `json:"kind"`
 	Key    json.RawMessage `json:"key"`
 	Warmup int64           `json:"warmup,omitempty"`
+	Async  bool            `json:"async,omitempty"`
 }
 
 // SweepRequest is the body of the deprecated POST /v1/sweep alias — a
@@ -58,10 +67,27 @@ type SweepRequest struct {
 // bytes, so anything larger is garbage.
 const maxJobRequest = 1 << 20
 
-// jobRetryAfterSeconds is the Retry-After hint a saturated worker sends
-// with a 429: long enough that a well-behaved front-end stops hammering,
-// short enough that a briefly loaded worker rejoins the rotation fast.
-const jobRetryAfterSeconds = 1
+// The Retry-After hint a saturated worker sends with a 429 is derived
+// from real saturation (see retryAfterSeconds) and clamped to this
+// window — the same 1s..1m range the dispatch layer's shed demotion
+// enforces, so a worker can never ask to be demoted longer than a
+// front-end would honour.
+const (
+	minRetryAfterSeconds = 1
+	maxRetryAfterSeconds = 60
+)
+
+// serviceEWMAWeight is the moving-average weight of the newest completed
+// job in the per-kind service-time estimate: heavy enough to track a
+// workload shift within a few jobs, light enough that one outlier does
+// not whipsaw the shed hint.
+const serviceEWMAWeight = 0.3
+
+// maxActiveJobs bounds async jobs accepted but not yet terminal
+// (queued + running): past it, submissions shed like any saturated
+// request. Without the bound an async client could queue without limit —
+// exactly what admission control exists to refuse.
+const maxActiveJobs = 256
 
 // Job guard rails: a key asking for an absurd computation would tie a
 // worker up for hours — and under -max-inflight would pin an admission
@@ -76,119 +102,54 @@ const (
 	maxCounterInstrs = 1_000_000_000
 )
 
-// admitJob applies the worker's admission control: with -max-inflight set,
-// at most that many compute jobs run concurrently and the rest are shed
-// with 429 + Retry-After — push-back a front-end feeds into its worker
-// ranking — rather than queued without bound. It returns a release func
-// and true when the job may run; on false the response is already written.
-//
-// Admission runs after the request is parsed (a shed costs the worker one
-// bounded body parse) but before any compute — crucially, a slot is never
-// held across a client-paced network read, so a stalled client cannot pin
-// a -max-inflight slot. The known tradeoff: a second front-end asking for
-// a key this worker is already computing is shed too, although joining
-// the in-flight memo cell would cost no extra compute — it then re-routes
-// the key to a non-owner. Letting a request peek the engine's flight
-// table before shedding would need a memo-level join-without-running API;
-// until then the cost is a duplicated simulation in the (two front-ends,
-// same cold key, saturated owner) corner, never a wrong result.
-func (s *Server) admitJob(ctx context.Context, w http.ResponseWriter) (func(), bool) {
-	sp := obs.Start(ctx, "admission")
-	if s.jobSem != nil {
-		select {
-		case s.jobSem <- struct{}{}:
-		default:
-			s.shed.Add(1)
-			sp.End("shed", "true")
-			w.Header().Set("Retry-After", strconv.Itoa(jobRetryAfterSeconds))
-			http.Error(w, fmt.Sprintf("worker saturated: %d jobs in flight (-max-inflight)", s.maxInflight),
-				http.StatusTooManyRequests)
-			return nil, false
-		}
-	}
-	sp.End("shed", "false")
-	s.jobsInFlight.Add(1)
-	return func() {
-		s.jobsInFlight.Add(-1)
-		if s.jobSem != nil {
-			<-s.jobSem
-		}
-	}, true
+// jobError is an HTTP-shaped job failure: the status and message exactly
+// as the blocking endpoint writes them (async jobs store the message).
+type jobError struct {
+	status int
+	msg    string
 }
 
-// handleJobs runs one compute job for a remote front-end and answers with
-// the checksummed store record of the result.
-func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	var req JobRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobRequest)).Decode(&req); err != nil {
-		http.Error(w, "unreadable job request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	// Each kind decodes its key into a runner; admission is then one
-	// shared gate below, so a future kind cannot accidentally bypass
-	// -max-inflight (bad keys still answer 400, never 429).
-	var run func()
+// jobRunner is one validated job, ready to admit and execute: exec runs
+// the computation under ctx and returns the checksummed record; join
+// collects the result of an in-flight or memoized computation for the
+// same key without claiming an admission slot (ok=false when there is
+// nothing to join — the caller sheds as before).
+type jobRunner struct {
+	kind string
+	exec func(ctx context.Context) ([]byte, *jobError)
+	join func(ctx context.Context) ([]byte, *jobError, bool)
+}
+
+// buildRunner decodes and validates one job request into a runner. All
+// request-shape and key-validity errors (bad JSON, unknown workload,
+// over-cap trace, fingerprint mismatch) surface here, before any
+// admission decision — a bad key answers its 4xx even on a saturated
+// worker, and an async submission is refused before a job id is minted.
+func (s *Server) buildRunner(req JobRequest) (*jobRunner, *jobError) {
 	switch req.Kind {
 	case store.KindCounters:
 		var key sweep.Key
 		if err := json.Unmarshal(req.Key, &key); err != nil {
-			http.Error(w, "unreadable counters job key: "+err.Error(), http.StatusBadRequest)
-			return
+			return nil, &jobError{http.StatusBadRequest, "unreadable counters job key: " + err.Error()}
 		}
-		run = func() { s.runCounterJob(w, r, key, req.Warmup) }
+		return s.counterRunner(key, req.Warmup)
 	case store.KindCluster:
 		var key workloads.StatsKey
 		if err := json.Unmarshal(req.Key, &key); err != nil {
-			http.Error(w, "unreadable cluster job key: "+err.Error(), http.StatusBadRequest)
-			return
+			return nil, &jobError{http.StatusBadRequest, "unreadable cluster job key: " + err.Error()}
 		}
-		run = func() { s.runClusterJob(w, r, key) }
+		return s.clusterRunner(key)
 	default:
-		http.Error(w, fmt.Sprintf("unknown job kind %q (want %q or %q)",
-			req.Kind, store.KindCounters, store.KindCluster), http.StatusBadRequest)
-		return
+		return nil, &jobError{http.StatusBadRequest, fmt.Sprintf("unknown job kind %q (want %q or %q)",
+			req.Kind, store.KindCounters, store.KindCluster)}
 	}
-	release, ok := s.admitJob(r.Context(), w)
-	if !ok {
-		return
-	}
-	defer release()
-	start := time.Now()
-	run()
-	s.jobHist.Observe(req.Kind, time.Since(start))
 }
 
-// handleSweep is the deprecated /v1/sweep alias: the PR 4 counters-only
-// compute endpoint, byte-for-byte compatible so old front-ends keep
-// working against new workers.
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobRequest)).Decode(&req); err != nil {
-		http.Error(w, "unreadable sweep request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	release, ok := s.admitJob(r.Context(), w)
-	if !ok {
-		return
-	}
-	defer release()
-	start := time.Now()
-	s.runCounterJob(w, r, req.Key, req.Warmup)
-	s.jobHist.Observe(store.KindCounters, time.Since(start))
-}
-
-// runCounterJob simulates one sweep key and answers with the checksummed
-// counters record.
-//
-// The job runs on the server's engine: concurrent requests for one key
-// coalesce into one simulation, results land in the worker's own store
-// (when configured), and a worker that itself has a dispatch backend
-// forwards misses further down the chain.
-func (s *Server) runCounterJob(w http.ResponseWriter, r *http.Request, key sweep.Key, warmup int64) {
+// counterRunner validates one sweep key and returns its runner.
+func (s *Server) counterRunner(key sweep.Key, warmup int64) (*jobRunner, *jobError) {
 	wl, err := core.ByName(key.Name)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
+		return nil, &jobError{http.StatusNotFound, err.Error()}
 	}
 	// The effective trace length is MaxInstrs, or the profile's own cap
 	// when MaxInstrs is zero (the engine's convention; the tracer in turn
@@ -200,9 +161,8 @@ func (s *Server) runCounterJob(w http.ResponseWriter, r *http.Request, key sweep
 		instrs = key.Profile.MaxInstrs
 	}
 	if instrs > maxCounterInstrs {
-		http.Error(w, fmt.Sprintf("trace length %d exceeds the %d cap", instrs, int64(maxCounterInstrs)),
-			http.StatusBadRequest)
-		return
+		return nil, &jobError{http.StatusBadRequest,
+			fmt.Sprintf("trace length %d exceeds the %d cap", instrs, int64(maxCounterInstrs))}
 	}
 	// The worker simulates the paper's machine at the caller's warmup; a
 	// fingerprint mismatch means the caller runs a machine this worker
@@ -211,79 +171,291 @@ func (s *Server) runCounterJob(w http.ResponseWriter, r *http.Request, key sweep
 	cfg := uarch.DefaultConfig()
 	cfg.Warmup = warmup
 	if got := cfg.Fingerprint(); got != key.ConfigFP {
-		http.Error(w, fmt.Sprintf(
+		return nil, &jobError{http.StatusConflict, fmt.Sprintf(
 			"config fingerprint mismatch: default machine at warmup %d is %016x, request wants %016x",
-			warmup, got, key.ConfigFP), http.StatusConflict)
+			warmup, got, key.ConfigFP)}
+	}
+	return &jobRunner{
+		kind: store.KindCounters,
+		exec: func(ctx context.Context) ([]byte, *jobError) {
+			// The key's profile is the trace spec (Job's uniqueness
+			// contract: name + profile identify the trace; the generator is
+			// keyed by name), so the engine's memo key here equals key
+			// exactly — which is what makes join able to find it.
+			jobs := []sweep.Job{{Name: wl.Name, Profile: key.Profile, Gen: wl.Gen}}
+			cs, err := s.engine.Run(ctx, jobs, cfg, key.MaxInstrs, sweep.RunOptions{Workers: 1})
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return nil, &jobError{http.StatusServiceUnavailable, "worker shutting down"}
+				}
+				s.log.Error("worker sweep failed", "workload", key.Name, "err", err)
+				return nil, &jobError{http.StatusInternalServerError, err.Error()}
+			}
+			body, err := store.EncodeCounters(key, cs[0])
+			if err != nil {
+				return nil, &jobError{http.StatusInternalServerError, err.Error()}
+			}
+			return body, nil
+		},
+		join: func(ctx context.Context) ([]byte, *jobError, bool) {
+			c, err, ok := s.engine.Join(ctx, key)
+			if !ok || err != nil {
+				// Nothing in flight, or the joined flight failed: fall back
+				// to the shed the caller was heading for anyway.
+				return nil, nil, false
+			}
+			body, err := store.EncodeCounters(key, c)
+			if err != nil {
+				return nil, &jobError{http.StatusInternalServerError, err.Error()}, true
+			}
+			return body, nil, true
+		},
+	}, nil
+}
+
+// clusterRunner validates one cluster experiment key and returns its
+// runner.
+func (s *Server) clusterRunner(key workloads.StatsKey) (*jobRunner, *jobError) {
+	wl := workloads.ByName(key.Workload)
+	if wl == nil {
+		return nil, &jobError{http.StatusNotFound, fmt.Sprintf("unknown cluster workload %q", key.Workload)}
+	}
+	if key.Slaves < 1 || key.Slaves > maxClusterSlaves {
+		return nil, &jobError{http.StatusBadRequest,
+			fmt.Sprintf("cluster slave count %d outside [1, %d]", key.Slaves, maxClusterSlaves)}
+	}
+	if !(key.Scale > 0) || key.Scale > maxClusterScale {
+		return nil, &jobError{http.StatusBadRequest,
+			fmt.Sprintf("cluster scale %g outside (0, %g]", key.Scale, maxClusterScale)}
+	}
+	return &jobRunner{
+		kind: store.KindCluster,
+		exec: func(ctx context.Context) ([]byte, *jobError) {
+			if err := s.baseCtx.Err(); err != nil {
+				return nil, &jobError{http.StatusServiceUnavailable, "worker shutting down"}
+			}
+			st, err := s.opts.Cluster.DoShared(ctx, key, func(ctx context.Context) (*workloads.Stats, error) {
+				// A cluster simulation cannot be stopped mid-run (workload
+				// Run takes no context), so cancellation is checked at the
+				// threshold: waiters already get out via DoShared.
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				env := workloads.NewEnv(key.Slaves, key.Scale, key.Seed)
+				return wl.Run(env)
+			})
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return nil, &jobError{http.StatusServiceUnavailable, "worker shutting down"}
+				}
+				s.log.Error("worker cluster job failed", "workload", key.Workload, "slaves", key.Slaves, "err", err)
+				return nil, &jobError{http.StatusInternalServerError, err.Error()}
+			}
+			body, err := store.EncodeStats(key, st)
+			if err != nil {
+				return nil, &jobError{http.StatusInternalServerError, err.Error()}
+			}
+			return body, nil
+		},
+		join: func(ctx context.Context) ([]byte, *jobError, bool) {
+			st, err, ok := s.opts.Cluster.Join(ctx, key)
+			if !ok || err != nil {
+				return nil, nil, false
+			}
+			body, err := store.EncodeStats(key, st)
+			if err != nil {
+				return nil, &jobError{http.StatusInternalServerError, err.Error()}, true
+			}
+			return body, nil, true
+		},
+	}, nil
+}
+
+// handleJobs runs one compute job and answers with the checksummed store
+// record of the result — or, for an async submission, with the job's id.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobRequest)).Decode(&req); err != nil {
+		http.Error(w, "unreadable job request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	// The key's profile is the trace spec (Job's uniqueness contract:
-	// name + profile identify the trace; the generator is keyed by name),
-	// so the engine's memo key here equals key exactly.
-	jobs := []sweep.Job{{Name: wl.Name, Profile: key.Profile, Gen: wl.Gen}}
-	// Base context for cancellation (coalesced jobs survive any one
-	// client's disconnect; shutdown still aborts them), the request's
-	// trace for observability — the worker-side spans of a dispatched job
-	// land in a trace carrying the front-end's ID.
-	ctx := obs.With(s.baseCtx, obs.From(r.Context()))
-	cs, err := s.engine.Run(ctx, jobs, cfg, key.MaxInstrs, sweep.RunOptions{Workers: 1})
-	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			http.Error(w, "worker shutting down", http.StatusServiceUnavailable)
+	run, je := s.buildRunner(req)
+	if je != nil {
+		http.Error(w, je.msg, je.status)
+		return
+	}
+	if req.Async || r.URL.Query().Get("wait") == "false" {
+		s.submitAsync(w, run)
+		return
+	}
+	s.runBlocking(w, r, run)
+}
+
+// handleSweep is the deprecated /v1/sweep alias: the PR 4 counters-only
+// compute endpoint, byte-for-byte compatible so old front-ends keep
+// working against new workers. Always blocking — the alias predates the
+// async lifecycle.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobRequest)).Decode(&req); err != nil {
+		http.Error(w, "unreadable sweep request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	run, je := s.counterRunner(req.Key, req.Warmup)
+	if je != nil {
+		http.Error(w, je.msg, je.status)
+		return
+	}
+	s.runBlocking(w, r, run)
+}
+
+// runBlocking is the classic wire contract: admit (or join, or shed),
+// execute under the request's context, answer with the record.
+//
+// The context is the request's merged with the server's base context:
+// a client that hangs up stops paying for its job — its admission slot
+// frees and, through the memo's refcounted cancellation, the underlying
+// simulation stops once no other caller shares it — and shutdown still
+// aborts everything. Coalesced jobs survive any one client's disconnect
+// because every sharer holds its own reference on the flight cell.
+func (s *Server) runBlocking(w http.ResponseWriter, r *http.Request, run *jobRunner) {
+	ctx, cancel := s.jobCtx(r.Context())
+	defer cancel()
+	release, ok := s.acquireNow(ctx)
+	if !ok {
+		// Shed-or-join: a saturated worker can still answer a request for
+		// a key it is already computing (or has memoized) — joining the
+		// in-flight cell costs no slot and no duplicate simulation.
+		if body, je, joined := run.join(ctx); joined {
+			if je != nil {
+				http.Error(w, je.msg, je.status)
+				return
+			}
+			s.joined.Add(1)
+			writeRecord(w, body)
 			return
 		}
-		s.log.Error("worker sweep failed", "workload", key.Name, "err", err)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.shedJob(w, run.kind)
 		return
 	}
-	body, err := store.EncodeCounters(key, cs[0])
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	defer release()
+	start := time.Now()
+	body, je := run.exec(ctx)
+	dur := time.Since(start)
+	s.jobHist.Observe(run.kind, dur)
+	if je != nil {
+		http.Error(w, je.msg, je.status)
 		return
 	}
+	s.observeService(run.kind, dur)
 	writeRecord(w, body)
 }
 
-// runClusterJob runs one cluster experiment — a (workload, slaves, scale,
-// seed) cell of the Figure 2/5 matrix — and answers with the checksummed
-// cluster record. The run goes through the server's cluster cache, so
-// concurrent requests for one key coalesce and the result lands in the
-// worker's own store; unlike counters there is no machine fingerprint to
-// verify — the key alone fully determines the simulation.
-func (s *Server) runClusterJob(w http.ResponseWriter, r *http.Request, key workloads.StatsKey) {
-	wl := workloads.ByName(key.Workload)
-	if wl == nil {
-		http.Error(w, fmt.Sprintf("unknown cluster workload %q", key.Workload), http.StatusNotFound)
-		return
+// jobCtx derives a compute job's context: the request's cancellation and
+// trace, merged with the server's base context so shutdown aborts jobs
+// whose clients are still waiting. The returned cancel must be called to
+// release the merge.
+func (s *Server) jobCtx(reqCtx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(reqCtx)
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// acquireNow claims an admission slot without waiting: with -max-inflight
+// set, at most that many compute jobs run concurrently and the rest are
+// refused (the caller then joins or sheds) rather than queued without
+// bound. A slot is never held across a client-paced network read, so a
+// stalled client cannot pin one.
+func (s *Server) acquireNow(ctx context.Context) (func(), bool) {
+	sp := obs.Start(ctx, "admission")
+	if s.jobSem != nil {
+		select {
+		case s.jobSem <- struct{}{}:
+		default:
+			sp.End("shed", "true")
+			return nil, false
+		}
 	}
-	if key.Slaves < 1 || key.Slaves > maxClusterSlaves {
-		http.Error(w, fmt.Sprintf("cluster slave count %d outside [1, %d]", key.Slaves, maxClusterSlaves),
-			http.StatusBadRequest)
-		return
+	sp.End("shed", "false")
+	s.jobsInFlight.Add(1)
+	return s.releaseSlot, true
+}
+
+// acquireWait claims an admission slot, waiting as long as ctx allows —
+// the async path, where a queued job holds no connection open.
+func (s *Server) acquireWait(ctx context.Context) (func(), error) {
+	if s.jobSem == nil {
+		s.jobsInFlight.Add(1)
+		return s.releaseSlot, nil
 	}
-	if !(key.Scale > 0) || key.Scale > maxClusterScale {
-		http.Error(w, fmt.Sprintf("cluster scale %g outside (0, %g]", key.Scale, maxClusterScale),
-			http.StatusBadRequest)
-		return
+	select {
+	case s.jobSem <- struct{}{}:
+		s.jobsInFlight.Add(1)
+		return s.releaseSlot, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	if err := s.baseCtx.Err(); err != nil {
-		http.Error(w, "worker shutting down", http.StatusServiceUnavailable)
-		return
+}
+
+func (s *Server) releaseSlot() {
+	s.jobsInFlight.Add(-1)
+	if s.jobSem != nil {
+		<-s.jobSem
 	}
-	st, err := s.opts.Cluster.Do(obs.With(s.baseCtx, obs.From(r.Context())), key, func() (*workloads.Stats, error) {
-		env := workloads.NewEnv(key.Slaves, key.Scale, key.Seed)
-		return wl.Run(env)
-	})
-	if err != nil {
-		s.log.Error("worker cluster job failed", "workload", key.Workload, "slaves", key.Slaves, "err", err)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+}
+
+// shedJob writes the 429 with the adaptive Retry-After hint.
+func (s *Server) shedJob(w http.ResponseWriter, kind string) {
+	s.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(kind)))
+	http.Error(w, fmt.Sprintf("worker saturated: %d jobs in flight (-max-inflight)", s.maxInflight),
+		http.StatusTooManyRequests)
+}
+
+// observeService folds one successful job's duration into the per-kind
+// service-time moving average feeding the adaptive Retry-After hint.
+// Failures are excluded: they return in milliseconds and would talk the
+// estimate down just when the worker is struggling.
+func (s *Server) observeService(kind string, d time.Duration) {
+	s.svcMu.Lock()
+	if cur, ok := s.svcSecs[kind]; ok {
+		s.svcSecs[kind] = (1-serviceEWMAWeight)*cur + serviceEWMAWeight*d.Seconds()
+	} else {
+		s.svcSecs[kind] = d.Seconds()
 	}
-	body, err := store.EncodeStats(key, st)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	s.svcMu.Unlock()
+}
+
+// retryAfterSeconds derives the shed hint from real saturation: the
+// expected time for the worker to drain its current load of this kind —
+// average service time × depth (running + queued jobs) / slots — clamped
+// to the 1s..1m window the dispatch layer's shed demotion enforces. A
+// worker with no service history yet answers the old fixed hint of 1s;
+// a deeply backed-up one asks front-ends to stay away proportionally
+// longer instead of inviting a retry storm every second.
+func (s *Server) retryAfterSeconds(kind string) int {
+	s.svcMu.Lock()
+	avg := s.svcSecs[kind]
+	s.svcMu.Unlock()
+	if avg <= 0 {
+		avg = 1
 	}
-	writeRecord(w, body)
+	depth := float64(s.jobsInFlight.Load() + s.queuedJobs.Load())
+	if depth < 1 {
+		depth = 1
+	}
+	slots := float64(s.maxInflight)
+	if slots < 1 {
+		slots = 1
+	}
+	secs := int(math.Ceil(avg * depth / slots))
+	if secs < minRetryAfterSeconds {
+		secs = minRetryAfterSeconds
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
 }
 
 // writeRecord sends one store record as a job response.

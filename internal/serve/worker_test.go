@@ -358,6 +358,14 @@ func TestAdmissionControl(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := sweep.Key{Name: wl.Name, Profile: wl.Profile, ConfigFP: opts.CoreConfig().Fingerprint(), MaxInstrs: opts.Warmup + opts.Instrs}
+	// The shed probes use a different workload: a same-key request would
+	// join the gated in-flight cell instead of shedding (see
+	// TestShedOrJoin), and this test is about the 429 path.
+	probeWl, err := core.ByName("Grep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeKey := sweep.Key{Name: probeWl.Name, Profile: probeWl.Profile, ConfigFP: opts.CoreConfig().Fingerprint(), MaxInstrs: opts.Warmup + opts.Instrs}
 
 	// First job: parks on the gated backend Load, holding the only slot.
 	// (Raw http in the goroutine: t.Fatal must stay on the test goroutine.)
@@ -385,14 +393,14 @@ func TestAdmissionControl(t *testing.T) {
 	}
 
 	// Second job — and the old-shape alias — are shed with the hint.
-	resp, body := postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCounters, key, opts.Warmup))
+	resp, body := postJSON(t, ts, "/v1/jobs", jobRequest(t, store.KindCounters, probeKey, opts.Warmup))
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated worker answered %d, want 429: %s", resp.StatusCode, body)
 	}
 	if got := resp.Header.Get("Retry-After"); got != "1" {
 		t.Fatalf("Retry-After = %q, want \"1\"", got)
 	}
-	resp, _ = postJSON(t, ts, "/v1/sweep", serve.SweepRequest{Key: key, Warmup: opts.Warmup})
+	resp, _ = postJSON(t, ts, "/v1/sweep", serve.SweepRequest{Key: probeKey, Warmup: opts.Warmup})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated alias answered %d, want 429", resp.StatusCode)
 	}

@@ -93,13 +93,14 @@ type Key struct {
 // write. Counters handed to and from the backend are shared with the memo
 // table — treat them as read-only.
 //
-// The context carries request-scoped values only — most importantly the
-// obs trace of whichever request is paying for the miss, so a backend
-// that does real work (a store read, a dispatched RPC) records its spans
-// into that request's timeline and propagates the trace ID across
-// processes. Backends must not treat it as a cancellation signal: the
-// engine calls them inside a singleflight cell whose result outlives any
-// one caller.
+// The context carries the obs trace of whichever request is paying for
+// the miss, so a backend that does real work (a store read, a dispatched
+// RPC) records its spans into that request's timeline and propagates the
+// trace ID across processes. Its cancellation is refcounted, not
+// per-caller: the engine calls backends inside a singleflight cell, and
+// the context is cancelled only when every caller sharing the cell has
+// left — a backend seeing ctx.Done() may abort the load, because nobody
+// wants the result anymore.
 type MemoBackend interface {
 	Load(context.Context, Key) (*uarch.Counters, bool)
 	Store(context.Context, Key, *uarch.Counters)
@@ -299,18 +300,34 @@ func joinJobErrors(jobs []Job, errs []error) error {
 	return errors.Join(wrapped...)
 }
 
+// Join waits for key's memoized or in-flight result without ever starting
+// a simulation: ok is false immediately when the engine is not already
+// computing (and has never computed) the key. This is the admission
+// layer's shed-or-join peek — a saturated worker can still answer a
+// request for a key it is already simulating. The wait is cancellable and
+// refcounted like any other shared join.
+func (e *Engine) Join(ctx context.Context, key Key) (*uarch.Counters, error, bool) {
+	return e.memo.Join(ctx, key)
+}
+
 // memoized returns the cached counters for the job, simulating at most once
 // per key even under concurrent callers. On an in-memory miss the backend
 // (when installed) is consulted first, and a fresh simulation is written
 // through to it — both inside the key's singleflight cell. A failed
 // simulation is not retained (the shared memo's contract), so a later Run
 // retries the job instead of replaying the failure.
+//
+// The cell runs under DoShared: callers whose contexts are cancelled leave
+// the flight individually, and the simulation's own context is cancelled
+// only when the last of them has gone — at which point simulate's reader
+// wrapper stops the core between batches and the partial result is
+// discarded, never cached and never written through.
 func (e *Engine) memoized(ctx context.Context, job Job, cfg uarch.Config, fp uint64, maxInstrs int64, pool *sync.Pool) (*uarch.Counters, error) {
 	key := Key{Name: job.Name, Profile: job.Profile, ConfigFP: fp, MaxInstrs: maxInstrs}
 	e.mu.Lock()
 	backend := e.backend
 	e.mu.Unlock()
-	return e.memo.DoCtx(ctx, key, func(ctx context.Context) (*uarch.Counters, error) {
+	return e.memo.DoShared(ctx, key, func(ctx context.Context) (*uarch.Counters, error) {
 		if backend != nil {
 			sp := obs.Start(ctx, "backend.load", "workload", job.Name)
 			c, ok := backend.Load(ctx, key)
@@ -340,7 +357,9 @@ func (e *Engine) memoized(ctx context.Context, job Job, cfg uarch.Config, fp uin
 // plain errors with the same text), while a core-model panic over a live
 // stream leaves the generator goroutine mid-trace, so the abandoned
 // reader is drained in the background to let that goroutine finish and be
-// collected; a replayed stream has no goroutine to drain.
+// collected; a replayed stream has no goroutine to drain. A cancelled
+// context stops the core between read batches (the trace is truncated to
+// an EOF), the partial counters are discarded, and ctx.Err() is returned.
 func (e *Engine) simulate(ctx context.Context, job Job, cfg uarch.Config, maxInstrs int64, pool *sync.Pool) (counters *uarch.Counters, err error) {
 	p := job.Profile
 	if maxInstrs > 0 {
@@ -383,6 +402,11 @@ func (e *Engine) simulate(ctx context.Context, job Job, cfg uarch.Config, maxIns
 		}
 		err = fmt.Errorf("core model panicked: %v", rec)
 	}()
+	// The core consumes the trace through a cancellation-aware wrapper:
+	// between batches it checks ctx and, once cancelled, feeds the core an
+	// EOF — the only clean way to stop a simulation mid-trace without
+	// teaching the core model about contexts.
+	cr := &cancelReader{ctx: ctx, r: r}
 	var c *uarch.Core
 	if pool != nil {
 		if v := pool.Get(); v != nil {
@@ -393,11 +417,41 @@ func (e *Engine) simulate(ctx context.Context, job Job, cfg uarch.Config, maxIns
 	if c == nil {
 		c = uarch.NewCore(cfg)
 	}
-	snap := *c.Run(r)
+	snap := *c.Run(cr)
+	if cr.stopped {
+		// Cancelled mid-trace: the truncated counters are garbage, the
+		// live generator goroutine (if any) is still parked mid-stream,
+		// and the core holds partial state — drain the one, abandon the
+		// other, and surface the cancellation instead of a result.
+		if live {
+			go drain(r)
+		}
+		return nil, ctx.Err()
+	}
 	if pool != nil {
 		pool.Put(c)
 	}
 	return &snap, nil
+}
+
+// cancelReader feeds a trace to the core until its context is cancelled,
+// at which point Read reports EOF and stopped latches. Used only from a
+// single simulation goroutine; no locking needed.
+type cancelReader struct {
+	ctx     context.Context
+	r       memtrace.Reader
+	stopped bool
+}
+
+func (cr *cancelReader) Read(buf []memtrace.Inst) int {
+	if cr.stopped {
+		return 0
+	}
+	if cr.ctx.Err() != nil {
+		cr.stopped = true
+		return 0
+	}
+	return cr.r.Read(buf)
 }
 
 // drain consumes an abandoned trace to completion (bounded by the

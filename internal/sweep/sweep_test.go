@@ -4,8 +4,10 @@ import (
 	"context"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dcbench/internal/core"
 	"dcbench/internal/memtrace"
@@ -152,6 +154,107 @@ func TestCancellation(t *testing.T) {
 	_, err := sweep.NewEngine().Run(ctx, testJobs(4), uarch.DefaultConfig(), 0, sweep.RunOptions{})
 	if err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// cancelSpyBackend records the context the engine hands to Load — the
+// singleflight cell's run context — so a test can assert the simulation
+// side observes refcounted cancellation. Stores counts write-throughs.
+type cancelSpyBackend struct {
+	mu      sync.Mutex
+	loadCtx context.Context
+	stores  atomic.Int64
+}
+
+func (b *cancelSpyBackend) Load(ctx context.Context, _ sweep.Key) (*uarch.Counters, bool) {
+	b.mu.Lock()
+	b.loadCtx = ctx
+	b.mu.Unlock()
+	return nil, false
+}
+
+func (b *cancelSpyBackend) Store(context.Context, sweep.Key, *uarch.Counters) {
+	b.stores.Add(1)
+}
+
+// TestCancelMidSimulationStopsCore: cancelling every caller of an
+// in-flight simulation cancels the run's own context (observed through the
+// backend's Load ctx), stops the core mid-trace, discards the partial
+// counters — never cached, never written through — and a later Run
+// re-simulates from scratch.
+func TestCancelMidSimulationStopsCore(t *testing.T) {
+	spy := &cancelSpyBackend{}
+	eng := sweep.NewEngine()
+	eng.SetMemoBackend(spy)
+
+	var gens atomic.Int64
+	started := make(chan struct{})
+	var once sync.Once
+	job := sweep.Job{
+		Name: "long-haul",
+		// Big enough that an uncancelled run takes seconds: the quick
+		// return below is the cancellation working.
+		Profile: memtrace.Profile{Seed: 11, MaxInstrs: 50_000_000, CodeKB: 64, HeapMB: 4},
+		Gen: func(tr *memtrace.Tracer) {
+			gens.Add(1)
+			once.Do(func() { close(started) })
+			base := tr.Alloc(1 << 20)
+			for {
+				for off := uint64(0); off < 1<<20; off += 64 {
+					tr.Load(base + off)
+				}
+			}
+		},
+	}
+	cfg := uarch.DefaultConfig()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(ctx, []sweep.Job{job}, cfg, 0, sweep.RunOptions{Workers: 1})
+		runDone <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != context.Canceled {
+			t.Fatalf("Run err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+
+	// The simulation's own context — the one the backend Load saw — must
+	// observe the cancellation once the last caller has left.
+	spy.mu.Lock()
+	loadCtx := spy.loadCtx
+	spy.mu.Unlock()
+	if loadCtx == nil {
+		t.Fatal("backend Load never ran")
+	}
+	select {
+	case <-loadCtx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("simulation context never observed the cancellation")
+	}
+	if got := spy.stores.Load(); got != 0 {
+		t.Fatalf("cancelled run wrote %d records through; partial counters must be discarded", got)
+	}
+
+	// Nothing was cached: a fresh Run re-simulates and succeeds.
+	out, err := eng.Run(context.Background(), []sweep.Job{job}, cfg, 100_000, sweep.RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] == nil || out[0].Instructions == 0 {
+		t.Fatal("post-cancel rerun produced no counters")
+	}
+	if got := gens.Load(); got != 2 {
+		t.Fatalf("generator ran %d times, want 2 (cancelled + fresh)", got)
+	}
+	if got := spy.stores.Load(); got != 1 {
+		t.Fatalf("successful rerun stored %d records, want 1", got)
 	}
 }
 

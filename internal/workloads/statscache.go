@@ -23,10 +23,11 @@ type StatsKey struct {
 // in-memory table — typically the same persistent store that backs the
 // sweep engine, so restarts skip the cluster simulations too.
 //
-// The context carries request-scoped observability values only (trace
-// spans land in the requesting caller's timeline); backends must not treat
-// it as a cancellation signal, because calls run inside a singleflight
-// cell shared with other requests.
+// The context carries request-scoped observability values (trace spans
+// land in the requesting caller's timeline). Its cancellation is
+// refcounted by the cache's singleflight: it fires only when every caller
+// sharing the cell has left, so a backend seeing ctx.Done() may abort —
+// nobody wants the result anymore.
 //
 // Backends swallow their own failures (a broken store must degrade to
 // re-simulation, not break a figure render): LoadStats reports a miss,
@@ -64,18 +65,49 @@ func (c *StatsCache) Do(ctx context.Context, key StatsKey, run func() (*Stats, e
 	if c == nil {
 		return run()
 	}
-	return c.memo.DoCtx(ctx, key, func(ctx context.Context) (*Stats, error) {
+	return c.memo.DoCtx(ctx, key, c.fill(key, func(context.Context) (*Stats, error) { return run() }))
+}
+
+// DoShared is Do with refcounted caller cancellation (memo.DoShared
+// semantics): a caller whose ctx is cancelled leaves the flight with
+// ctx.Err() while other callers keep waiting, and run's context is
+// cancelled only when the last caller has left. A cluster simulation
+// cannot be stopped mid-run (workload Run takes no context), so run
+// should check its ctx before starting; cancellation's win here is that
+// waiters and their admission slots are released immediately.
+func (c *StatsCache) DoShared(ctx context.Context, key StatsKey, run func(context.Context) (*Stats, error)) (*Stats, error) {
+	if c == nil {
+		return run(ctx)
+	}
+	return c.memo.DoShared(ctx, key, c.fill(key, run))
+}
+
+// Join waits for key's cached or in-flight stats without ever starting a
+// run; ok is false when there is nothing to join (the admission layer's
+// shed-or-join peek).
+func (c *StatsCache) Join(ctx context.Context, key StatsKey) (st *Stats, err error, ok bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	return c.memo.Join(ctx, key)
+}
+
+// fill builds the inside-the-cell function shared by Do and DoShared:
+// backend lookup, the run itself under a "cluster.run" span, write-through
+// on success.
+func (c *StatsCache) fill(key StatsKey, run func(context.Context) (*Stats, error)) func(context.Context) (*Stats, error) {
+	return func(ctx context.Context) (*Stats, error) {
 		if c.backend != nil {
 			if st, ok := c.backend.LoadStats(ctx, key); ok {
 				return st, nil
 			}
 		}
 		sp := obs.Start(ctx, "cluster.run", "workload", key.Workload)
-		st, err := run()
+		st, err := run(ctx)
 		sp.End()
 		if err == nil && c.backend != nil {
 			c.backend.StoreStats(ctx, key, st)
 		}
 		return st, err
-	})
+	}
 }

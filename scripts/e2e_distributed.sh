@@ -22,7 +22,13 @@
 #      store);
 #   4. a worker started with -max-inflight 1 admits concurrent jobs
 #      through its one slot, and any request it sheds answers 429 with a
-#      Retry-After hint.
+#      Retry-After hint;
+#   5. the async job lifecycle end to end: POST /v1/jobs?wait=false
+#      answers 202 + a job id, the job's history walks >= 3 distinct
+#      states, its result matches the blocking endpoint's bytes, the SSE
+#      stream replays the transitions and closes itself, and DELETE on a
+#      job mid-simulation lands it in state "cancelled", frees the
+#      admission slot, and leaves no partial record in the store.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,7 +37,7 @@ trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
 
 # Small, deterministic run parameters shared by every server and the client.
 FLAGS=(-scale 0.004 -instrs 30000 -warmup 10000)
-BASE_PORT=18470 WORKER_PORT=18471 FRONT_PORT=18472 FRONT2_PORT=18473 SHED_PORT=18474 DEAD_PORT=18479
+BASE_PORT=18470 WORKER_PORT=18471 FRONT_PORT=18472 FRONT2_PORT=18473 SHED_PORT=18474 ASYNC_PORT=18477 DEAD_PORT=18479
 WORKER_DEBUG_PORT=18475 FRONT_DEBUG_PORT=18476
 TRACES_OUT=${TRACES_OUT:-$WORK/TRACES_e2e.json}
 
@@ -241,5 +247,115 @@ for n in 1 2; do
   fi
 done
 assert_eq "worker max_inflight exported" "$(healthz_field $SHED_PORT "h['jobs']['max_inflight']")" 1
+
+echo "== 5. async lifecycle: 202 submit, state history, SSE, cancel mid-simulation"
+# Its own worker on purpose: one slot so the cancelled job provably frees
+# it, and no trace cache so the slow job spends its life in "simulating"
+# (a shared trace capture deliberately ignores cancellation, which would
+# blur the mid-simulation cancel this step exists to prove).
+"$WORK/bin/dcserved" -addr "127.0.0.1:$ASYNC_PORT" -store "$WORK/async.store" \
+  -max-inflight 1 -trace-cache-bytes 0 "${FLAGS[@]}" 2>"$WORK/async.log" &
+wait_ready $ASYNC_PORT
+
+# Counters keys are hand-built here, so the ConfigFP must be the worker's
+# own machine fingerprint at this run's -warmup — healthz exports exactly
+# that value for this purpose.
+CFP=$(healthz_field $ASYNC_PORT "int(h['config_fp'], 16)")
+counters_job() { # seed max-instrs -> JobRequest JSON (warmup matches FLAGS)
+  echo "{\"kind\":\"counters\",\"warmup\":10000,\"key\":{\"Name\":\"Sort\",\"Profile\":{\"Seed\":$1,\"MaxInstrs\":$2,\"CodeKB\":64,\"HeapMB\":4},\"ConfigFP\":$CFP,\"MaxInstrs\":$2}}"
+}
+
+job_field() { # port job-id python-expr over parsed job JSON bound to j
+  curl -sf "http://127.0.0.1:$1/v1/jobs/$2" | python3 -c "
+import json, sys
+j = json.load(sys.stdin)
+print($3)"
+}
+
+wait_job_state() { # port job-id state... -> 0 once current state is one of them
+  local port=$1 id=$2 st
+  shift 2
+  for _ in $(seq 1 300); do
+    st=$(job_field "$port" "$id" "j['state']")
+    local want
+    for want in "$@"; do
+      [ "$st" = "$want" ] && { echo "$st"; return 0; }
+    done
+    sleep 0.1
+  done
+  echo "$st"
+  return 1
+}
+
+# 5a. submit asynchronously: 202, a Location header, and a job id.
+CODE=$(curl -s -o "$WORK/submit1.json" -D "$WORK/submit1.hdr" -w '%{http_code}' \
+  -X POST -H 'Content-Type: application/json' -d "$(counters_job 7 40000)" \
+  "http://127.0.0.1:$ASYNC_PORT/v1/jobs?wait=false")
+assert_eq "async submit status" "$CODE" 202
+JOB1=$(python3 -c "import json; print(json.load(open('$WORK/submit1.json'))['id'])")
+grep -qi "^Location: /v1/jobs/$JOB1" "$WORK/submit1.hdr" \
+  || { echo "FAIL: 202 without a Location header pointing at the job" >&2; exit 1; }
+echo "   ok: job $JOB1 accepted with Location header"
+
+# 5b. the job runs to "done" and its history shows the lifecycle: at
+# least queued, an execution phase, and the terminal state.
+FINAL=$(wait_job_state $ASYNC_PORT "$JOB1" done failed cancelled) \
+  || { echo "FAIL: job $JOB1 never reached a terminal state" >&2; exit 1; }
+assert_eq "async job final state" "$FINAL" done
+DISTINCT=$(job_field $ASYNC_PORT "$JOB1" "len({t['state'] for t in j['history']})")
+[ "$DISTINCT" -ge 3 ] \
+  || { echo "FAIL: job history has $DISTINCT distinct states, want >= 3" >&2; exit 1; }
+echo "   ok: history walked $DISTINCT distinct states:" \
+  "$(job_field $ASYNC_PORT "$JOB1" "' '.join(t['state'] for t in j['history'])")"
+
+# 5c. the stored result is byte-identical to the blocking endpoint's
+# answer for the same request.
+curl -sf "http://127.0.0.1:$ASYNC_PORT/v1/jobs/$JOB1/result" -o "$WORK/async1.result"
+curl -sf -X POST -H 'Content-Type: application/json' -d "$(counters_job 7 40000)" \
+  "http://127.0.0.1:$ASYNC_PORT/v1/jobs" -o "$WORK/blocking1.result"
+cmp -s "$WORK/async1.result" "$WORK/blocking1.result" \
+  || { echo "FAIL: async result diverges from the blocking endpoint's bytes" >&2; exit 1; }
+echo "   ok: async result byte-identical to blocking POST /v1/jobs"
+
+# 5d. SSE smoke: the stream replays one `event: state` frame per
+# transition and closes itself after the terminal state (the job is
+# already terminal, so a hang here means the stream never closes).
+curl -sN -H 'Accept: text/event-stream' --max-time 10 \
+  "http://127.0.0.1:$ASYNC_PORT/v1/jobs/$JOB1" >"$WORK/sse1.txt" \
+  || { echo "FAIL: SSE stream did not close after the terminal state" >&2; exit 1; }
+SSE_FRAMES=$(grep -c '^event: state' "$WORK/sse1.txt")
+[ "$SSE_FRAMES" -ge 3 ] \
+  || { echo "FAIL: SSE stream carried $SSE_FRAMES state frames, want >= 3" >&2; exit 1; }
+echo "   ok: SSE stream replayed $SSE_FRAMES state frames and closed"
+
+# 5e. cancel mid-simulation: a long job (500M instructions, ~1000x the
+# normal run) is cancelled while simulating; it must land in state
+# "cancelled", free the worker's only slot, and write nothing.
+W0=$(healthz_field $ASYNC_PORT "h['store']['writes']")
+CODE=$(curl -s -o "$WORK/submit2.json" -w '%{http_code}' \
+  -X POST -H 'Content-Type: application/json' -d "$(counters_job 99 500000000)" \
+  "http://127.0.0.1:$ASYNC_PORT/v1/jobs?wait=false")
+assert_eq "slow submit status" "$CODE" 202
+JOB2=$(python3 -c "import json; print(json.load(open('$WORK/submit2.json'))['id'])")
+MID=$(wait_job_state $ASYNC_PORT "$JOB2" simulating) \
+  || { echo "FAIL: slow job state is '$MID', never reached simulating" >&2; exit 1; }
+CODE=$(curl -s -o "$WORK/cancel2.json" -w '%{http_code}' \
+  -X DELETE "http://127.0.0.1:$ASYNC_PORT/v1/jobs/$JOB2")
+assert_eq "cancel status" "$CODE" 200
+FINAL=$(wait_job_state $ASYNC_PORT "$JOB2" done failed cancelled) \
+  || { echo "FAIL: cancelled job never reached a terminal state" >&2; exit 1; }
+assert_eq "cancelled job state" "$FINAL" cancelled
+for _ in $(seq 1 100); do
+  INFLIGHT=$(healthz_field $ASYNC_PORT "h['jobs']['in_flight']")
+  [ "$INFLIGHT" = 0 ] && break
+  sleep 0.1
+done
+assert_eq "jobs in flight after cancel (slot freed)" "$INFLIGHT" 0
+assert_eq "store writes after cancel (no partial record)" \
+  "$(healthz_field $ASYNC_PORT "h['store']['writes']")" "$W0"
+assert_eq "cancelled jobs counter" "$(healthz_field $ASYNC_PORT "h['jobs']['cancelled']")" 1
+CODE=$(curl -s -o /dev/null -w '%{http_code}' \
+  "http://127.0.0.1:$ASYNC_PORT/v1/jobs/$JOB2/result")
+assert_eq "cancelled job result status" "$CODE" 410
 
 echo "e2e-distributed: PASS"
