@@ -25,7 +25,9 @@
 //	            in dcserved
 //	-workers host:port,...  dispatch sweep and cluster-job misses to dcserved
 //	            workers, with -dispatch-timeout, -dispatch-retries,
-//	            -dispatch-hedge and -dispatch-cooldown as in dcserved
+//	            -dispatch-hedge, -dispatch-cooldown and -dispatch-api-key
+//	            (bearer key for workers running with -keys-file) as in
+//	            dcserved
 //	-trace-cache-bytes n    byte budget for captured instruction traces
 //	            replayed across sweep configs; 0 disables (default 256 MiB)
 //	-debug-addr addr   serve /debug/traces and /debug/pprof while the run

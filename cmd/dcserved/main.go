@@ -23,10 +23,29 @@
 //	DELETE /v1/jobs/{id}                 cancel: frees the slot, stops the simulation
 //	                                     once no other caller shares it
 //	POST /v1/sweep                       deprecated alias: a counters job in the old shape
+//	                                     (answers with Deprecation + Sunset headers)
+//
+// Errors answer a JSON envelope {"error": {"code", "message", "trace_id"}}
+// with a stable machine-readable code (also in the X-Dcs-Error-Code
+// header); clients preferring text/plain get the bare message. See
+// docs/api.md for the full route and error-code catalogue.
+//
+// Multi-tenancy: -keys-file names a JSON file of API keys; when set,
+// every non-probe request must present a key (Authorization: Bearer or
+// X-Dcs-Api-Key) and is rate-limited and quota-accounted per tenant.
+// The file hot-reloads on SIGHUP or mtime change. -admin-addr with
+// -admin-token mounts the /admin/v1 key-management plane (create/revoke
+// keys, set limits, usage report) on its own listener; with -debug-addr
+// set but no -admin-addr, the admin plane rides the debug listener.
+// Without -keys-file the server behaves exactly as before: no auth, no
+// limits — though X-Dcs-Tenant attributions are still accounted.
 //
 // Flags:
 //
 //	-addr   listen address (default :8337)
+//	-keys-file f       JSON API-key file; empty = no authentication
+//	-admin-addr addr   serve /admin/v1 on this separate address; empty = ride -debug-addr
+//	-admin-token t     bearer token guarding /admin/v1; empty disables the admin plane
 //	-store  result store directory; "" disables persistence (default dcserved.store)
 //	-store-shards n        shard count when creating a store (default 16)
 //	-store-max-records n   LRU-evict records beyond this count; 0 = unlimited
@@ -40,6 +59,8 @@
 //	-dispatch-retries n        extra attempts on other workers after a failure
 //	-dispatch-hedge d          hedge a silent dispatch onto the next worker; 0 disables
 //	-dispatch-cooldown d       how long a repeatedly failing worker stays demoted
+//	-dispatch-api-key k        bearer key presented to keyed workers; tenant ids are
+//	                           forwarded beside it in X-Dcs-Tenant either way
 //	-debug-addr addr   serve /debug/traces and /debug/pprof on a separate
 //	                   listener, kept off the service port; empty disables
 //	-grace  shutdown grace period for in-flight requests (default 15s)
@@ -93,6 +114,7 @@ import (
 	"dcbench/internal/serve"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
+	"dcbench/internal/tenant"
 	"dcbench/internal/workloads"
 )
 
@@ -106,6 +128,9 @@ func main() {
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/traces and /debug/pprof on this separate address; empty disables")
 	maxInflight := flag.Int("max-inflight", 0, "bound concurrent compute jobs; excess answered 429 + Retry-After (0 = unlimited)")
+	keysFile := flag.String("keys-file", "", "JSON API-key file; empty disables authentication")
+	adminAddr := flag.String("admin-addr", "", "serve /admin/v1 on this separate address; empty = ride -debug-addr")
+	adminToken := flag.String("admin-token", "", "bearer token guarding /admin/v1; empty disables the admin plane")
 	report.RegisterFlags(flag.CommandLine, &opts)
 	store.RegisterFlags(flag.CommandLine, &storeOpts)
 	dispatch.RegisterFlags(flag.CommandLine, &dispatchOpts)
@@ -117,6 +142,24 @@ func main() {
 
 	cfg := serve.Config{Options: opts, MaxInflight: *maxInflight,
 		TraceCacheBytes: traceOpts.MaxBytes, Logger: log}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var tenants *tenant.Registry
+	if *keysFile != "" {
+		var err error
+		tenants, err = tenant.Open(*keysFile, log)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcserved:", err)
+			os.Exit(1)
+		}
+		tenants.WatchSIGHUP(ctx)
+		log.Info("tenant auth enabled", "keys", *keysFile)
+	} else {
+		tenants = tenant.NewRegistry(log)
+	}
+	cfg.Tenants = tenants
 	var local sweep.MemoBackend
 	var localStats workloads.StatsBackend
 	if *storeDir != "" {
@@ -142,15 +185,31 @@ func main() {
 		log.Info("dispatching job misses", "workers", dispatchOpts.Workers)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	srv := serve.New(cfg)
+	admin := serve.AdminHandler(tenants, *adminToken, log)
+	if *adminAddr != "" {
+		// The admin plane gets its own listener when asked: key
+		// management can then live on a tighter network than debugging.
+		go func() {
+			log.Info("admin listener", "addr", *adminAddr)
+			if err := http.ListenAndServe(*adminAddr, admin); err != nil {
+				log.Error("admin listener failed", "addr", *adminAddr, "err", err)
+			}
+		}()
+	}
 	if *debugAddr != "" {
 		// Its own listener on purpose: profiling a drowning server must
 		// not compete with the traffic drowning it.
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.DebugMux(srv.Recorder()))
+		if *adminAddr == "" {
+			// No dedicated admin listener: the plane rides the debug one,
+			// which is already operator-only.
+			mux.Handle("/admin/v1/", admin)
+		}
 		go func() {
 			log.Info("debug listener", "addr", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(srv.Recorder())); err != nil {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
 				log.Error("debug listener failed", "addr", *debugAddr, "err", err)
 			}
 		}()

@@ -57,6 +57,7 @@ import (
 	"dcbench/internal/obs"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
+	"dcbench/internal/tenant"
 	"dcbench/internal/uarch"
 	"dcbench/internal/workloads"
 )
@@ -112,6 +113,13 @@ type Options struct {
 	Hedge time.Duration
 	// Cooldown is how long an open circuit keeps a worker demoted.
 	Cooldown time.Duration
+	// APIKey, when non-empty, authenticates every dispatched request as
+	// `Authorization: Bearer <APIKey>` — the front-end's own service key
+	// on keyed workers. Independently of it, the originating tenant's id
+	// rides the X-Dcs-Tenant header, so a keyed worker enforces the
+	// service key's limits while attributing the work to the tenant that
+	// caused it (and an unkeyed worker still gets the attribution).
+	APIKey string
 }
 
 // RegisterFlags declares the dispatch flags on fs, defaulted from *o and
@@ -132,6 +140,7 @@ func RegisterFlags(fs *flag.FlagSet, o *Options) {
 	fs.IntVar(&o.Retries, "dispatch-retries", o.Retries, "extra attempts on other workers after a failed dispatch")
 	fs.DurationVar(&o.Hedge, "dispatch-hedge", o.Hedge, "hedge a silent dispatch onto the next worker after this long; 0 disables (a hedged job is duplicated work)")
 	fs.DurationVar(&o.Cooldown, "dispatch-cooldown", o.Cooldown, "how long a repeatedly failing worker stays demoted")
+	fs.StringVar(&o.APIKey, "dispatch-api-key", o.APIKey, "API key presented to workers as a bearer token; empty = unauthenticated dispatch")
 }
 
 // workerList is the -workers flag value: a comma-separated address list.
@@ -667,6 +676,15 @@ func (b *RemoteBackend) post(parent context.Context, w *worker, kind string, bod
 		// Forward the trace so the worker's spans for this job land in a
 		// trace with the same ID — one request, one timeline, two rings.
 		req.Header.Set(obs.TraceHeader, id)
+	}
+	if b.opts.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+b.opts.APIKey)
+	}
+	if id := tenant.IDFrom(parent); id != "" {
+		// Beside the trace rides the tenant: the worker attributes the
+		// job to the tenant that caused it, not to this front-end's
+		// service key, so per-tenant usage is coherent cluster-wide.
+		req.Header.Set(tenant.Header, id)
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {

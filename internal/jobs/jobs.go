@@ -51,8 +51,12 @@ type Transition struct {
 // Snapshot is a job's externally visible state — the JSON body of
 // GET /v1/jobs/{id}.
 type Snapshot struct {
-	ID      string    `json:"id"`
-	Kind    string    `json:"kind"`
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Tenant is the id of the tenant that submitted the job ("" for
+	// anonymous submissions). The serve layer scopes job visibility to
+	// it, so a snapshot only ever reaches its own tenant.
+	Tenant  string    `json:"tenant,omitempty"`
 	State   State     `json:"state"`
 	Created time.Time `json:"created"`
 	// DurMS is created → terminal transition for finished jobs, created →
@@ -67,6 +71,7 @@ type Snapshot struct {
 type Job struct {
 	id      string
 	kind    string
+	tenant  string
 	created time.Time
 	cancel  context.CancelFunc
 
@@ -84,6 +89,10 @@ func (j *Job) ID() string { return j.id }
 
 // Kind returns the job's wire kind ("counters", "cluster").
 func (j *Job) Kind() string { return j.kind }
+
+// Tenant returns the id of the tenant that submitted the job ("" for
+// anonymous submissions).
+func (j *Job) Tenant() string { return j.tenant }
 
 // SetState records a state transition. Repeats of the current state and
 // any transition after a terminal state are ignored, so span-derived
@@ -183,6 +192,7 @@ func (j *Job) snapshotLocked() Snapshot {
 	return Snapshot{
 		ID:      j.id,
 		Kind:    j.kind,
+		Tenant:  j.tenant,
 		State:   j.state,
 		Created: j.created,
 		DurMS:   float64(end.Sub(j.created).Nanoseconds()) / 1e6,
@@ -270,11 +280,12 @@ func NewRegistry(cap int) *Registry {
 
 // New creates, registers and returns a job in state queued. id should be
 // the job's obs trace ID so one identifier names both the job and its
-// timeline; cancel (may be nil) is invoked when the job is cancelled or
-// finishes.
-func (r *Registry) New(id, kind string, cancel context.CancelFunc) *Job {
+// timeline; tenant ("" for anonymous) is the submitting tenant's id, the
+// scope the serve layer restricts the job's visibility to; cancel (may
+// be nil) is invoked when the job is cancelled or finishes.
+func (r *Registry) New(id, kind, tenant string, cancel context.CancelFunc) *Job {
 	now := time.Now()
-	j := &Job{id: id, kind: kind, created: now, cancel: cancel,
+	j := &Job{id: id, kind: kind, tenant: tenant, created: now, cancel: cancel,
 		state:   StateQueued,
 		history: []Transition{{State: StateQueued, At: now}},
 	}

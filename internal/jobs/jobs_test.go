@@ -12,7 +12,7 @@ import (
 // states latch, and the loser of a cancel/complete race is ignored.
 func TestLifecycleLatching(t *testing.T) {
 	r := NewRegistry(0)
-	j := r.New("id1", "counters", nil)
+	j := r.New("id1", "counters", "", nil)
 	if j.State() != StateQueued {
 		t.Fatalf("new job state = %q, want queued", j.State())
 	}
@@ -53,7 +53,7 @@ func TestLifecycleLatching(t *testing.T) {
 func TestCancelFiresContext(t *testing.T) {
 	r := NewRegistry(0)
 	ctx, cancel := context.WithCancel(context.Background())
-	j := r.New("id1", "counters", cancel)
+	j := r.New("id1", "counters", "", cancel)
 	if won := j.Cancel(); !won {
 		t.Fatal("first Cancel lost")
 	}
@@ -67,7 +67,7 @@ func TestCancelFiresContext(t *testing.T) {
 	}
 
 	ctx2, cancel2 := context.WithCancel(context.Background())
-	j2 := r.New("id2", "cluster", cancel2)
+	j2 := r.New("id2", "cluster", "", cancel2)
 	j2.Fail("boom")
 	if j2.State() != StateFailed || j2.Snapshot().Error != "boom" {
 		t.Fatalf("failed job snapshot = %+v", j2.Snapshot())
@@ -83,7 +83,7 @@ func TestCancelFiresContext(t *testing.T) {
 // the snapshot+index protocol recovers every transition exactly once.
 func TestSubscribe(t *testing.T) {
 	r := NewRegistry(0)
-	j := r.New("id1", "counters", nil)
+	j := r.New("id1", "counters", "", nil)
 	j.SetState(StateAdmitted)
 
 	snap, wake, stop := j.Subscribe()
@@ -127,7 +127,7 @@ func TestObserveSpanMapping(t *testing.T) {
 	}
 	r := NewRegistry(0)
 	for i, tc := range cases {
-		j := r.New(fmt.Sprintf("id%d", i), "counters", nil)
+		j := r.New(fmt.Sprintf("id%d", i), "counters", "", nil)
 		j.ObserveSpan(tc.ev)
 		if got := j.State(); got != tc.want {
 			t.Errorf("span %q (end=%v) drove state %q, want %q", tc.ev.Name, tc.ev.End, got, tc.want)
@@ -135,7 +135,7 @@ func TestObserveSpanMapping(t *testing.T) {
 	}
 
 	// Non-states: a shed admission and span starts that mean nothing.
-	j := r.New("noop", "counters", nil)
+	j := r.New("noop", "counters", "", nil)
 	j.ObserveSpan(obs.SpanEvent{Name: "admission", Attrs: obs.Attrs{"shed": "true"}, End: true})
 	j.ObserveSpan(obs.SpanEvent{Name: "admission"})
 	j.ObserveSpan(obs.SpanEvent{Name: "render"})
@@ -148,11 +148,11 @@ func TestObserveSpanMapping(t *testing.T) {
 // active jobs are never dropped, even when that overshoots the cap.
 func TestRegistryEviction(t *testing.T) {
 	r := NewRegistry(3)
-	a := r.New("a", "counters", nil)
-	b := r.New("b", "counters", nil)
+	a := r.New("a", "counters", "", nil)
+	b := r.New("b", "counters", "", nil)
 	a.Complete(nil)
-	r.New("c", "counters", nil)
-	r.New("d", "counters", nil) // over cap: evicts a (terminal), keeps actives
+	r.New("c", "counters", "", nil)
+	r.New("d", "counters", "", nil) // over cap: evicts a (terminal), keeps actives
 	if _, ok := r.Get("a"); ok {
 		t.Fatal("oldest terminal job survived eviction")
 	}
@@ -166,7 +166,7 @@ func TestRegistryEviction(t *testing.T) {
 	}
 
 	// All actives: the registry overshoots rather than dropping live jobs.
-	r.New("e", "counters", nil)
+	r.New("e", "counters", "", nil)
 	if len(r.Jobs()) != 4 {
 		t.Fatalf("registry dropped an active job: %d tracked, want 4", len(r.Jobs()))
 	}

@@ -10,6 +10,7 @@ import (
 
 	"dcbench/internal/jobs"
 	"dcbench/internal/obs"
+	"dcbench/internal/tenant"
 )
 
 // This file is the async half of the job lifecycle: POST /v1/jobs with
@@ -29,10 +30,13 @@ import (
 // admission slot and, through the memo's refcounted cancellation,
 // stopping the underlying simulation once no other caller shares it.
 
-// submitAsync accepts one validated job for background execution.
-func (s *Server) submitAsync(w http.ResponseWriter, run *jobRunner) {
+// submitAsync accepts one validated job for background execution. The
+// submitting tenant owns the job: its id scopes every lifecycle endpoint
+// and the detached run context carries the tenant, so the quota charge
+// lands on completion exactly as it does for a blocking job.
+func (s *Server) submitAsync(w http.ResponseWriter, r *http.Request, run *jobRunner) {
 	if s.registry.Active() >= maxActiveJobs {
-		s.shedJob(w, run.kind)
+		s.shedJob(w, r, run.kind)
 		return
 	}
 	// The job's own trace outlives the submit request and carries the
@@ -42,7 +46,9 @@ func (s *Server) submitAsync(w http.ResponseWriter, run *jobRunner) {
 	tr := s.recorder.StartTrace("job "+run.kind, id)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	ctx = obs.With(ctx, tr)
-	job := s.registry.New(id, run.kind, cancel)
+	tn := tenant.From(r.Context())
+	ctx = tenant.With(ctx, tn)
+	job := s.registry.New(id, run.kind, tn.ID(), cancel)
 	tr.OnSpan(job.ObserveSpan)
 	s.queuedJobs.Add(1)
 	go s.runAsync(ctx, job, tr, run)
@@ -79,6 +85,7 @@ func (s *Server) runAsync(ctx context.Context, job *jobs.Job, tr *obs.Trace, run
 	case je != nil:
 		job.Fail(je.msg)
 	default:
+		tenant.From(ctx).ChargeJob(run.kind, run.instrs)
 		s.observeService(run.kind, dur)
 		job.Complete(body)
 	}
@@ -95,11 +102,31 @@ func (s *Server) settleCancelled(job *jobs.Job) {
 	job.Cancel()
 }
 
+// jobForRequest resolves the path's job id within the requesting
+// tenant's scope. A job owned by a different tenant answers exactly like
+// a job that does not exist — same 404, same message — so a tenant
+// cannot probe for other tenants' job ids. Anonymous jobs (owner "")
+// stay visible to everyone, which keeps the auth-off behavior identical
+// to before tenancy existed.
+func (s *Server) jobForRequest(r *http.Request) (*jobs.Job, bool) {
+	job, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		return nil, false
+	}
+	if owner := job.Tenant(); owner != "" && owner != tenant.IDFrom(r.Context()) {
+		return nil, false
+	}
+	return job, true
+}
+
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	list := s.registry.Jobs()
-	snaps := make([]jobs.Snapshot, len(list))
-	for i, j := range list {
-		snaps[i] = j.Snapshot()
+	caller := tenant.IDFrom(r.Context())
+	snaps := []jobs.Snapshot{}
+	for _, j := range s.registry.Jobs() {
+		if owner := j.Tenant(); owner != "" && owner != caller {
+			continue
+		}
+		snaps = append(snaps, j.Snapshot())
 	}
 	writeJSON(w, struct {
 		Jobs []jobs.Snapshot `json:"jobs"`
@@ -107,9 +134,9 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.registry.Get(r.PathValue("id"))
+	job, ok := s.jobForRequest(r)
 	if !ok {
-		http.Error(w, "unknown job", http.StatusNotFound)
+		writeError(w, r, http.StatusNotFound, codeNotFound, "unknown job")
 		return
 	}
 	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
@@ -120,9 +147,9 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.registry.Get(r.PathValue("id"))
+	job, ok := s.jobForRequest(r)
 	if !ok {
-		http.Error(w, "unknown job", http.StatusNotFound)
+		writeError(w, r, http.StatusNotFound, codeNotFound, "unknown job")
 		return
 	}
 	if body, done := job.Result(); done {
@@ -132,18 +159,21 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	snap := job.Snapshot()
 	switch snap.State {
 	case jobs.StateFailed:
-		http.Error(w, snap.Error, http.StatusInternalServerError)
+		// snap.Error is already client-safe: internal failures were
+		// sanitized to a generic trace-naming message at jobError
+		// construction, before the registry stored them.
+		writeError(w, r, http.StatusInternalServerError, codeInternal, snap.Error)
 	case jobs.StateCancelled:
-		http.Error(w, "job cancelled", http.StatusGone)
+		writeError(w, r, http.StatusGone, codeGone, "job cancelled")
 	default:
-		http.Error(w, fmt.Sprintf("job not finished (state %q)", snap.State), http.StatusConflict)
+		writeError(w, r, http.StatusConflict, codeConflict, fmt.Sprintf("job not finished (state %q)", snap.State))
 	}
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.registry.Get(r.PathValue("id"))
+	job, ok := s.jobForRequest(r)
 	if !ok {
-		http.Error(w, "unknown job", http.StatusNotFound)
+		writeError(w, r, http.StatusNotFound, codeNotFound, "unknown job")
 		return
 	}
 	// Cancel latches the terminal state first (span-derived progress can
@@ -162,7 +192,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *jobs.Job) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		writeError(w, r, http.StatusNotImplemented, codeNotImplemented, "streaming unsupported")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")

@@ -1,0 +1,137 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"dcbench/internal/serve"
+	"dcbench/internal/tenant"
+)
+
+// hotGet drives one in-process GET /v1/workloads through the full
+// middleware stack (trace, auth, rate limit, mux) without a network in
+// the way, so the measured cost is the handler's own.
+func hotGet(h http.Handler, key string) int {
+	req := httptest.NewRequest(http.MethodGet, "/v1/workloads", nil)
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+// BenchmarkAuthOverhead measures what the tenant front door costs a hot
+// request: the same GET /v1/workloads with auth off and with a loaded
+// keys file (sha256 + constant-time walk + token bucket). The delta is
+// the per-request price of multi-tenancy.
+func BenchmarkAuthOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		srv := serve.New(serve.Config{Options: testOptions(), Logger: quietLog})
+		defer srv.Close()
+		h := srv.Handler()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if hotGet(h, "") != http.StatusOK {
+				b.Fatal("request failed")
+			}
+		}
+	})
+	b.Run("keyed", func(b *testing.B) {
+		reg, err := tenant.Open(writeKeysFileB(b), quietLog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := serve.New(serve.Config{Options: testOptions(), Tenants: reg, Logger: quietLog})
+		defer srv.Close()
+		h := srv.Handler()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if hotGet(h, "bench-key") != http.StatusOK {
+				b.Fatal("request failed")
+			}
+		}
+	})
+}
+
+// writeKeysFileB is writeKeysFile for benchmarks (testing.B has no
+// shared helper interface with testing.T here).
+func writeKeysFileB(b *testing.B) string {
+	b.Helper()
+	path := b.TempDir() + "/keys.json"
+	data, err := json.Marshal(struct {
+		Keys []tenant.KeyConfig `json:"keys"`
+	}{[]tenant.KeyConfig{{ID: "bench", Secret: "bench-key"}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// TestAuthBenchArtifact writes the CI perf artifact (BENCH_auth.json):
+// mean hot-request latency with auth off and on, and the per-request
+// overhead the front door adds — the number the "under 2µs" budget is
+// checked against per commit. Gated on BENCH_AUTH_OUT so ordinary test
+// runs skip it.
+func TestAuthBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_AUTH_OUT")
+	if out == "" {
+		t.Skip("set BENCH_AUTH_OUT=<path> to write the perf artifact")
+	}
+	const reqs = 20_000
+
+	measure := func(h http.Handler, key string) float64 {
+		for i := 0; i < 200; i++ {
+			hotGet(h, key) // warm the render memo and the caches
+		}
+		start := time.Now()
+		for i := 0; i < reqs; i++ {
+			if hotGet(h, key) != http.StatusOK {
+				t.Fatal("request failed")
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / reqs
+	}
+
+	off := serve.New(serve.Config{Options: testOptions(), Logger: quietLog})
+	defer off.Close()
+	offUS := measure(off.Handler(), "")
+
+	path := writeKeysFile(t, tenant.KeyConfig{ID: "bench", Secret: "bench-key"})
+	reg, err := tenant.Open(path, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyed := serve.New(serve.Config{Options: testOptions(), Tenants: reg, Logger: quietLog})
+	defer keyed.Close()
+	onUS := measure(keyed.Handler(), "bench-key")
+
+	artifact := map[string]any{
+		"schema":           1,
+		"requests":         reqs,
+		"endpoint":         "/v1/workloads",
+		"auth_off_mean_us": offUS,
+		"auth_on_mean_us":  onUS,
+		"overhead_us":      onUS - offUS,
+		"budget_us":        2.0,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", out, data)
+	if over := onUS - offUS; over > 2.0 {
+		t.Logf("auth overhead %.2fµs exceeds the 2µs budget (advisory)", over)
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"dcbench/internal/sweep"
+	"dcbench/internal/tenant"
 )
 
 // buildInfo resolves the dcserved_build_info labels once: the Go
@@ -48,6 +50,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Requests that joined an in-flight render instead of starting one.", float64(st.Coalesced))
 	writeMetric(&b, "dcserved_errors_total", "counter",
 		"Requests answered with a 5xx status.", float64(st.Errors))
+	writeMetric(&b, "dcserved_deprecated_requests_total", "counter",
+		"Requests to deprecated endpoints (POST /v1/sweep; migrate to POST /v1/jobs).", float64(st.Deprecated))
 	writeMetric(&b, "dcserved_uptime_seconds", "gauge",
 		"Seconds since the server started.", time.Since(s.started).Seconds())
 	js := s.JobStats()
@@ -136,9 +140,61 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				"Simulations that generated live because the trace exceeds the budget.", float64(tc.Fallbacks))
 		}
 	}
+	s.writeTenantMetrics(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Header().Set("Content-Length", strconv.Itoa(b.Len()))
 	w.Write([]byte(b.String()))
+}
+
+// writeTenantMetrics emits the per-tenant accounting families. The
+// families only appear once at least one tenant is known (a key loaded
+// or an X-Dcs-Tenant attribution seen), so the auth-off exposition —
+// and its golden test — is byte-identical to before tenancy existed.
+func (s *Server) writeTenantMetrics(b *strings.Builder) {
+	snaps := s.tenants.Snapshots()
+	if len(snaps) == 0 {
+		return
+	}
+	writeTenantMetric(b, "dcserved_tenant_requests_total", "counter",
+		"Requests admitted, by tenant.", snaps,
+		func(t tenant.Snapshot) float64 { return float64(t.Usage.Requests) })
+	writeTenantMetric(b, "dcserved_tenant_rate_limited_total", "counter",
+		"Requests refused 429 quota_exceeded by the tenant's rate limit.", snaps,
+		func(t tenant.Snapshot) float64 { return float64(t.Usage.RateLimited) })
+	writeTenantMetric(b, "dcserved_tenant_quota_denied_total", "counter",
+		"Requests and jobs refused 429 quota_exceeded by a cumulative quota.", snaps,
+		func(t tenant.Snapshot) float64 { return float64(t.Usage.QuotaDenied) })
+	writeTenantMetric(b, "dcserved_tenant_instructions_total", "counter",
+		"Simulated instructions charged to each tenant's completed jobs.", snaps,
+		func(t tenant.Snapshot) float64 { return float64(t.Usage.Instructions) })
+	fmt.Fprintf(b, "# HELP %[1]s Completed compute jobs, by tenant and job kind.\n# TYPE %[1]s counter\n",
+		"dcserved_tenant_jobs_total")
+	for _, t := range snaps {
+		for _, kind := range sortedKinds(t.Usage.Jobs) {
+			fmt.Fprintf(b, "dcserved_tenant_jobs_total{tenant=%q,kind=%q} %s\n", t.ID, kind,
+				strconv.FormatFloat(float64(t.Usage.Jobs[kind]), 'g', -1, 64))
+		}
+	}
+}
+
+// sortedKinds returns the map's keys in stable order for the exposition.
+func sortedKinds(m map[string]int64) []string {
+	kinds := make([]string, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// writeTenantMetric emits one family with a tenant="..." sample per
+// known tenant.
+func writeTenantMetric(b *strings.Builder, name, typ, help string, snaps []tenant.Snapshot, get func(tenant.Snapshot) float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, t := range snaps {
+		fmt.Fprintf(b, "%s{tenant=%q} %s\n", name, t.ID,
+			strconv.FormatFloat(get(t), 'g', -1, 64))
+	}
 }
 
 // writeMetric emits one single-sample metric family.

@@ -41,6 +41,7 @@ import (
 	"dcbench/internal/report"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
+	"dcbench/internal/tenant"
 	"dcbench/internal/workloads"
 )
 
@@ -72,6 +73,15 @@ type Config struct {
 	// worker under many front-ends degrades loudly rather than drowning.
 	// 0 admits everything.
 	MaxInflight int
+	// Tenants is the identity layer: a registry opened from a keys file
+	// makes every non-probe request authenticate (401 unauthorized
+	// without a valid key) and enforces per-tenant rate limits and
+	// quotas (429 quota_exceeded — distinguishable on the wire from the
+	// admission layer's 429 overloaded). Nil (or a registry without a
+	// keys file) leaves auth off — today's anonymous behavior — while
+	// still attributing dispatched work labelled with X-Dcs-Tenant to
+	// its originating tenant.
+	Tenants *tenant.Registry
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
 }
@@ -81,6 +91,9 @@ type Stats struct {
 	Requests  int64 `json:"requests"`
 	Coalesced int64 `json:"coalesced"`
 	Errors    int64 `json:"errors"`
+	// Deprecated counts requests to deprecated endpoints (today: the
+	// /v1/sweep alias) — the migration-progress gauge for retiring them.
+	Deprecated int64 `json:"deprecated"`
 }
 
 // JobStats is the compute-endpoint admission state: how many jobs are
@@ -118,9 +131,13 @@ type Server struct {
 	reqHist  *obs.HistogramSet
 	jobHist  *obs.HistogramSet
 
-	requests  atomic.Int64
-	coalesced atomic.Int64
-	errors    atomic.Int64
+	requests   atomic.Int64
+	coalesced  atomic.Int64
+	errors     atomic.Int64
+	deprecated atomic.Int64 // hits on deprecated endpoints (/v1/sweep)
+
+	// Identity layer (see tenant.go in this package for the middleware).
+	tenants *tenant.Registry
 
 	// Compute-job admission control (see worker.go).
 	jobSem       chan struct{} // nil = unlimited
@@ -169,6 +186,10 @@ func New(cfg Config) *Server {
 		clusterBackend = cfg.Store.StatsBackend(log)
 	}
 	opts.Cluster = workloads.NewStatsCache(clusterBackend)
+	tenants := cfg.Tenants
+	if tenants == nil {
+		tenants = tenant.NewRegistry(log)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    opts,
@@ -181,6 +202,7 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		cancel:  cancel,
 		started: time.Now(),
+		tenants: tenants,
 
 		recorder: obs.NewRecorder(0),
 		reqHist:  obs.NewHistogramSet(nil),
@@ -229,9 +251,10 @@ func (s *Server) Close() { s.cancel() }
 // Stats snapshots the request counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:  s.requests.Load(),
-		Coalesced: s.coalesced.Load(),
-		Errors:    s.errors.Load(),
+		Requests:   s.requests.Load(),
+		Coalesced:  s.coalesced.Load(),
+		Errors:     s.errors.Load(),
+		Deprecated: s.deprecated.Load(),
 	}
 }
 
@@ -248,14 +271,16 @@ func (s *Server) JobStats() JobStats {
 }
 
 // Handler returns the service's root handler: the v1 mux wrapped in
-// request logging, tracing and latency measurement. Every non-probe
+// request logging, tracing, latency measurement and — when a keys file
+// is loaded — tenant authentication and rate limiting. Every non-probe
 // request gets a trace — adopted from the X-Dcs-Trace header when the
 // caller sent a valid ID (a front-end dispatching a job), fresh
 // otherwise — echoed in the response header, recorded into the ring on
 // completion, and stamped as trace=<id> on the request log line.
 // Probes (/healthz, /metrics, /debug/*) get neither traces nor
-// histogram samples: a scrape every few seconds would wash both the
-// ring and the latency distribution out with noise.
+// histogram samples — a scrape every few seconds would wash both the
+// ring and the latency distribution out with noise — and bypass auth,
+// so load balancers and Prometheus need no credentials.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
@@ -263,13 +288,26 @@ func (s *Server) Handler() http.Handler {
 		probe := r.URL.Path == "/healthz" || r.URL.Path == "/metrics" ||
 			strings.HasPrefix(r.URL.Path, "/debug/")
 		var tr *obs.Trace
+		var deny *apiError
 		if !probe {
 			tr = s.recorder.StartTrace(r.Method+" "+r.URL.Path, r.Header.Get(obs.TraceHeader))
 			w.Header().Set(obs.TraceHeader, tr.ID())
 			r = r.WithContext(obs.With(r.Context(), tr))
+			// Identity before dispatch: the denial is traced and logged
+			// like any response, but the mux never sees the request.
+			var tn *tenant.Tenant
+			tn, deny = s.admitTenant(rec, r)
+			if tn != nil {
+				r = r.WithContext(tenant.With(r.Context(), tn))
+				tr.SetAttr("tenant", tn.ID())
+			}
 		}
 		start := time.Now()
-		s.mux.ServeHTTP(rec, r)
+		if deny != nil {
+			writeAPIError(rec, r, deny)
+		} else {
+			s.mux.ServeHTTP(rec, r)
+		}
 		dur := time.Since(start)
 		if rec.status >= 500 {
 			s.errors.Add(1)
@@ -414,11 +452,13 @@ func (s *Server) serveBody(w http.ResponseWriter, r *http.Request, key, contentT
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			writeError(w, r, http.StatusServiceUnavailable, codeShuttingDown, "server shutting down")
 			return
 		}
-		s.log.Error("render failed", "key", key, "err", err)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// The store/sweep internals behind a render are not the client's
+		// business (and may name paths); the log keeps the detail, keyed
+		// by the trace id the generic envelope hands the client.
+		s.internalError(w, r, "render failed", err, "key", key)
 		return
 	}
 	setValidators()
@@ -469,6 +509,15 @@ func (s *Server) backendStats() (sweep.BackendStats, bool) {
 	return bs, ok
 }
 
+// tenantReport is the /healthz "tenants" block: whether auth is on, and
+// every tenant's limits + usage, sorted by id. Omitted entirely on a
+// server that has never seen an identified request, so pre-multi-tenant
+// healthz consumers see the same shape as before.
+type tenantReport struct {
+	Auth      bool              `json:"auth"`
+	PerTenant []tenant.Snapshot `json:"per_tenant,omitempty"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := struct {
 		Status        string  `json:"status"`
@@ -479,10 +528,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		ConfigFP string              `json:"config_fp"`
 		Stats    Stats               `json:"stats"`
 		Jobs     JobStats            `json:"jobs"`
+		Tenants  *tenantReport       `json:"tenants,omitempty"`
 		Store    *sweep.BackendStats `json:"store,omitempty"`
 	}{Status: "ok", UptimeSeconds: time.Since(s.started).Seconds(),
 		ConfigFP: fmt.Sprintf("%016x", s.opts.CoreConfig().Fingerprint()),
 		Stats:    s.Stats(), Jobs: s.JobStats()}
+	if snaps := s.tenants.Snapshots(); s.tenants.Enabled() || len(snaps) > 0 {
+		h.Tenants = &tenantReport{Auth: s.tenants.Enabled(), PerTenant: snaps}
+	}
 	if bs, ok := s.backendStats(); ok {
 		h.Store = &bs
 	}
@@ -552,7 +605,7 @@ func (s *Server) handleCounters(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	wl, err := core.ByName(name)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		writeError(w, r, http.StatusNotFound, codeNotFound, err.Error())
 		return
 	}
 	key := "workloads/" + name + "/counters"
@@ -607,7 +660,7 @@ func metricsTable(res *core.Result) *report.Table {
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.Atoi(r.PathValue("n"))
 	if err != nil || n < 1 || n > 12 {
-		http.Error(w, "figure number must be 1..12", http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "figure number must be 1..12")
 		return
 	}
 	s.serveTable(w, r, fmt.Sprintf("figures/%d", n), func(ctx context.Context) (*report.Table, error) {
@@ -618,7 +671,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.Atoi(r.PathValue("n"))
 	if err != nil || n < 1 || n > 3 {
-		http.Error(w, "table number must be 1..3", http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "table number must be 1..3")
 		return
 	}
 	if n == 1 {
@@ -631,7 +684,8 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	// Tables II and III are prose: JSON wraps the text, CSV has no natural
 	// shape and is refused rather than faked.
 	if wantCSV(r) {
-		http.Error(w, fmt.Sprintf("table %d is prose; request JSON or text", n), http.StatusNotAcceptable)
+		writeError(w, r, http.StatusNotAcceptable, codeNotAcceptable,
+			fmt.Sprintf("table %d is prose; request JSON or text", n))
 		return
 	}
 	s.serveBody(w, r, fmt.Sprintf("tables/%d?json", n), "application/json", func(ctx context.Context) ([]byte, error) {

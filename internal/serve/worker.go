@@ -14,6 +14,7 @@ import (
 	"dcbench/internal/obs"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
+	"dcbench/internal/tenant"
 	"dcbench/internal/uarch"
 	"dcbench/internal/workloads"
 )
@@ -102,10 +103,12 @@ const (
 	maxCounterInstrs = 1_000_000_000
 )
 
-// jobError is an HTTP-shaped job failure: the status and message exactly
-// as the blocking endpoint writes them (async jobs store the message).
+// jobError is an HTTP-shaped job failure: the status, stable error code
+// and message exactly as the blocking endpoint writes them (async jobs
+// store the message).
 type jobError struct {
 	status int
+	code   string
 	msg    string
 }
 
@@ -113,11 +116,14 @@ type jobError struct {
 // the computation under ctx and returns the checksummed record; join
 // collects the result of an in-flight or memoized computation for the
 // same key without claiming an admission slot (ok=false when there is
-// nothing to join — the caller sheds as before).
+// nothing to join — the caller sheds as before). instrs is the job's
+// instruction cost for tenant quota accounting (0 for kinds whose cost
+// is not instruction-shaped).
 type jobRunner struct {
-	kind string
-	exec func(ctx context.Context) ([]byte, *jobError)
-	join func(ctx context.Context) ([]byte, *jobError, bool)
+	kind   string
+	instrs int64
+	exec   func(ctx context.Context) ([]byte, *jobError)
+	join   func(ctx context.Context) ([]byte, *jobError, bool)
 }
 
 // buildRunner decodes and validates one job request into a runner. All
@@ -130,26 +136,41 @@ func (s *Server) buildRunner(req JobRequest) (*jobRunner, *jobError) {
 	case store.KindCounters:
 		var key sweep.Key
 		if err := json.Unmarshal(req.Key, &key); err != nil {
-			return nil, &jobError{http.StatusBadRequest, "unreadable counters job key: " + err.Error()}
+			return nil, &jobError{http.StatusBadRequest, codeBadRequest, "unreadable counters job key: " + err.Error()}
 		}
 		return s.counterRunner(key, req.Warmup)
 	case store.KindCluster:
 		var key workloads.StatsKey
 		if err := json.Unmarshal(req.Key, &key); err != nil {
-			return nil, &jobError{http.StatusBadRequest, "unreadable cluster job key: " + err.Error()}
+			return nil, &jobError{http.StatusBadRequest, codeBadRequest, "unreadable cluster job key: " + err.Error()}
 		}
 		return s.clusterRunner(key)
 	default:
-		return nil, &jobError{http.StatusBadRequest, fmt.Sprintf("unknown job kind %q (want %q or %q)",
+		return nil, &jobError{http.StatusBadRequest, codeBadRequest, fmt.Sprintf("unknown job kind %q (want %q or %q)",
 			req.Kind, store.KindCounters, store.KindCluster)}
 	}
+}
+
+// internalJobError logs one internal job failure with its trace id and
+// returns the client-facing jobError: a generic message naming the
+// trace, never the internal error text (the async path stores this
+// message verbatim, so the sanitization must happen here, not at the
+// write site).
+func (s *Server) internalJobError(ctx context.Context, what string, err error, logArgs ...any) *jobError {
+	id := obs.From(ctx).ID()
+	args := append([]any{"err", err}, logArgs...)
+	if id != "" {
+		args = append(args, "trace", id)
+	}
+	s.log.Error(what, args...)
+	return &jobError{http.StatusInternalServerError, codeInternal, internalMsg(id)}
 }
 
 // counterRunner validates one sweep key and returns its runner.
 func (s *Server) counterRunner(key sweep.Key, warmup int64) (*jobRunner, *jobError) {
 	wl, err := core.ByName(key.Name)
 	if err != nil {
-		return nil, &jobError{http.StatusNotFound, err.Error()}
+		return nil, &jobError{http.StatusNotFound, codeNotFound, err.Error()}
 	}
 	// The effective trace length is MaxInstrs, or the profile's own cap
 	// when MaxInstrs is zero (the engine's convention; the tracer in turn
@@ -161,7 +182,7 @@ func (s *Server) counterRunner(key sweep.Key, warmup int64) (*jobRunner, *jobErr
 		instrs = key.Profile.MaxInstrs
 	}
 	if instrs > maxCounterInstrs {
-		return nil, &jobError{http.StatusBadRequest,
+		return nil, &jobError{http.StatusBadRequest, codeBadRequest,
 			fmt.Sprintf("trace length %d exceeds the %d cap", instrs, int64(maxCounterInstrs))}
 	}
 	// The worker simulates the paper's machine at the caller's warmup; a
@@ -171,12 +192,13 @@ func (s *Server) counterRunner(key sweep.Key, warmup int64) (*jobRunner, *jobErr
 	cfg := uarch.DefaultConfig()
 	cfg.Warmup = warmup
 	if got := cfg.Fingerprint(); got != key.ConfigFP {
-		return nil, &jobError{http.StatusConflict, fmt.Sprintf(
+		return nil, &jobError{http.StatusConflict, codeConflict, fmt.Sprintf(
 			"config fingerprint mismatch: default machine at warmup %d is %016x, request wants %016x",
 			warmup, got, key.ConfigFP)}
 	}
 	return &jobRunner{
-		kind: store.KindCounters,
+		kind:   store.KindCounters,
+		instrs: instrs,
 		exec: func(ctx context.Context) ([]byte, *jobError) {
 			// The key's profile is the trace spec (Job's uniqueness
 			// contract: name + profile identify the trace; the generator is
@@ -186,14 +208,13 @@ func (s *Server) counterRunner(key sweep.Key, warmup int64) (*jobRunner, *jobErr
 			cs, err := s.engine.Run(ctx, jobs, cfg, key.MaxInstrs, sweep.RunOptions{Workers: 1})
 			if err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-					return nil, &jobError{http.StatusServiceUnavailable, "worker shutting down"}
+					return nil, &jobError{http.StatusServiceUnavailable, codeShuttingDown, "worker shutting down"}
 				}
-				s.log.Error("worker sweep failed", "workload", key.Name, "err", err)
-				return nil, &jobError{http.StatusInternalServerError, err.Error()}
+				return nil, s.internalJobError(ctx, "worker sweep failed", err, "workload", key.Name)
 			}
 			body, err := store.EncodeCounters(key, cs[0])
 			if err != nil {
-				return nil, &jobError{http.StatusInternalServerError, err.Error()}
+				return nil, s.internalJobError(ctx, "counters record encode failed", err, "workload", key.Name)
 			}
 			return body, nil
 		},
@@ -206,7 +227,7 @@ func (s *Server) counterRunner(key sweep.Key, warmup int64) (*jobRunner, *jobErr
 			}
 			body, err := store.EncodeCounters(key, c)
 			if err != nil {
-				return nil, &jobError{http.StatusInternalServerError, err.Error()}, true
+				return nil, s.internalJobError(ctx, "counters record encode failed", err, "workload", key.Name), true
 			}
 			return body, nil, true
 		},
@@ -218,21 +239,21 @@ func (s *Server) counterRunner(key sweep.Key, warmup int64) (*jobRunner, *jobErr
 func (s *Server) clusterRunner(key workloads.StatsKey) (*jobRunner, *jobError) {
 	wl := workloads.ByName(key.Workload)
 	if wl == nil {
-		return nil, &jobError{http.StatusNotFound, fmt.Sprintf("unknown cluster workload %q", key.Workload)}
+		return nil, &jobError{http.StatusNotFound, codeNotFound, fmt.Sprintf("unknown cluster workload %q", key.Workload)}
 	}
 	if key.Slaves < 1 || key.Slaves > maxClusterSlaves {
-		return nil, &jobError{http.StatusBadRequest,
+		return nil, &jobError{http.StatusBadRequest, codeBadRequest,
 			fmt.Sprintf("cluster slave count %d outside [1, %d]", key.Slaves, maxClusterSlaves)}
 	}
 	if !(key.Scale > 0) || key.Scale > maxClusterScale {
-		return nil, &jobError{http.StatusBadRequest,
+		return nil, &jobError{http.StatusBadRequest, codeBadRequest,
 			fmt.Sprintf("cluster scale %g outside (0, %g]", key.Scale, maxClusterScale)}
 	}
 	return &jobRunner{
 		kind: store.KindCluster,
 		exec: func(ctx context.Context) ([]byte, *jobError) {
 			if err := s.baseCtx.Err(); err != nil {
-				return nil, &jobError{http.StatusServiceUnavailable, "worker shutting down"}
+				return nil, &jobError{http.StatusServiceUnavailable, codeShuttingDown, "worker shutting down"}
 			}
 			st, err := s.opts.Cluster.DoShared(ctx, key, func(ctx context.Context) (*workloads.Stats, error) {
 				// A cluster simulation cannot be stopped mid-run (workload
@@ -246,14 +267,14 @@ func (s *Server) clusterRunner(key workloads.StatsKey) (*jobRunner, *jobError) {
 			})
 			if err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-					return nil, &jobError{http.StatusServiceUnavailable, "worker shutting down"}
+					return nil, &jobError{http.StatusServiceUnavailable, codeShuttingDown, "worker shutting down"}
 				}
-				s.log.Error("worker cluster job failed", "workload", key.Workload, "slaves", key.Slaves, "err", err)
-				return nil, &jobError{http.StatusInternalServerError, err.Error()}
+				return nil, s.internalJobError(ctx, "worker cluster job failed", err,
+					"workload", key.Workload, "slaves", key.Slaves)
 			}
 			body, err := store.EncodeStats(key, st)
 			if err != nil {
-				return nil, &jobError{http.StatusInternalServerError, err.Error()}
+				return nil, s.internalJobError(ctx, "cluster record encode failed", err, "workload", key.Workload)
 			}
 			return body, nil
 		},
@@ -264,7 +285,7 @@ func (s *Server) clusterRunner(key workloads.StatsKey) (*jobRunner, *jobError) {
 			}
 			body, err := store.EncodeStats(key, st)
 			if err != nil {
-				return nil, &jobError{http.StatusInternalServerError, err.Error()}, true
+				return nil, s.internalJobError(ctx, "cluster record encode failed", err, "workload", key.Workload), true
 			}
 			return body, nil, true
 		},
@@ -276,37 +297,74 @@ func (s *Server) clusterRunner(key workloads.StatsKey) (*jobRunner, *jobError) {
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobRequest)).Decode(&req); err != nil {
-		http.Error(w, "unreadable job request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "unreadable job request: "+err.Error())
 		return
 	}
 	run, je := s.buildRunner(req)
 	if je != nil {
-		http.Error(w, je.msg, je.status)
+		writeJobError(w, r, je)
+		return
+	}
+	if je := s.checkJobQuota(r, run); je != nil {
+		writeJobError(w, r, je)
 		return
 	}
 	if req.Async || r.URL.Query().Get("wait") == "false" {
-		s.submitAsync(w, run)
+		s.submitAsync(w, r, run)
 		return
 	}
 	s.runBlocking(w, r, run)
 }
 
+// checkJobQuota enforces the requesting tenant's cumulative job quotas
+// (jobs by kind, simulated instructions) before any admission decision:
+// an over-quota tenant is refused 429 quota_exceeded even on an idle
+// worker — its budget, not the cluster's capacity, is what ran out.
+func (s *Server) checkJobQuota(r *http.Request, run *jobRunner) *jobError {
+	tn := tenant.From(r.Context())
+	if tn.CheckJob(run.kind, run.instrs) {
+		return nil
+	}
+	return &jobError{http.StatusTooManyRequests, codeQuotaExceeded,
+		fmt.Sprintf("tenant %q is over its %s job quota", tn.ID(), run.kind)}
+}
+
+// sweepSunset is the /v1/sweep alias's advertised retirement date: far
+// enough out for pre-jobs fleets to roll, fixed so clients can plan.
+const sweepSunset = "Fri, 01 Jan 2027 00:00:00 GMT"
+
 // handleSweep is the deprecated /v1/sweep alias: the PR 4 counters-only
 // compute endpoint, byte-for-byte compatible so old front-ends keep
 // working against new workers. Always blocking — the alias predates the
-// async lifecycle.
+// async lifecycle. Every response advertises the deprecation
+// (Deprecation + Sunset headers, RFC 8594 style) and bumps the
+// deprecated-requests counter, so a fleet still speaking the alias is
+// visible in /metrics before the sunset lands. Migration: POST /v1/jobs
+// with {"kind": "counters", "key": <same key>, "warmup": <same warmup>}.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.deprecated.Add(1)
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Sunset", sweepSunset)
 	var req SweepRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobRequest)).Decode(&req); err != nil {
-		http.Error(w, "unreadable sweep request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "unreadable sweep request: "+err.Error())
 		return
 	}
 	run, je := s.counterRunner(req.Key, req.Warmup)
 	if je != nil {
-		http.Error(w, je.msg, je.status)
+		writeJobError(w, r, je)
+		return
+	}
+	if je := s.checkJobQuota(r, run); je != nil {
+		writeJobError(w, r, je)
 		return
 	}
 	s.runBlocking(w, r, run)
+}
+
+// writeJobError sends one jobError through the envelope.
+func writeJobError(w http.ResponseWriter, r *http.Request, je *jobError) {
+	writeError(w, r, je.status, je.code, je.msg)
 }
 
 // runBlocking is the classic wire contract: admit (or join, or shed),
@@ -328,14 +386,14 @@ func (s *Server) runBlocking(w http.ResponseWriter, r *http.Request, run *jobRun
 		// in-flight cell costs no slot and no duplicate simulation.
 		if body, je, joined := run.join(ctx); joined {
 			if je != nil {
-				http.Error(w, je.msg, je.status)
+				writeJobError(w, r, je)
 				return
 			}
 			s.joined.Add(1)
 			writeRecord(w, body)
 			return
 		}
-		s.shedJob(w, run.kind)
+		s.shedJob(w, r, run.kind)
 		return
 	}
 	defer release()
@@ -344,9 +402,12 @@ func (s *Server) runBlocking(w http.ResponseWriter, r *http.Request, run *jobRun
 	dur := time.Since(start)
 	s.jobHist.Observe(run.kind, dur)
 	if je != nil {
-		http.Error(w, je.msg, je.status)
+		writeJobError(w, r, je)
 		return
 	}
+	// The quota charge lands on execution, not admission: shed, joined
+	// and failed jobs cost the tenant nothing.
+	tenant.From(ctx).ChargeJob(run.kind, run.instrs)
 	s.observeService(run.kind, dur)
 	writeRecord(w, body)
 }
@@ -404,12 +465,14 @@ func (s *Server) releaseSlot() {
 	}
 }
 
-// shedJob writes the 429 with the adaptive Retry-After hint.
-func (s *Server) shedJob(w http.ResponseWriter, kind string) {
+// shedJob writes the admission-control 429 — code overloaded, never
+// quota_exceeded: this refusal is about the worker's capacity, not the
+// caller's budget — with the adaptive Retry-After hint.
+func (s *Server) shedJob(w http.ResponseWriter, r *http.Request, kind string) {
 	s.shed.Add(1)
 	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(kind)))
-	http.Error(w, fmt.Sprintf("worker saturated: %d jobs in flight (-max-inflight)", s.maxInflight),
-		http.StatusTooManyRequests)
+	writeError(w, r, http.StatusTooManyRequests, codeOverloaded,
+		fmt.Sprintf("worker saturated: %d jobs in flight (-max-inflight)", s.maxInflight))
 }
 
 // observeService folds one successful job's duration into the per-kind

@@ -1,0 +1,412 @@
+// Package tenant is the identity layer of the multi-tenant front door:
+// API keys, per-tenant token-bucket rate limits, cumulative quotas, and
+// the usage accounting the admin plane reports.
+//
+// The capacity controls built in PRs 5–8 (admission, adaptive
+// Retry-After, shed-or-join, async jobs) treat every caller as the same
+// anonymous crowd; this package names them. A Registry loads API keys
+// from a JSON keys file (hot-reloaded on SIGHUP or mtime change),
+// authenticates requests by constant-time digest comparison, and tracks
+// one Tenant per key — plus attribution-only tenants for work that
+// arrives over the dispatch hop already labelled with the originating
+// tenant's id (the X-Dcs-Tenant header, riding beside X-Dcs-Trace).
+//
+// Two different 429s come out of this layer's accounting, and keeping
+// them distinguishable is the point: "you are over YOUR budget"
+// (error code quota_exceeded, from a tenant's rate or quota limits) is
+// actionable by the caller alone, while "the worker is saturated"
+// (error code overloaded, from -max-inflight admission) is actionable
+// only by retrying elsewhere or later. The serve layer maps this
+// package's denials to the former and its own admission sheds to the
+// latter.
+//
+// Everything here is nil-safe the way internal/obs is: a nil *Tenant
+// (anonymous traffic with auth disabled) makes every method a cheap
+// no-op, so call sites need no guards and the auth-off request path
+// stays at today's cost.
+package tenant
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header carries a tenant id between processes, the identity analogue of
+// obs.TraceHeader: a front-end dispatching a tenant's job stamps it on
+// the worker request, so worker-side admission and job registries
+// attribute the work to the originating tenant rather than to the
+// front-end's own service key.
+const Header = "X-Dcs-Tenant"
+
+// maxIDLen bounds a tenant id, same rationale as trace ids: anything
+// longer (or outside the alphabet) is refused rather than stored and
+// re-emitted.
+const maxIDLen = 64
+
+// ValidID reports whether id is usable as a tenant identifier: 1..64
+// bytes of [A-Za-z0-9_-], the same alphabet as trace ids, so ids are
+// safe in URLs, metric labels and log lines without quoting.
+func ValidID(id string) bool {
+	if id == "" || len(id) > maxIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Limits are one tenant's admission budget. The zero value of every
+// field means "unlimited" — a keys file that names only ids and secrets
+// authenticates without constraining, and limits can be tightened later
+// through the admin plane without re-issuing keys.
+type Limits struct {
+	// RatePerSec refills the tenant's token bucket: sustained requests
+	// per second across every endpoint. 0 = no rate limit.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket depth — how far above the sustained rate a
+	// tenant may spike. 0 with a positive rate defaults to
+	// max(1, ceil(rate)).
+	Burst int `json:"burst,omitempty"`
+	// MaxRequests is a cumulative request quota (lifetime of the
+	// process, or until an admin resets usage by re-creating the key).
+	MaxRequests int64 `json:"max_requests,omitempty"`
+	// MaxJobs caps cumulative compute jobs by kind ("counters",
+	// "cluster"). Kinds absent from the map are unlimited.
+	MaxJobs map[string]int64 `json:"max_jobs,omitempty"`
+	// MaxInstructions caps cumulative simulated instructions across the
+	// tenant's counters jobs — the actual cost unit of this service.
+	MaxInstructions int64 `json:"max_instructions,omitempty"`
+}
+
+// Usage is one tenant's cumulative consumption, the admin plane's
+// reporting unit and the source of the dcserved_tenant_* metric
+// families.
+type Usage struct {
+	Requests     int64            `json:"requests"`
+	RateLimited  int64            `json:"rate_limited"`
+	QuotaDenied  int64            `json:"quota_denied"`
+	Jobs         map[string]int64 `json:"jobs,omitempty"`
+	Instructions int64            `json:"instructions"`
+}
+
+// Snapshot is one tenant's externally visible state: what /healthz
+// embeds per tenant and GET /admin/v1/usage reports. Secrets never
+// appear in snapshots.
+type Snapshot struct {
+	ID string `json:"id"`
+	// Keyed distinguishes tenants backed by an API key from
+	// attribution-only tenants (work labelled via the dispatch hop's
+	// X-Dcs-Tenant header on a server without that key).
+	Keyed    bool   `json:"keyed"`
+	Disabled bool   `json:"disabled,omitempty"`
+	Limits   Limits `json:"limits"`
+	Usage    Usage  `json:"usage"`
+}
+
+// Tenant is one identified caller: the runtime state behind an API key,
+// or an attribution-only label for dispatched work. Create through a
+// Registry; all methods are safe for concurrent use and nil-safe.
+type Tenant struct {
+	id string
+
+	// mu guards the key material, limits and bucket state. Usage
+	// counters are atomics so charging never contends with
+	// authentication.
+	mu       sync.Mutex
+	keyed    bool
+	disabled bool
+	secret   string // retained to persist the keys file; compared only by digest
+	digest   [sha256.Size]byte
+	tokens   float64
+	last     time.Time
+
+	requests     atomic.Int64
+	rateLimited  atomic.Int64
+	quotaDenied  atomic.Int64
+	instructions atomic.Int64
+	limits       atomic.Pointer[Limits]
+
+	jobsMu sync.Mutex
+	jobs   map[string]int64
+}
+
+func newTenant(id string) *Tenant {
+	t := &Tenant{id: id}
+	t.limits.Store(&Limits{})
+	return t
+}
+
+// ID returns the tenant's identifier ("" for nil — anonymous).
+func (t *Tenant) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Limits returns the tenant's current limits (zero value for nil).
+func (t *Tenant) Limits() Limits {
+	if t == nil {
+		return Limits{}
+	}
+	return *t.limits.Load()
+}
+
+// SetLimits replaces the tenant's limits. The bucket is reset to the new
+// burst so a loosened limit takes effect immediately.
+func (t *Tenant) SetLimits(l Limits) {
+	if t == nil {
+		return
+	}
+	t.limits.Store(&l)
+	t.mu.Lock()
+	t.tokens = float64(burstOf(l))
+	t.mu.Unlock()
+}
+
+// burstOf resolves a Limits' effective bucket depth.
+func burstOf(l Limits) int {
+	if l.Burst > 0 {
+		return l.Burst
+	}
+	if l.RatePerSec <= 0 {
+		return 0
+	}
+	b := int(l.RatePerSec)
+	if float64(b) < l.RatePerSec {
+		b++
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Allow spends one request against the tenant's budget at time now: the
+// cumulative request quota first, then the token bucket. A granted
+// request is charged; a denied one increments the matching denial
+// counter instead. retryAfter is positive only for rate denials — a
+// bucket refills on a known schedule, a spent cumulative quota does not.
+// A nil tenant always allows (anonymous traffic, auth off).
+func (t *Tenant) Allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	if t == nil {
+		return true, 0
+	}
+	l := t.limits.Load()
+	if l.MaxRequests > 0 && t.requests.Load() >= l.MaxRequests {
+		t.quotaDenied.Add(1)
+		return false, 0
+	}
+	if l.RatePerSec > 0 {
+		burst := float64(burstOf(*l))
+		t.mu.Lock()
+		if t.last.IsZero() {
+			// First sighting: a full bucket, so a fresh tenant can burst.
+			t.tokens = burst
+		} else if dt := now.Sub(t.last).Seconds(); dt > 0 {
+			t.tokens += dt * l.RatePerSec
+			if t.tokens > burst {
+				t.tokens = burst
+			}
+		}
+		t.last = now
+		if t.tokens < 1 {
+			need := (1 - t.tokens) / l.RatePerSec
+			t.mu.Unlock()
+			t.rateLimited.Add(1)
+			return false, time.Duration(need * float64(time.Second))
+		}
+		t.tokens--
+		t.mu.Unlock()
+	}
+	t.requests.Add(1)
+	return true, 0
+}
+
+// ChargeRequest counts one request against the tenant without enforcing
+// limits — how the originating tenant's usage is attributed when the
+// enforcement already happened under a different identity (a keyed
+// front-end forwarding a tenant's job to a keyed worker).
+func (t *Tenant) ChargeRequest() {
+	if t == nil {
+		return
+	}
+	t.requests.Add(1)
+}
+
+// CheckJob reports whether one more job of this kind, costing instrs
+// simulated instructions, fits the tenant's cumulative job quotas. A
+// refusal is counted as a quota denial. Nil allows.
+func (t *Tenant) CheckJob(kind string, instrs int64) bool {
+	if t == nil {
+		return true
+	}
+	l := t.limits.Load()
+	if max, capped := l.MaxJobs[kind]; capped && max > 0 {
+		t.jobsMu.Lock()
+		done := t.jobs[kind]
+		t.jobsMu.Unlock()
+		if done >= max {
+			t.quotaDenied.Add(1)
+			return false
+		}
+	}
+	if l.MaxInstructions > 0 && t.instructions.Load()+instrs > l.MaxInstructions {
+		t.quotaDenied.Add(1)
+		return false
+	}
+	return true
+}
+
+// ChargeJob records one executed job of this kind and its instruction
+// cost. Charged on execution, not admission: a shed or failed job costs
+// the cluster nothing lasting, so it costs the tenant nothing either.
+func (t *Tenant) ChargeJob(kind string, instrs int64) {
+	if t == nil {
+		return
+	}
+	t.jobsMu.Lock()
+	if t.jobs == nil {
+		t.jobs = make(map[string]int64)
+	}
+	t.jobs[kind]++
+	t.jobsMu.Unlock()
+	if instrs > 0 {
+		t.instructions.Add(instrs)
+	}
+}
+
+// Usage snapshots the tenant's cumulative consumption (zero for nil).
+func (t *Tenant) Usage() Usage {
+	if t == nil {
+		return Usage{}
+	}
+	u := Usage{
+		Requests:     t.requests.Load(),
+		RateLimited:  t.rateLimited.Load(),
+		QuotaDenied:  t.quotaDenied.Load(),
+		Instructions: t.instructions.Load(),
+	}
+	t.jobsMu.Lock()
+	if len(t.jobs) > 0 {
+		u.Jobs = make(map[string]int64, len(t.jobs))
+		for k, v := range t.jobs {
+			u.Jobs[k] = v
+		}
+	}
+	t.jobsMu.Unlock()
+	return u
+}
+
+// Snapshot returns the tenant's reportable state.
+func (t *Tenant) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	t.mu.Lock()
+	keyed, disabled := t.keyed, t.disabled
+	t.mu.Unlock()
+	return Snapshot{ID: t.id, Keyed: keyed, Disabled: disabled, Limits: t.Limits(), Usage: t.Usage()}
+}
+
+// setKey installs (or refreshes) the tenant's key material from one
+// keys-file entry, preserving accumulated usage — a reload must not
+// amnesty a tenant's consumption.
+func (t *Tenant) setKey(secret string, disabled bool, l Limits) {
+	t.mu.Lock()
+	t.keyed = true
+	t.disabled = disabled
+	if secret != t.secret {
+		t.secret = secret
+		t.digest = sha256.Sum256([]byte(secret))
+	}
+	t.mu.Unlock()
+	t.limits.Store(&l)
+}
+
+// clearKey demotes the tenant to attribution-only: its key vanished from
+// the keys file, so it must stop authenticating, but its usage history
+// stays reportable.
+func (t *Tenant) clearKey() {
+	t.mu.Lock()
+	t.keyed = false
+	t.secret = ""
+	t.digest = [sha256.Size]byte{}
+	t.mu.Unlock()
+}
+
+// matches reports whether digest is this tenant's key digest. The
+// comparison cost is constant whether or not the tenant is keyed or
+// disabled — Authenticate walks every tenant unconditionally, so a
+// probe's timing reveals neither which ids exist nor which are revoked.
+func (t *Tenant) matches(digest *[sha256.Size]byte) (match, usable bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	eq := constantTimeEq(&t.digest, digest)
+	return eq && t.keyed, t.keyed && !t.disabled
+}
+
+func (t *Tenant) isKeyed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.keyed
+}
+
+// keyConfig rebuilds the tenant's keys-file entry (persisting admin
+// mutations); ok is false for attribution-only tenants.
+func (t *Tenant) keyConfig() (KeyConfig, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.keyed {
+		return KeyConfig{}, false
+	}
+	return KeyConfig{ID: t.id, Secret: t.secret, Disabled: t.disabled, Limits: t.Limits()}, true
+}
+
+// constantTimeEq compares two digests without data-dependent early exit.
+func constantTimeEq(a, b *[sha256.Size]byte) bool {
+	var diff byte
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}
+
+// ctxKey keys the tenant in a request context.
+type ctxKey struct{}
+
+// With returns ctx carrying t. A nil t returns ctx unchanged.
+func With(ctx context.Context, t *Tenant) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// From returns the tenant carried by ctx, or nil.
+func From(ctx context.Context) *Tenant {
+	t, _ := ctx.Value(ctxKey{}).(*Tenant)
+	return t
+}
+
+// IDFrom returns the id of the tenant carried by ctx ("" when none) —
+// what the dispatch layer stamps into the X-Dcs-Tenant header.
+func IDFrom(ctx context.Context) string {
+	return From(ctx).ID()
+}
+
+// String renders limits compactly for log lines.
+func (l Limits) String() string {
+	return fmt.Sprintf("rate=%g burst=%d max_requests=%d max_jobs=%v max_instructions=%d",
+		l.RatePerSec, l.Burst, l.MaxRequests, l.MaxJobs, l.MaxInstructions)
+}

@@ -28,7 +28,16 @@
 #      states, its result matches the blocking endpoint's bytes, the SSE
 #      stream replays the transitions and closes itself, and DELETE on a
 #      job mid-simulation lands it in state "cancelled", frees the
-#      admission slot, and leaves no partial record in the store.
+#      admission slot, and leaves no partial record in the store;
+#   6. the multi-tenant front door across the dispatch hop: a keyed
+#      front-end over an unkeyed worker answers 401 unauthorized to
+#      unkeyed callers, admits keyed ones, rate-limits a burst-1 tenant
+#      with 429 quota_exceeded + Retry-After (distinguishable from the
+#      admission layer's 429 by error code), surfaces per-tenant usage in
+#      its own /healthz AND attributes dispatched jobs to the originating
+#      tenant in the worker's /metrics (the X-Dcs-Tenant hop), serves the
+#      admin usage report only to the bootstrap token, and advertises the
+#      /v1/sweep deprecation via the Deprecation/Sunset headers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +48,7 @@ trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
 FLAGS=(-scale 0.004 -instrs 30000 -warmup 10000)
 BASE_PORT=18470 WORKER_PORT=18471 FRONT_PORT=18472 FRONT2_PORT=18473 SHED_PORT=18474 ASYNC_PORT=18477 DEAD_PORT=18479
 WORKER_DEBUG_PORT=18475 FRONT_DEBUG_PORT=18476
+TWORKER_PORT=18480 TFRONT_PORT=18481 TADMIN_PORT=18482
 TRACES_OUT=${TRACES_OUT:-$WORK/TRACES_e2e.json}
 
 echo "== build"
@@ -357,5 +367,97 @@ assert_eq "cancelled jobs counter" "$(healthz_field $ASYNC_PORT "h['jobs']['canc
 CODE=$(curl -s -o /dev/null -w '%{http_code}' \
   "http://127.0.0.1:$ASYNC_PORT/v1/jobs/$JOB2/result")
 assert_eq "cancelled job result status" "$CODE" 410
+
+echo "== 6. multi-tenant front door: keys, rate limits, attribution across the dispatch hop"
+cat >"$WORK/keys.json" <<'EOF'
+{"keys": [
+  {"id": "alice", "secret": "alice-key"},
+  {"id": "bob", "secret": "bob-key", "limits": {"rate_per_sec": 0.01, "burst": 1}}
+]}
+EOF
+# An UNKEYED worker under a KEYED front-end: enforcement happens at the
+# front door, attribution crosses the hop in the X-Dcs-Tenant header.
+"$WORK/bin/dcserved" -addr "127.0.0.1:$TWORKER_PORT" -store "$WORK/tworker.store" \
+  "${FLAGS[@]}" 2>"$WORK/tworker.log" &
+wait_ready $TWORKER_PORT
+"$WORK/bin/dcserved" -addr "127.0.0.1:$TFRONT_PORT" -store "$WORK/tfront.store" \
+  -keys-file "$WORK/keys.json" -admin-addr "127.0.0.1:$TADMIN_PORT" -admin-token boot-token \
+  -workers "127.0.0.1:$TWORKER_PORT" "${FLAGS[@]}" 2>"$WORK/tfront.log" &
+wait_ready $TFRONT_PORT   # the probe needs no key: LBs keep working
+
+error_code() { # headers-file -> the X-Dcs-Error-Code header value
+  sed -n 's/^[Xx]-[Dd]cs-[Ee]rror-[Cc]ode: *//p' "$1" | tr -d '\r'
+}
+
+# 6a. no key -> 401 unauthorized, as a machine-readable envelope.
+CODE=$(curl -s -o "$WORK/unauth.json" -D "$WORK/unauth.hdr" -w '%{http_code}' \
+  "http://127.0.0.1:$TFRONT_PORT/v1/workloads")
+assert_eq "unkeyed request status" "$CODE" 401
+assert_eq "unkeyed error code header" "$(error_code "$WORK/unauth.hdr")" unauthorized
+assert_eq "unkeyed envelope code" \
+  "$(python3 -c "import json; print(json.load(open('$WORK/unauth.json'))['error']['code'])")" unauthorized
+
+# 6b. alice's key admits her — including a cold compute job, which
+# dispatches to the unkeyed worker carrying her identity.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H 'Authorization: Bearer alice-key' \
+  "http://127.0.0.1:$TFRONT_PORT/v1/workloads")
+assert_eq "alice keyed request status" "$CODE" 200
+TCFP=$(healthz_field $TFRONT_PORT "int(h['config_fp'], 16)")
+TJOB="{\"kind\":\"counters\",\"warmup\":10000,\"key\":{\"Name\":\"Sort\",\"Profile\":{\"Seed\":21,\"MaxInstrs\":40000,\"CodeKB\":64,\"HeapMB\":4},\"ConfigFP\":$TCFP,\"MaxInstrs\":40000}}"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H 'Authorization: Bearer alice-key' \
+  -X POST -H 'Content-Type: application/json' -d "$TJOB" \
+  "http://127.0.0.1:$TFRONT_PORT/v1/jobs")
+assert_eq "alice dispatched job status" "$CODE" 200
+
+# 6c. bob's burst-1 bucket: the first request passes (the X-Dcs-Api-Key
+# spelling), the second answers 429 quota_exceeded with Retry-After —
+# the same status as admission shed but a different code, so clients can
+# tell "slow down" from "worker full".
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Dcs-Api-Key: bob-key' \
+  "http://127.0.0.1:$TFRONT_PORT/v1/workloads")
+assert_eq "bob first request status" "$CODE" 200
+CODE=$(curl -s -o "$WORK/ratelim.json" -D "$WORK/ratelim.hdr" -w '%{http_code}' \
+  -H 'X-Dcs-Api-Key: bob-key' "http://127.0.0.1:$TFRONT_PORT/v1/workloads")
+assert_eq "bob second request status" "$CODE" 429
+assert_eq "rate-limit error code" "$(error_code "$WORK/ratelim.hdr")" quota_exceeded
+grep -qi '^Retry-After:' "$WORK/ratelim.hdr" \
+  || { echo "FAIL: rate-limit 429 without Retry-After" >&2; exit 1; }
+echo "   ok: quota_exceeded and unauthorized are distinct machine-readable codes"
+
+# 6d. the front-end accounts per tenant in its own /healthz.
+ALICE_REQS=$(healthz_field $TFRONT_PORT \
+  "next(t for t in h['tenants']['per_tenant'] if t['id'] == 'alice')['usage']['requests']")
+[ "$ALICE_REQS" -ge 2 ] || { echo "FAIL: alice's admitted requests = $ALICE_REQS, want >= 2" >&2; exit 1; }
+assert_eq "bob rate-limited counter" "$(healthz_field $TFRONT_PORT \
+  "next(t for t in h['tenants']['per_tenant'] if t['id'] == 'bob')['usage']['rate_limited']")" 1
+echo "   ok: front-end per-tenant usage: alice requests = $ALICE_REQS"
+
+# 6e. attribution crossed the dispatch hop: the UNKEYED worker's metrics
+# name alice as the tenant behind the dispatched job.
+curl -sf "http://127.0.0.1:$TWORKER_PORT/metrics" | grep -q 'dcserved_tenant_requests_total{tenant="alice"}' \
+  || { echo "FAIL: worker metrics lack alice's attribution (X-Dcs-Tenant hop broken)" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$TWORKER_PORT/metrics" \
+  | grep 'dcserved_tenant_jobs_total{tenant="alice"' | sed 's/^/   /'
+echo "   ok: worker attributed the dispatched job to alice"
+
+# 6f. the admin plane: usage report behind the bootstrap token only.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$TADMIN_PORT/admin/v1/usage")
+assert_eq "admin without token" "$CODE" 401
+curl -sf -H 'Authorization: Bearer boot-token' "http://127.0.0.1:$TADMIN_PORT/admin/v1/usage" \
+  | python3 -c "
+import json, sys
+ids = {t['id'] for t in json.load(sys.stdin)['tenants']}
+assert {'alice', 'bob'} <= ids, ids
+print('   ok: admin usage report covers', ', '.join(sorted(ids)))"
+
+# 6g. the deprecated /v1/sweep alias advertises its retirement on every
+# response — here on the worker, in the same breath as an envelope error.
+curl -s -o /dev/null -D "$WORK/sweep.hdr" -X POST -H 'Content-Type: application/json' \
+  -d '{}' "http://127.0.0.1:$TWORKER_PORT/v1/sweep"
+grep -qi '^Deprecation: true' "$WORK/sweep.hdr" \
+  || { echo "FAIL: /v1/sweep response lacks the Deprecation header" >&2; exit 1; }
+grep -qi '^Sunset: ' "$WORK/sweep.hdr" \
+  || { echo "FAIL: /v1/sweep response lacks the Sunset header" >&2; exit 1; }
+echo "   ok: /v1/sweep advertises Deprecation + Sunset"
 
 echo "e2e-distributed: PASS"
