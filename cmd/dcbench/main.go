@@ -28,6 +28,9 @@
 //	            -dispatch-hedge, -dispatch-cooldown and -dispatch-api-key
 //	            (bearer key for workers running with -keys-file) as in
 //	            dcserved
+//	-replicas host:port,...  fan fresh store records out to these dcserved
+//	            peers (requires -store), with -replication-factor and
+//	            -anti-entropy-interval as in dcserved
 //	-trace-cache-bytes n    byte budget for captured instruction traces
 //	            replayed across sweep configs; 0 disables (default 256 MiB)
 //	-debug-addr addr   serve /debug/traces and /debug/pprof while the run
@@ -57,6 +60,7 @@ import (
 	"dcbench/internal/dispatch"
 	"dcbench/internal/memtrace/tracecache"
 	"dcbench/internal/obs"
+	"dcbench/internal/replica"
 	"dcbench/internal/report"
 	"dcbench/internal/store"
 	"dcbench/internal/sweep"
@@ -67,7 +71,7 @@ import (
 // flags, the shared store flags, the shared dispatch flags, plus dcbench's
 // output flags), defaulted from *opts and written back on Parse. Split out
 // of main so tests can pin the usage text to the real defaults.
-func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut *bool, storeDir, debugAddr *string, storeOpts *store.OpenOptions, dispatchOpts *dispatch.Options, traceOpts *tracecache.Options) {
+func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut *bool, storeDir, debugAddr *string, storeOpts *store.OpenOptions, dispatchOpts *dispatch.Options, traceOpts *tracecache.Options, replicaOpts *replica.Options) {
 	report.RegisterFlags(fs, opts)
 	storeOpts = &store.OpenOptions{}
 	store.RegisterFlags(fs, storeOpts)
@@ -75,12 +79,14 @@ func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut 
 	dispatch.RegisterFlags(fs, dispatchOpts)
 	traceOpts = &tracecache.Options{}
 	tracecache.RegisterFlags(fs, traceOpts)
+	replicaOpts = &replica.Options{}
+	replica.RegisterFlags(fs, replicaOpts)
 	storeDir = fs.String("store", "", "persist results in this store directory across runs; empty disables")
 	debugAddr = fs.String("debug-addr", "", "serve /debug/traces and /debug/pprof on this address for the run's duration; empty disables")
 	csv = fs.Bool("csv", false, "emit CSV")
 	chart = fs.Bool("chart", false, "append ASCII bar charts")
 	jsonOut = fs.Bool("json", false, "emit the characterization sweep as JSON (figure/all)")
-	return csv, chart, jsonOut, storeDir, debugAddr, storeOpts, dispatchOpts, traceOpts
+	return csv, chart, jsonOut, storeDir, debugAddr, storeOpts, dispatchOpts, traceOpts, replicaOpts
 }
 
 // wireBackends points opts at a run-owned engine when a store or a worker
@@ -89,18 +95,34 @@ func registerFlags(fs *flag.FlagSet, opts *report.Options) (csv, chart, jsonOut 
 // the matching stats backend — the same seams dcserved uses, so dcbench
 // shares warm results with a front-end and dispatches both job kinds to
 // the same workers.
-func wireBackends(storeDir string, storeOpts store.OpenOptions, dispatchOpts dispatch.Options, opts *report.Options) (*store.Store, error) {
+func wireBackends(storeDir string, storeOpts store.OpenOptions, dispatchOpts dispatch.Options, replicaOpts replica.Options, opts *report.Options) (*store.Store, *replica.Replicator, error) {
 	var st *store.Store
+	var repl *replica.Replicator
 	var backend sweep.MemoBackend
 	var statsBackend workloads.StatsBackend
 	if storeDir != "" {
 		var err error
 		st, err = store.OpenWith(storeDir, storeOpts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		backend = st.Backend(nil)
 		statsBackend = st.StatsBackend(nil)
+	}
+	if len(replicaOpts.Peers) > 0 {
+		// Replication sits between the store and any dispatch wrapper, so
+		// results this run simulates locally land on the peer nodes too.
+		replicaOpts.APIKey = dispatchOpts.APIKey
+		var err error
+		repl, err = replica.New(replicaOpts, st, nil)
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return nil, nil, err
+		}
+		backend = repl.WrapMemo(backend)
+		statsBackend = repl.WrapStats(statsBackend)
 	}
 	if len(dispatchOpts.Workers) > 0 {
 		remote, err := dispatch.New(dispatchOpts, opts.Warmup, backend, statsBackend, nil)
@@ -108,7 +130,7 @@ func wireBackends(storeDir string, storeOpts store.OpenOptions, dispatchOpts dis
 			if st != nil {
 				st.Close()
 			}
-			return nil, err
+			return nil, nil, err
 		}
 		backend = remote
 		statsBackend = remote
@@ -121,22 +143,29 @@ func wireBackends(storeDir string, storeOpts store.OpenOptions, dispatchOpts dis
 		engine.SetMemoBackend(backend)
 		opts.Engine = engine
 	}
-	return st, nil
+	return st, repl, nil
 }
 
 func main() {
 	opts := report.DefaultOptions()
-	csv, chart, jsonOut, storeDir, debugAddr, storeOpts, dispatchOpts, traceOpts := registerFlags(flag.CommandLine, &opts)
+	csv, chart, jsonOut, storeDir, debugAddr, storeOpts, dispatchOpts, traceOpts, replicaOpts := registerFlags(flag.CommandLine, &opts)
 	flag.Parse()
 
-	if *storeDir != "" || len(dispatchOpts.Workers) > 0 {
-		st, err := wireBackends(*storeDir, *storeOpts, *dispatchOpts, &opts)
+	if *storeDir != "" || len(dispatchOpts.Workers) > 0 || len(replicaOpts.Peers) > 0 {
+		st, repl, err := wireBackends(*storeDir, *storeOpts, *dispatchOpts, *replicaOpts, &opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcbench:", err)
 			os.Exit(1)
 		}
 		if st != nil {
 			defer st.Close()
+		}
+		if repl != nil {
+			// Pushes drain before exit (Close waits for the queue), so a
+			// one-shot run's results reach the peers; the anti-entropy loop
+			// only matters for long-lived processes but costs nothing here.
+			repl.Start(context.Background())
+			defer repl.Close()
 		}
 	}
 	if traceOpts.MaxBytes > 0 {

@@ -61,6 +61,12 @@
 //	-dispatch-cooldown d       how long a repeatedly failing worker stays demoted
 //	-dispatch-api-key k        bearer key presented to keyed workers; tenant ids are
 //	                           forwarded beside it in X-Dcs-Tenant either way
+//	-dispatch-replicas n       store copies per key in the worker cluster; reads
+//	                           rotate across a key's replicas when above 1
+//	-replicas host:port,...    fan fresh store records out to these peer nodes
+//	                           and anti-entropy against them (requires -store)
+//	-replication-factor n      total copies of each fresh record, this node included
+//	-anti-entropy-interval d   digest-exchange period; <0 disables the loop
 //	-debug-addr addr   serve /debug/traces and /debug/pprof on a separate
 //	                   listener, kept off the service port; empty disables
 //	-grace  shutdown grace period for in-flight requests (default 15s)
@@ -110,6 +116,7 @@ import (
 	"dcbench/internal/dispatch"
 	"dcbench/internal/memtrace/tracecache"
 	"dcbench/internal/obs"
+	"dcbench/internal/replica"
 	"dcbench/internal/report"
 	"dcbench/internal/serve"
 	"dcbench/internal/store"
@@ -123,6 +130,7 @@ func main() {
 	var storeOpts store.OpenOptions
 	var dispatchOpts dispatch.Options
 	var traceOpts tracecache.Options
+	var replicaOpts replica.Options
 	addr := flag.String("addr", ":8337", "listen address")
 	storeDir := flag.String("store", "dcserved.store", "result store directory; empty disables persistence")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period")
@@ -135,6 +143,7 @@ func main() {
 	store.RegisterFlags(flag.CommandLine, &storeOpts)
 	dispatch.RegisterFlags(flag.CommandLine, &dispatchOpts)
 	tracecache.RegisterFlags(flag.CommandLine, &traceOpts)
+	replica.RegisterFlags(flag.CommandLine, &replicaOpts)
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
@@ -174,6 +183,26 @@ func main() {
 		local = st.Backend(log)
 		localStats = st.StatsBackend(log)
 	}
+	var repl *replica.Replicator
+	if len(replicaOpts.Peers) > 0 {
+		// Replication sits between the store and any dispatch wrapper:
+		// fresh local records fan out to peers, and the peers' pushes land
+		// directly in the store — so a dispatching front-end replicates
+		// too, and a plain worker replicates without dispatch at all.
+		replicaOpts.APIKey = dispatchOpts.APIKey
+		var err error
+		repl, err = replica.New(replicaOpts, cfg.Store, log)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcserved:", err)
+			os.Exit(1)
+		}
+		local = repl.WrapMemo(local)
+		localStats = repl.WrapStats(localStats)
+		cfg.Backend = local
+		cfg.Cluster = localStats
+		log.Info("replicating store records", "peers", replicaOpts.Peers,
+			"factor", replicaOpts.Factor, "anti_entropy", replicaOpts.Interval)
+	}
 	if len(dispatchOpts.Workers) > 0 {
 		remote, err := dispatch.New(dispatchOpts, opts.Warmup, local, localStats, log)
 		if err != nil {
@@ -186,6 +215,13 @@ func main() {
 	}
 
 	srv := serve.New(cfg)
+	if repl != nil {
+		// The replicator's push/anti-entropy spans land in the server's
+		// trace ring, beside the request timelines they repair for.
+		repl.SetRecorder(srv.Recorder())
+		repl.Start(ctx)
+		defer repl.Close()
+	}
 	admin := serve.AdminHandler(tenants, *adminToken, log)
 	if *adminAddr != "" {
 		// The admin plane gets its own listener when asked: key

@@ -120,6 +120,14 @@ type Options struct {
 	// service key's limits while attributing the work to the tenant that
 	// caused it (and an unkeyed worker still gets the attribution).
 	APIKey string
+	// Replicas is how many copies of each key the worker cluster keeps
+	// (the store replication factor, see internal/replica). Above 1, a
+	// fetch's first attempt rotates across the key's top Replicas healthy
+	// workers instead of always hitting the owner — any replica serves a
+	// warm key locally, so reads spread and a dead owner costs nothing.
+	// The retry walk still covers the full rendezvous order, owner
+	// included. 0 or 1 preserves owner-only routing.
+	Replicas int
 }
 
 // RegisterFlags declares the dispatch flags on fs, defaulted from *o and
@@ -141,6 +149,10 @@ func RegisterFlags(fs *flag.FlagSet, o *Options) {
 	fs.DurationVar(&o.Hedge, "dispatch-hedge", o.Hedge, "hedge a silent dispatch onto the next worker after this long; 0 disables (a hedged job is duplicated work)")
 	fs.DurationVar(&o.Cooldown, "dispatch-cooldown", o.Cooldown, "how long a repeatedly failing worker stays demoted")
 	fs.StringVar(&o.APIKey, "dispatch-api-key", o.APIKey, "API key presented to workers as a bearer token; empty = unauthenticated dispatch")
+	if o.Replicas == 0 {
+		o.Replicas = 1
+	}
+	fs.IntVar(&o.Replicas, "dispatch-replicas", o.Replicas, "store copies per key in the worker cluster; above 1, reads rotate across a key's replicas instead of always asking the owner")
 }
 
 // workerList is the -workers flag value: a comma-separated address list.
@@ -171,6 +183,7 @@ type worker struct {
 
 	mu        sync.Mutex
 	fails     int       // consecutive failures
+	lastErr   string    // most recent failure, cleared on success — /healthz's why
 	openUntil time.Time // circuit open (worker demoted) until then
 	shedUntil time.Time // worker asked for back-off (429 Retry-After) until then
 	// legacyUntil marks a worker whose mux answered "404 page not found"
@@ -216,19 +229,30 @@ func (w *worker) markLegacy(t time.Time) {
 func (w *worker) succeeded() {
 	w.mu.Lock()
 	w.fails = 0
+	w.lastErr = ""
 	w.openUntil = time.Time{}
 	w.shedUntil = time.Time{}
 	w.mu.Unlock()
 }
 
-func (w *worker) failed(t time.Time, cooldown time.Duration) {
+func (w *worker) failed(t time.Time, cooldown time.Duration, errText string) {
 	w.errs.Add(1)
 	w.mu.Lock()
 	w.fails++
+	w.lastErr = errText
 	if w.fails >= failThreshold {
 		w.openUntil = t.Add(cooldown)
 	}
 	w.mu.Unlock()
+}
+
+// failState snapshots the mu-guarded failure diagnostics for /healthz:
+// the consecutive-failure count behind the circuit and the most recent
+// error text, so a dark worker explains itself without a log grep.
+func (w *worker) failState() (fails int, lastErr string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fails, w.lastErr
 }
 
 // shedded records a 429: the worker is saturated, not broken, so it is
@@ -284,6 +308,8 @@ type RemoteBackend struct {
 
 	flight      *memo.Memo[sweep.Key, *uarch.Counters]           // coalesces identical concurrent counter fetches
 	statsFlight *memo.Memo[workloads.StatsKey, *workloads.Stats] // ... and cluster fetches
+
+	rr atomic.Int64 // round-robin cursor for replica read rotation
 
 	counters kindStats
 	cluster  kindStats
@@ -560,6 +586,29 @@ func (b *RemoteBackend) fetch(ctx context.Context, kind string, keyHash uint64, 
 		// true by itself), so recovery needs no traffic while open.
 		return nil, errors.New("every worker's circuit is open")
 	}
+	if b.opts.Replicas > 1 {
+		// Replicated stores: the key is warm on its top Replicas workers,
+		// not just the owner, so rotate the first attempt across the
+		// healthy prefix of that replica set. rank puts healthy workers
+		// first in score order, so the prefix below the first non-healthy
+		// worker is exactly the healthy replicas; rotating within it (and
+		// only it) spreads reads without ever preferring a demoted worker.
+		// The retry walk still visits everything in order, owner included.
+		now := b.now()
+		h := 0
+		for h < len(order) && h < b.opts.Replicas &&
+			order[h].healthy(now) && !order[h].shedding(now) {
+			h++
+		}
+		if h > 1 {
+			off := int(uint64(b.rr.Add(1)) % uint64(h))
+			rot := make([]*worker, 0, len(order))
+			rot = append(rot, order[off:h]...)
+			rot = append(rot, order[:off]...)
+			rot = append(rot, order[h:]...)
+			order = rot
+		}
+	}
 	attempts := b.opts.Retries + 1
 	if attempts > len(order) {
 		attempts = len(order)
@@ -591,7 +640,7 @@ func (b *RemoteBackend) fetch(ctx context.Context, kind string, keyHash uint64, 
 				// charged to the worker that produced it, and a valid one
 				// resets its circuit — whether or not this attempt wins.
 				if val, err = decode(data); err != nil {
-					b.workerFailed(w, kind)
+					b.workerFailed(w, kind, err)
 				} else {
 					w.succeeded()
 				}
@@ -647,9 +696,13 @@ func (b *RemoteBackend) fetch(ctx context.Context, kind string, keyHash uint64, 
 // — so per_worker[].errors always sums to at least dispatch.errors, even
 // for stragglers that fail after their fetch has already been won
 // elsewhere.
-func (b *RemoteBackend) workerFailed(w *worker, kind string) {
+func (b *RemoteBackend) workerFailed(w *worker, kind string, err error) {
 	b.kindOf(kind).errs.Add(1)
-	w.failed(b.now(), b.opts.Cooldown)
+	msg := err.Error()
+	if len(msg) > 200 {
+		msg = msg[:200]
+	}
+	w.failed(b.now(), b.opts.Cooldown, msg)
 }
 
 // post sends one /v1/jobs request and returns the raw response bytes of a
@@ -693,7 +746,7 @@ func (b *RemoteBackend) post(parent context.Context, w *worker, kind string, bod
 			// way, not this worker's fault.
 			return nil, parent.Err()
 		}
-		b.workerFailed(w, kind)
+		b.workerFailed(w, kind, err)
 		return nil, err
 	}
 	defer resp.Body.Close()
@@ -702,7 +755,7 @@ func (b *RemoteBackend) post(parent context.Context, w *worker, kind string, bod
 		if parent.Err() != nil {
 			return nil, parent.Err()
 		}
-		b.workerFailed(w, kind)
+		b.workerFailed(w, kind, err)
 		return nil, err
 	}
 	if resp.StatusCode == http.StatusNotFound && !useLegacy &&
@@ -728,12 +781,13 @@ func (b *RemoteBackend) post(parent context.Context, w *worker, kind string, bod
 		return nil, errShed
 	}
 	if resp.StatusCode != http.StatusOK {
-		b.workerFailed(w, kind)
 		msg := strings.TrimSpace(string(data))
 		if len(msg) > 200 {
 			msg = msg[:200]
 		}
-		return nil, fmt.Errorf("worker returned %d: %s", resp.StatusCode, msg)
+		err := fmt.Errorf("worker returned %d: %s", resp.StatusCode, msg)
+		b.workerFailed(w, kind, err)
+		return nil, err
 	}
 	return data, nil
 }
@@ -818,13 +872,16 @@ func (b *RemoteBackend) BackendStats() sweep.BackendStats {
 		if healthy {
 			d.Healthy++
 		}
+		fails, lastErr := w.failState()
 		d.PerWorker = append(d.PerWorker, sweep.WorkerStats{
-			Addr:        w.addr,
-			Sent:        w.sent.Load(),
-			Errors:      w.errs.Load(),
-			Shed:        w.shed.Load(),
-			CircuitOpen: !healthy,
-			Shedding:    w.shedding(now),
+			Addr:             w.addr,
+			Sent:             w.sent.Load(),
+			Errors:           w.errs.Load(),
+			Shed:             w.shed.Load(),
+			CircuitOpen:      !healthy,
+			Shedding:         w.shedding(now),
+			ConsecutiveFails: fails,
+			LastError:        lastErr,
 		})
 	}
 	bs.Dispatch = d

@@ -804,3 +804,117 @@ func TestCancelAbortsWorkerRequest(t *testing.T) {
 		t.Fatalf("dispatch still reports %d in flight", d.InFlight)
 	}
 }
+
+// TestReplicaRotationSpreadsReads: with -dispatch-replicas 3 over three
+// healthy workers, repeated reads of the SAME key rotate across all three
+// instead of pinning the owner, with zero fallbacks — the replicated
+// store makes every copy answer identically, so the front-end is free to
+// spread read load. With the default (owner-only) the same reads all land
+// on one worker.
+func TestReplicaRotationSpreadsReads(t *testing.T) {
+	var counts []*atomic.Int64
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		ts, served := fakeWorker(t, false)
+		counts = append(counts, served)
+		addrs = append(addrs, addrOf(ts))
+	}
+	k := testKey("w", 7)
+
+	// Owner-only first: all reads land on exactly one worker.
+	solo, err := New(Options{Workers: addrs, Timeout: 5 * time.Second, Retries: 2}, 0, nil, nil, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if c, ok := solo.Load(context.Background(), k); !ok || c.Cycles != int64(k.Profile.Seed) {
+			t.Fatalf("load %d: got %+v ok=%v", i, c, ok)
+		}
+	}
+	touched := 0
+	for _, c := range counts {
+		if c.Load() > 0 {
+			touched++
+		}
+	}
+	if touched != 1 {
+		t.Fatalf("owner-only reads touched %d workers, want 1", touched)
+	}
+	for _, c := range counts {
+		c.Store(0)
+	}
+
+	// Rotation: the same key's reads spread across all three replicas.
+	rot, err := New(Options{Workers: addrs, Timeout: 5 * time.Second, Retries: 2, Replicas: 3}, 0, nil, nil, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if c, ok := rot.Load(context.Background(), k); !ok || c.Cycles != int64(k.Profile.Seed) {
+			t.Fatalf("rotated load %d: got %+v ok=%v", i, c, ok)
+		}
+	}
+	for i, c := range counts {
+		if c.Load() == 0 {
+			t.Fatalf("worker %d never served under rotation (counts %d %d %d)",
+				i, counts[0].Load(), counts[1].Load(), counts[2].Load())
+		}
+	}
+	d := rot.BackendStats().Dispatch
+	if d.Fallbacks != 0 {
+		t.Fatalf("rotation counted %d fallbacks, want 0", d.Fallbacks)
+	}
+	if d.RemoteHits != 9 {
+		t.Fatalf("rotation remote hits = %d, want 9", d.RemoteHits)
+	}
+}
+
+// TestWorkerDiagnosticsSurface pins the /healthz worker fields: a failing
+// worker reports its consecutive-failure count and last error string, and
+// one success clears both.
+func TestWorkerDiagnosticsSurface(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	good, _ := fakeWorker(t, false)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, "synthetic failure", http.StatusInternalServerError)
+			return
+		}
+		// Delegate to the well-formed worker once healthy.
+		resp, err := http.Post(good.URL+r.URL.Path, "application/json", r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(flaky.Close)
+
+	b, err := New(Options{Workers: []string{addrOf(flaky)}, Timeout: 5 * time.Second, Retries: 0}, 0, nil, nil, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("w", 3)
+	if _, ok := b.Load(context.Background(), k); ok {
+		t.Fatal("load against a failing worker reported a hit")
+	}
+	ws := b.BackendStats().Dispatch.PerWorker[0]
+	if ws.ConsecutiveFails == 0 {
+		t.Fatal("failing worker reports zero consecutive fails")
+	}
+	if ws.LastError == "" {
+		t.Fatal("failing worker reports no last error")
+	}
+
+	failing.Store(false)
+	if c, ok := b.Load(context.Background(), k); !ok || c.Cycles != int64(k.Profile.Seed) {
+		t.Fatalf("recovered load: got %+v ok=%v", c, ok)
+	}
+	ws = b.BackendStats().Dispatch.PerWorker[0]
+	if ws.ConsecutiveFails != 0 || ws.LastError != "" {
+		t.Fatalf("success did not clear diagnostics: fails=%d lastErr=%q", ws.ConsecutiveFails, ws.LastError)
+	}
+}

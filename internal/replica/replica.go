@@ -1,0 +1,645 @@
+// Package replica keeps a cluster of dcserved result stores coherent: any
+// node can serve any warm key locally, and losing a key's rendezvous owner
+// costs nothing that was already simulated.
+//
+// Two mechanisms, layered:
+//
+//   - Write-through fan-out: after a node stores a freshly simulated
+//     record, the same checksummed, kind-tagged record bytes the store
+//     persists (and the dispatch layer already ships) are pushed to the
+//     record's next R−1 rendezvous-ranked peers via POST
+//     /v1/replica/records — asynchronously, through a bounded queue with
+//     retries, so replication latency never sits on the simulation path
+//     and a slow peer sheds pushes instead of backing the cluster up.
+//   - Background anti-entropy: every interval, the node fetches each
+//     peer's per-shard index digests (GET /v1/replica/digest — a digest
+//     over sorted record addresses, which identifies contents because
+//     records are deterministic), pulls the address lists of divergent
+//     shards only, and adopts the records it lacks. A node that restarted
+//     empty, missed pushes while partitioned, or dropped queue overflow
+//     converges back to the union without re-simulating anything.
+//
+// Both paths end in store.AdoptRecord: the incoming bytes are
+// checksum-verified, installed verbatim under their content address
+// (byte-identical convergence by construction), idempotent on repeats,
+// and subject to the store's count/age/bytes budgets. Adopted records are
+// never re-pushed — fan-out starts only at the node that simulated the
+// record — so the push graph cannot loop.
+//
+// The replicator wraps the store's backend adapters (WrapMemo/WrapStats)
+// to see fresh writes, and surfaces its counters as
+// sweep.BackendStats.Replication through the same StatsReporter chain the
+// store and dispatch layers already ride into /healthz and /metrics.
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcbench/internal/obs"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+	"dcbench/internal/uarch"
+	"dcbench/internal/workloads"
+)
+
+// Defaults for Options' zero fields.
+const (
+	// DefaultFactor is the total number of copies of each fresh record,
+	// the writing node included: 2 survives any single node loss.
+	DefaultFactor = 2
+	// DefaultInterval paces the background anti-entropy loop.
+	DefaultInterval = 30 * time.Second
+	// DefaultQueueLen bounds the async push queue; overflow is counted
+	// and dropped (anti-entropy repairs it later) rather than blocking
+	// the simulation path.
+	DefaultQueueLen = 256
+	// DefaultRetries is how many extra attempts a failed push gets.
+	DefaultRetries = 2
+	// DefaultTimeout bounds each peer HTTP call.
+	DefaultTimeout = 10 * time.Second
+)
+
+// pushWorkers is the sender fan-out draining the push queue.
+const pushWorkers = 2
+
+// retryBackoff spaces push retry attempts (linear: attempt × backoff).
+const retryBackoff = 200 * time.Millisecond
+
+// maxRecord bounds a pulled record — the same cap the dispatch layer puts
+// on a worker response.
+const maxRecord = 8 << 20
+
+// Options configures a Replicator.
+type Options struct {
+	// Peers are the other replicas' service addresses (host:port); empty
+	// means replication is off and the caller should not build a
+	// Replicator at all.
+	Peers []string
+	// Factor is the total copy count per fresh record, this node
+	// included; fan-out pushes to the Factor−1 top rendezvous-ranked
+	// peers. Clamped to the cluster size.
+	Factor int
+	// Interval paces the background anti-entropy loop; <0 disables the
+	// loop (rounds can still be driven explicitly via RunAntiEntropy).
+	Interval time.Duration
+	// APIKey, when non-empty, authenticates every peer call as
+	// `Authorization: Bearer <APIKey>` — the same service key the
+	// dispatch layer presents (-dispatch-api-key), so one key admits a
+	// node to both planes of a keyed cluster.
+	APIKey string
+	// QueueLen bounds the push queue; 0 means DefaultQueueLen.
+	QueueLen int
+	// Retries is how many extra attempts a failed push gets; negative
+	// means none.
+	Retries int
+	// Timeout bounds each peer HTTP call; 0 means DefaultTimeout.
+	Timeout time.Duration
+}
+
+// RegisterFlags declares the replication flags on fs, defaulted from *o
+// and written back on Parse — the single definition shared by dcbench and
+// dcserved, so the flag surface cannot drift between the binaries. The
+// service key is not a flag here: callers reuse -dispatch-api-key, which
+// already names the node's credential on its peers.
+func RegisterFlags(fs *flag.FlagSet, o *Options) {
+	if o.Factor == 0 {
+		o.Factor = DefaultFactor
+	}
+	if o.Interval == 0 {
+		o.Interval = DefaultInterval
+	}
+	fs.Var((*peerList)(&o.Peers), "replicas", "comma-separated replica peer addresses (host:port,...) to fan fresh store records out to; empty = replication off")
+	fs.IntVar(&o.Factor, "replication-factor", o.Factor, "total copies of each fresh record across the cluster, this node included")
+	fs.DurationVar(&o.Interval, "anti-entropy-interval", o.Interval, "how often to exchange store digests with replica peers and pull missing records; <0 disables the background loop")
+}
+
+// peerList is the -replicas flag value: a comma-separated address list.
+type peerList []string
+
+func (l *peerList) String() string { return strings.Join(*l, ",") }
+
+func (l *peerList) Set(v string) error {
+	*l = nil
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			*l = append(*l, a)
+		}
+	}
+	return nil
+}
+
+// DigestResponse is the body of GET /v1/replica/digest: every shard's
+// digest plus the node's store totals.
+type DigestResponse struct {
+	Shards  []store.ShardDigest `json:"shards"`
+	Records int64               `json:"records"`
+	Bytes   int64               `json:"bytes"`
+}
+
+// AddrsResponse is the body of GET /v1/replica/digest?shard=n: one
+// shard's sorted record addresses.
+type AddrsResponse struct {
+	Shard int      `json:"shard"`
+	Addrs []string `json:"addrs"`
+}
+
+// pushItem is one queued fan-out push.
+type pushItem struct {
+	peer string
+	addr string
+	data []byte
+}
+
+// Replicator runs one node's side of store replication. Build with New,
+// start the background workers with Start, stop (draining queued pushes)
+// with Close. Safe for concurrent use.
+type Replicator struct {
+	opts   Options
+	st     *store.Store
+	client *http.Client
+	log    *slog.Logger
+	rec    atomic.Pointer[obs.Recorder]
+
+	qmu      sync.RWMutex // guards closed vs enqueue's channel send
+	closed   bool
+	queue    chan pushItem
+	wg       sync.WaitGroup
+	stopLoop context.CancelFunc // ends the anti-entropy loop on Close
+
+	pushed       atomic.Int64
+	pushErrors   atomic.Int64
+	dropped      atomic.Int64
+	digestRounds atomic.Int64
+	pulled       atomic.Int64
+	pullErrors   atomic.Int64
+	repaired     atomic.Int64
+
+	clusterRecords atomic.Int64 // last digest round's cluster-wide sums
+	clusterBytes   atomic.Int64
+}
+
+// New builds a Replicator for st over the given peer set.
+func New(opts Options, st *store.Store, log *slog.Logger) (*Replicator, error) {
+	if st == nil {
+		return nil, errors.New("replica: replication requires a result store (-store)")
+	}
+	if len(opts.Peers) == 0 {
+		return nil, errors.New("replica: no peers configured")
+	}
+	if opts.Factor <= 0 {
+		opts.Factor = DefaultFactor
+	}
+	if opts.Factor > len(opts.Peers)+1 {
+		opts.Factor = len(opts.Peers) + 1
+	}
+	if opts.Interval == 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = DefaultQueueLen
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Replicator{
+		opts:   opts,
+		st:     st,
+		client: &http.Client{},
+		log:    log,
+		queue:  make(chan pushItem, opts.QueueLen),
+	}, nil
+}
+
+// SetRecorder installs the trace ring push and anti-entropy spans are
+// recorded into — typically the serving layer's, so replication phases
+// show up under /debug/traces beside request timelines.
+func (r *Replicator) SetRecorder(rec *obs.Recorder) { r.rec.Store(rec) }
+
+// Start launches the push senders and, when the interval allows, the
+// background anti-entropy loop. Both run until ctx ends (the senders
+// additionally drain the queue on Close).
+func (r *Replicator) Start(ctx context.Context) {
+	for i := 0; i < pushWorkers; i++ {
+		r.wg.Add(1)
+		go r.sender(ctx)
+	}
+	if r.opts.Interval > 0 {
+		// The loop gets its own cancel, fired by Close: a caller holding a
+		// long-lived ctx (dcbench's background run) can still stop cleanly,
+		// and the senders keep the caller's ctx so Close drains the queue
+		// instead of dropping it.
+		lctx, cancel := context.WithCancel(ctx)
+		r.stopLoop = cancel
+		r.wg.Add(1)
+		go r.antiEntropyLoop(lctx)
+	}
+}
+
+// Close stops accepting pushes, drains the queue through the senders and
+// waits for the background workers — so a short-lived process (dcbench)
+// does not exit with replication still sitting in the queue.
+func (r *Replicator) Close() {
+	r.qmu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.queue)
+	}
+	r.qmu.Unlock()
+	if r.stopLoop != nil {
+		r.stopLoop()
+	}
+	r.wg.Wait()
+}
+
+// Stats snapshots the replication counters — the Replication block of
+// sweep.BackendStats.
+func (r *Replicator) Stats() sweep.ReplicationStats {
+	return sweep.ReplicationStats{
+		Peers:          int64(len(r.opts.Peers)),
+		Factor:         int64(r.opts.Factor),
+		Pushed:         r.pushed.Load(),
+		PushErrors:     r.pushErrors.Load(),
+		Dropped:        r.dropped.Load(),
+		QueueDepth:     int64(len(r.queue)),
+		DigestRounds:   r.digestRounds.Load(),
+		Pulled:         r.pulled.Load(),
+		PullErrors:     r.pullErrors.Load(),
+		Repaired:       r.repaired.Load(),
+		ClusterRecords: r.clusterRecords.Load(),
+		ClusterBytes:   r.clusterBytes.Load(),
+	}
+}
+
+// --- write-through fan-out ---
+
+// enqueue fans one freshly stored record out to its Factor−1 top
+// rendezvous-ranked peers. Queue overflow is counted and dropped — the
+// record is already durable locally and anti-entropy converges the peers
+// later — never blocked on.
+func (r *Replicator) enqueue(data []byte) {
+	addr, err := store.RecordAddr(data)
+	if err != nil {
+		return // we encoded these bytes ourselves; cannot happen
+	}
+	for _, peer := range r.rankPeers(addr)[:r.opts.Factor-1] {
+		r.qmu.RLock()
+		if r.closed {
+			r.qmu.RUnlock()
+			return
+		}
+		select {
+		case r.queue <- pushItem{peer: peer, addr: addr, data: data}:
+		default:
+			r.dropped.Add(1)
+		}
+		r.qmu.RUnlock()
+	}
+}
+
+// rankPeers orders the peer set for a record address by rendezvous
+// (highest-random-weight) hashing — the same construction the dispatch
+// layer ranks workers with, so every node agrees on a record's replica
+// set without coordination.
+func (r *Replicator) rankPeers(addr string) []string {
+	type scored struct {
+		peer  string
+		score uint64
+	}
+	ss := make([]scored, len(r.opts.Peers))
+	for i, p := range r.opts.Peers {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|%s", p, addr)
+		ss[i] = scored{p, h.Sum64()}
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].score > ss[j].score })
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.peer
+	}
+	return out
+}
+
+// sender drains the push queue until it closes; a cancelled ctx stops
+// sending but keeps draining, so Close never hangs on a dead peer.
+func (r *Replicator) sender(ctx context.Context) {
+	defer r.wg.Done()
+	for it := range r.queue {
+		if ctx.Err() != nil {
+			r.dropped.Add(1)
+			continue
+		}
+		r.push(ctx, it)
+	}
+}
+
+// push delivers one queued record to one peer, with bounded retries.
+func (r *Replicator) push(ctx context.Context, it pushItem) {
+	if tr := r.startTrace("replica.push"); tr != nil {
+		defer tr.Finish()
+		ctx = obs.With(ctx, tr)
+	}
+	sp := obs.Start(ctx, "replica.push", "peer", it.peer, "addr", it.addr)
+	var err error
+	for attempt := 0; attempt <= r.opts.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				r.pushErrors.Add(1)
+				sp.End("outcome", "cancelled")
+				return
+			case <-time.After(time.Duration(attempt) * retryBackoff):
+			}
+		}
+		if err = r.postRecord(ctx, it.peer, it.data); err == nil {
+			r.pushed.Add(1)
+			sp.End("outcome", "ok")
+			return
+		}
+	}
+	r.pushErrors.Add(1)
+	sp.End("outcome", "error")
+	r.log.Warn("replica push failed", "peer", it.peer, "addr", it.addr, "err", err)
+}
+
+// postRecord POSTs one record's bytes to a peer's replica endpoint.
+func (r *Replicator) postRecord(ctx context.Context, peer string, data []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+peer+"/v1/replica/records", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if r.opts.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+r.opts.APIKey)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("peer answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// --- anti-entropy ---
+
+// antiEntropyLoop runs RunAntiEntropy every interval until ctx ends.
+func (r *Replicator) antiEntropyLoop(ctx context.Context) {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.RunAntiEntropy(ctx)
+		}
+	}
+}
+
+// RunAntiEntropy runs one digest-exchange round against every peer:
+// fetch its per-shard digests, pull the address lists of shards that
+// differ from ours (all of them when the peer runs a different shard
+// count — addresses route differently then, so per-shard comparison is
+// meaningless), and adopt every record we lack. It also refreshes the
+// cluster-wide records/bytes gauges from the digest totals. A dead peer
+// costs one counted error and the round moves on; the next round retries.
+func (r *Replicator) RunAntiEntropy(ctx context.Context) {
+	if tr := r.startTrace("replica.anti-entropy"); tr != nil {
+		defer tr.Finish()
+		ctx = obs.With(ctx, tr)
+	}
+	r.digestRounds.Add(1)
+	own := r.st.ShardDigests()
+	var ownAddrs map[string]bool // built on the first divergent shard
+	clusterRecords := int64(r.st.Len())
+	clusterBytes := r.st.Bytes()
+	for _, peer := range r.opts.Peers {
+		if ctx.Err() != nil {
+			return
+		}
+		sp := obs.Start(ctx, "replica.digest", "peer", peer)
+		var dr DigestResponse
+		err := r.getJSON(ctx, "http://"+peer+"/v1/replica/digest", &dr)
+		sp.End("ok", strconv.FormatBool(err == nil))
+		if err != nil {
+			r.pullErrors.Add(1)
+			r.log.Warn("replica digest fetch failed", "peer", peer, "err", err)
+			continue
+		}
+		clusterRecords += dr.Records
+		clusterBytes += dr.Bytes
+		sameGeometry := len(dr.Shards) == len(own)
+		for _, pd := range dr.Shards {
+			if pd.Count == 0 {
+				continue
+			}
+			if sameGeometry && pd.Shard >= 0 && pd.Shard < len(own) && own[pd.Shard].Digest == pd.Digest {
+				continue
+			}
+			if ownAddrs == nil {
+				ownAddrs = r.ownAddrSet()
+			}
+			var ar AddrsResponse
+			if err := r.getJSON(ctx, fmt.Sprintf("http://%s/v1/replica/digest?shard=%d", peer, pd.Shard), &ar); err != nil {
+				r.pullErrors.Add(1)
+				continue
+			}
+			for _, addr := range ar.Addrs {
+				if ownAddrs[addr] {
+					continue
+				}
+				if r.pullRecord(ctx, peer, addr) {
+					ownAddrs[addr] = true
+				}
+			}
+		}
+	}
+	r.clusterRecords.Store(clusterRecords)
+	r.clusterBytes.Store(clusterBytes)
+}
+
+// ownAddrSet snapshots every record address this store holds.
+func (r *Replicator) ownAddrSet() map[string]bool {
+	out := make(map[string]bool)
+	for i := 0; i < r.st.ShardCount(); i++ {
+		addrs, _ := r.st.ShardAddrs(i)
+		for _, a := range addrs {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// pullRecord fetches one record from a peer and adopts it; it reports
+// whether the address is now present locally.
+func (r *Replicator) pullRecord(ctx context.Context, peer, addr string) bool {
+	sp := obs.Start(ctx, "replica.pull", "peer", peer, "addr", addr)
+	data, err := r.getRaw(ctx, "http://"+peer+"/v1/replica/records/"+addr)
+	if err != nil {
+		sp.End("outcome", "error")
+		r.pullErrors.Add(1)
+		r.log.Warn("replica pull failed", "peer", peer, "addr", addr, "err", err)
+		return false
+	}
+	adopted, err := r.st.AdoptRecord(data)
+	if err != nil {
+		sp.End("outcome", "corrupt")
+		r.pullErrors.Add(1)
+		r.log.Warn("replica pull adopted nothing", "peer", peer, "addr", addr, "err", err)
+		return false
+	}
+	r.pulled.Add(1)
+	if adopted {
+		r.repaired.Add(1)
+	}
+	sp.End("outcome", "ok")
+	return true
+}
+
+// getJSON fetches and decodes one peer JSON response.
+func (r *Replicator) getJSON(ctx context.Context, url string, into any) error {
+	data, err := r.getRaw(ctx, url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, into)
+}
+
+// getRaw fetches one peer URL's body, bounded and authenticated.
+func (r *Replicator) getRaw(ctx context.Context, url string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+r.opts.APIKey)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRecord))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer answered %d", resp.StatusCode)
+	}
+	return data, nil
+}
+
+// startTrace opens a trace in the installed recorder, if any.
+func (r *Replicator) startTrace(name string) *obs.Trace {
+	if rec := r.rec.Load(); rec != nil {
+		return rec.StartTrace(name, "")
+	}
+	return nil
+}
+
+// --- backend wrappers ---
+
+// WrapMemo returns inner with write-through fan-out: a fresh counters
+// record stored through it is re-encoded in the store's wire format and
+// pushed to its replica peers. Loads pass through untouched (the store
+// already holds anything replication delivered), and the wrapper forwards
+// inner's BackendStats with the Replication block filled in, so the
+// counters ride the existing StatsReporter chain into /healthz and
+// /metrics without new plumbing.
+func (r *Replicator) WrapMemo(inner sweep.MemoBackend) sweep.MemoBackend {
+	return &memoWrapper{r: r, inner: inner}
+}
+
+type memoWrapper struct {
+	r     *Replicator
+	inner sweep.MemoBackend
+}
+
+func (w *memoWrapper) Load(ctx context.Context, k sweep.Key) (*uarch.Counters, bool) {
+	return w.inner.Load(ctx, k)
+}
+
+func (w *memoWrapper) Store(ctx context.Context, k sweep.Key, c *uarch.Counters) {
+	w.inner.Store(ctx, k, c)
+	data, err := store.EncodeCounters(k, c)
+	if err != nil {
+		w.r.log.Warn("replica: counters record encode failed; not replicated", "workload", k.Name, "err", err)
+		return
+	}
+	w.r.enqueue(data)
+}
+
+func (w *memoWrapper) BackendStats() sweep.BackendStats {
+	var bs sweep.BackendStats
+	if sr, ok := w.inner.(sweep.StatsReporter); ok {
+		bs = sr.BackendStats()
+	}
+	rs := w.r.Stats()
+	bs.Replication = &rs
+	return bs
+}
+
+// WrapStats is WrapMemo for the cluster-experiment side: fresh cluster
+// records fan out the same way.
+func (r *Replicator) WrapStats(inner workloads.StatsBackend) workloads.StatsBackend {
+	return &statsWrapper{r: r, inner: inner}
+}
+
+type statsWrapper struct {
+	r     *Replicator
+	inner workloads.StatsBackend
+}
+
+func (w *statsWrapper) LoadStats(ctx context.Context, k workloads.StatsKey) (*workloads.Stats, bool) {
+	return w.inner.LoadStats(ctx, k)
+}
+
+func (w *statsWrapper) StoreStats(ctx context.Context, k workloads.StatsKey, st *workloads.Stats) {
+	w.inner.StoreStats(ctx, k, st)
+	data, err := store.EncodeStats(k, st)
+	if err != nil {
+		w.r.log.Warn("replica: cluster record encode failed; not replicated", "workload", k.Workload, "err", err)
+		return
+	}
+	w.r.enqueue(data)
+}
+
+func (w *statsWrapper) BackendStats() sweep.BackendStats {
+	var bs sweep.BackendStats
+	if sr, ok := w.inner.(sweep.StatsReporter); ok {
+		bs = sr.BackendStats()
+	}
+	rs := w.r.Stats()
+	bs.Replication = &rs
+	return bs
+}

@@ -1,0 +1,395 @@
+package replica_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dcbench/internal/core"
+	"dcbench/internal/replica"
+	"dcbench/internal/report"
+	"dcbench/internal/serve"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+)
+
+var quietLog = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// testOptions keeps the per-key simulations small: the oracle is about
+// replication, the workloads just need distinct keys.
+func testOptions() report.Options {
+	o := report.DefaultOptions()
+	o.Instrs = 4_000
+	o.Warmup = 2_000
+	return o
+}
+
+// node is one in-process replica: a persistent store, a serving layer on
+// a real listener, and a replicator over the other nodes.
+type node struct {
+	dir  string
+	addr string
+	ts   *httptest.Server
+	st   *store.Store
+	srv  *serve.Server
+	repl *replica.Replicator
+}
+
+// startNode opens (or reopens) a node's store in dir and serves it on l,
+// replicating against peers. The anti-entropy loop is disabled — the test
+// drives rounds explicitly so convergence is observable, not timed.
+func startNode(t *testing.T, ctx context.Context, dir, addr string, l net.Listener, peers []string, opts report.Options) *node {
+	t.Helper()
+	st, err := store.OpenWith(dir, store.OpenOptions{Log: quietLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := replica.New(replica.Options{
+		Peers:    peers,
+		Factor:   3,
+		Interval: -1, // rounds driven by hand
+		Timeout:  5 * time.Second,
+	}, st, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{
+		Options: opts,
+		Store:   st,
+		Backend: repl.WrapMemo(st.Backend(quietLog)),
+		Cluster: repl.WrapStats(st.StatsBackend(quietLog)),
+		Logger:  quietLog,
+	})
+	repl.SetRecorder(srv.Recorder())
+	repl.Start(ctx)
+	ts := &httptest.Server{Listener: l, Config: &http.Server{Handler: srv.Handler()}}
+	ts.Start()
+	return &node{dir: dir, addr: addr, ts: ts, st: st, srv: srv, repl: repl}
+}
+
+// stop tears the node down the way a crash-then-restart sequence would:
+// listener first (requests stop landing), then the replicator (queued
+// pushes drain), then the server and store.
+func (n *node) stop() {
+	n.ts.Close()
+	n.repl.Close()
+	n.srv.Close()
+	n.st.Close()
+}
+
+// listenOrReuse binds addr, retrying briefly — a restarted node must come
+// back on the address its peers know it by.
+func listenOrReuse(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		l, err := net.Listen("tcp", addr)
+		if err == nil {
+			return l
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("could not rebind %s: %v", addr, lastErr)
+	return nil
+}
+
+// postJob submits one counters job and returns the status and body.
+func postJob(t *testing.T, addr string, key sweep.Key, warmup int64) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(struct {
+		Kind   string          `json:"kind"`
+		Key    json.RawMessage `json:"key"`
+		Warmup int64           `json:"warmup"`
+	}{store.KindCounters, raw, warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// digestsEqual reports whether every node's shard digest vector matches
+// the first's.
+func digestsEqual(nodes []*node) bool {
+	ref := nodes[0].st.ShardDigests()
+	for _, n := range nodes[1:] {
+		ds := n.st.ShardDigests()
+		if len(ds) != len(ref) {
+			return false
+		}
+		for i := range ds {
+			if ds[i] != ref[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// converge drives anti-entropy rounds on every node until the digests
+// agree (or the deadline passes).
+func converge(t *testing.T, ctx context.Context, nodes []*node, deadline time.Duration) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for !digestsEqual(nodes) {
+		if time.Now().After(stop) {
+			for _, n := range nodes {
+				t.Logf("node %s: len=%d digests=%v stats=%+v", n.addr, n.st.Len(), n.st.ShardDigests(), n.repl.Stats())
+			}
+			t.Fatal("replicas did not converge before the deadline")
+		}
+		for _, n := range nodes {
+			n.repl.RunAntiEntropy(ctx)
+		}
+	}
+}
+
+// TestConvergenceOracle is the acceptance oracle for the replication
+// subsystem: three in-process replicas take a randomized interleaving of
+// unique counters jobs, one node is killed and restarted (missing the
+// writes that landed meanwhile), and the cluster must converge to
+// byte-identical store contents — same digests, same record bytes, same
+// /v1/jobs responses from every node — with the total simulation count
+// exactly the number of unique keys. Runs under -race in CI.
+func TestConvergenceOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations across three replicas")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := testOptions()
+	cfgFP := opts.CoreConfig().Fingerprint()
+
+	// Three listeners first: every node needs its peers' addresses at
+	// build time, and addresses only exist once the sockets do.
+	listeners := make([]net.Listener, 3)
+	addrs := make([]string, 3)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	dirs := make([]string, 3)
+	nodes := make([]*node, 3)
+	for i := range nodes {
+		dirs[i] = t.TempDir()
+		peers := make([]string, 0, 2)
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		nodes[i] = startNode(t, ctx, dirs[i], addrs[i], listeners[i], peers, opts)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.stop()
+		}
+	}()
+
+	// Unique keys from the characterization registry, each posted to one
+	// randomly chosen node, concurrently — the randomized interleaving.
+	registry := core.Registry()
+	const phase1, phase2 = 9, 3
+	if len(registry) < phase1+phase2 {
+		t.Fatalf("registry has %d workloads, need %d", len(registry), phase1+phase2)
+	}
+	key := func(i int) sweep.Key {
+		wl := registry[i]
+		return sweep.Key{Name: wl.Name, Profile: wl.Profile, ConfigFP: cfgFP, MaxInstrs: opts.Warmup + opts.Instrs}
+	}
+	rng := rand.New(rand.NewSource(7))
+	targets := make([]int, phase1+phase2)
+	for i := range targets {
+		targets[i] = rng.Intn(3)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < phase1; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if code, body := postJob(t, nodes[targets[i]].addr, key(i), opts.Warmup); code != http.StatusOK {
+				t.Errorf("job %d on node %d: status %d: %s", i, targets[i], code, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	converge(t, ctx, nodes, 30*time.Second)
+
+	// Kill node 2. The writes that land meanwhile replicate only between
+	// the survivors; the victim's disk keeps what it had.
+	victim := nodes[2]
+	victimWrites := victim.st.Stats().Writes
+	victim.stop()
+	for i := phase1; i < phase1+phase2; i++ {
+		target := nodes[rng.Intn(2)] // survivors only
+		if code, body := postJob(t, target.addr, key(i), opts.Warmup); code != http.StatusOK {
+			t.Fatalf("job %d during outage: status %d: %s", i, code, body)
+		}
+	}
+
+	// Restart it on the same address: anti-entropy must deliver exactly
+	// the missed records, with zero re-simulation.
+	l := listenOrReuse(t, addrs[2])
+	nodes[2] = startNode(t, ctx, dirs[2], addrs[2], l, []string{addrs[0], addrs[1]}, opts)
+	converge(t, ctx, nodes, 30*time.Second)
+
+	total := phase1 + phase2
+	for _, n := range nodes {
+		if n.st.Len() != total {
+			t.Fatalf("node %s holds %d records after convergence, want %d", n.addr, n.st.Len(), total)
+		}
+	}
+	rs := nodes[2].repl.Stats()
+	if rs.Repaired == 0 {
+		t.Fatal("restarted node converged without adopting anything — the oracle is not exercising anti-entropy")
+	}
+
+	// Byte-identical contents: every record's persisted bytes match on
+	// every node.
+	for shard := 0; shard < nodes[0].st.ShardCount(); shard++ {
+		addrsList, err := nodes[0].st.ShardAddrs(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range addrsList {
+			ref, ok, err := nodes[0].st.GetRecord(a)
+			if err != nil || !ok {
+				t.Fatalf("node 0 cannot export %s: ok=%v err=%v", a, ok, err)
+			}
+			for _, n := range nodes[1:] {
+				got, ok, err := n.st.GetRecord(a)
+				if err != nil || !ok || !bytes.Equal(ref, got) {
+					t.Fatalf("record %s differs on node %s (ok=%v err=%v)", a, n.addr, ok, err)
+				}
+			}
+		}
+	}
+
+	// Simulation count == unique keys: every key was simulated exactly
+	// once across the cluster, counting the victim's first life.
+	writes := victimWrites
+	for _, n := range nodes {
+		writes += n.st.Stats().Writes
+	}
+	if writes != int64(total) {
+		t.Fatalf("cluster simulated %d times for %d unique keys", writes, total)
+	}
+
+	// Same /v1/* responses from every node, still with zero simulation:
+	// each key answers byte-identically wherever it is asked.
+	for i := 0; i < total; i++ {
+		var ref []byte
+		for ni, n := range nodes {
+			code, body := postJob(t, n.addr, key(i), opts.Warmup)
+			if code != http.StatusOK {
+				t.Fatalf("warm job %d on node %d: status %d: %s", i, ni, code, body)
+			}
+			if ni == 0 {
+				ref = body
+			} else if !bytes.Equal(ref, body) {
+				t.Fatalf("job %d answers different bytes on node %d", i, ni)
+			}
+		}
+	}
+	after := victimWrites
+	for _, n := range nodes {
+		after += n.st.Stats().Writes
+	}
+	if after != writes {
+		t.Fatalf("serving warm keys re-simulated: writes %d -> %d", writes, after)
+	}
+	if got := fmt.Sprintf("%d", nodes[2].st.Stats().Writes); got != "0" {
+		t.Fatalf("restarted node simulated %s times, want 0", got)
+	}
+}
+
+// TestPushFanOut pins the write-through path alone: a record stored on
+// one node shows up on its peers without any anti-entropy round.
+func TestPushFanOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := testOptions()
+
+	listeners := make([]net.Listener, 3)
+	addrs := make([]string, 3)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	nodes := make([]*node, 3)
+	for i := range nodes {
+		peers := make([]string, 0, 2)
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		nodes[i] = startNode(t, ctx, t.TempDir(), addrs[i], listeners[i], peers, opts)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.stop()
+		}
+	}()
+
+	wl := core.Registry()[0]
+	k := sweep.Key{Name: wl.Name, Profile: wl.Profile, ConfigFP: opts.CoreConfig().Fingerprint(), MaxInstrs: opts.Warmup + opts.Instrs}
+	if code, body := postJob(t, nodes[0].addr, k, opts.Warmup); code != http.StatusOK {
+		t.Fatalf("job: status %d: %s", code, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if nodes[1].st.Len() == 1 && nodes[2].st.Len() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("push fan-out did not land: peers hold %d and %d records; stats %+v",
+				nodes[1].st.Len(), nodes[2].st.Len(), nodes[0].repl.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rs := nodes[0].repl.Stats(); rs.Pushed < 2 {
+		t.Fatalf("pushed = %d, want >= 2", rs.Pushed)
+	}
+	// The pushes landed as adoptions, not writes: peers never simulated.
+	if w := nodes[1].st.Stats().Writes + nodes[2].st.Stats().Writes; w != 0 {
+		t.Fatalf("peers simulated %d times for a pushed record", w)
+	}
+}

@@ -139,6 +139,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			writeMetric(&b, "dcserved_trace_cache_fallbacks_total", "counter",
 				"Simulations that generated live because the trace exceeds the budget.", float64(tc.Fallbacks))
 		}
+		// Replication families (and the adopted counter that only moves
+		// with replication on) appear only when a replicator is wired in,
+		// so the single-node exposition — and its golden test — is
+		// byte-identical to before replication existed.
+		if rp := bs.Replication; rp != nil {
+			writeMetric(&b, "dcserved_store_adopted_total", "counter",
+				"Records adopted verbatim from replica peers (push or anti-entropy).", float64(bs.Adopted))
+			writeMetric(&b, "dcserved_replica_peers", "gauge",
+				"Configured replica peers (-replicas).", float64(rp.Peers))
+			writeMetric(&b, "dcserved_replica_factor", "gauge",
+				"Total copies of each fresh record, this node included (-replication-factor).", float64(rp.Factor))
+			writeMetric(&b, "dcserved_replica_pushed_total", "counter",
+				"Fresh records delivered to a peer by write-through fan-out.", float64(rp.Pushed))
+			writeMetric(&b, "dcserved_replica_push_errors_total", "counter",
+				"Fan-out pushes that exhausted their retries.", float64(rp.PushErrors))
+			writeMetric(&b, "dcserved_replica_dropped_total", "counter",
+				"Fan-out pushes dropped on queue overflow or shutdown (anti-entropy repairs them).", float64(rp.Dropped))
+			writeMetric(&b, "dcserved_replica_queue_depth", "gauge",
+				"Fan-out pushes currently queued.", float64(rp.QueueDepth))
+			writeMetric(&b, "dcserved_replica_digest_rounds_total", "counter",
+				"Anti-entropy digest exchanges run.", float64(rp.DigestRounds))
+			writeMetric(&b, "dcserved_replica_pulled_total", "counter",
+				"Records fetched from peers during anti-entropy.", float64(rp.Pulled))
+			writeMetric(&b, "dcserved_replica_pull_errors_total", "counter",
+				"Failed peer digest/record fetches.", float64(rp.PullErrors))
+			writeMetric(&b, "dcserved_replica_repaired_total", "counter",
+				"Divergent records adopted during anti-entropy.", float64(rp.Repaired))
+			writeMetric(&b, "dcserved_replica_cluster_records", "gauge",
+				"Records across the cluster at the last digest round (sum over peers, copies counted).", float64(rp.ClusterRecords))
+			writeMetric(&b, "dcserved_replica_cluster_bytes", "gauge",
+				"Record bytes across the cluster at the last digest round.", float64(rp.ClusterBytes))
+		}
 	}
 	s.writeTenantMetrics(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

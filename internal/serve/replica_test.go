@@ -1,0 +1,221 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dcbench/internal/core"
+	"dcbench/internal/replica"
+	"dcbench/internal/serve"
+	"dcbench/internal/store"
+	"dcbench/internal/sweep"
+	"dcbench/internal/tenant"
+	"dcbench/internal/uarch"
+)
+
+// storeWithOneRecord opens a store in a temp dir and puts one record,
+// returning the store and the record's bytes + address.
+func storeWithOneRecord(t *testing.T) (*store.Store, string, []byte) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	opts := testOptions()
+	wl, err := core.ByName("Sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sweep.Key{Name: wl.Name, Profile: wl.Profile,
+		ConfigFP: opts.CoreConfig().Fingerprint(), MaxInstrs: opts.Warmup + opts.Instrs}
+	if err := st.Put(k, &uarch.Counters{Cycles: 42, Instructions: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	var addr string
+	for i := 0; i < st.ShardCount(); i++ {
+		addrs, err := st.ShardAddrs(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(addrs) > 0 {
+			addr = addrs[0]
+		}
+	}
+	data, ok, err := st.GetRecord(addr)
+	if err != nil || !ok {
+		t.Fatalf("GetRecord: ok=%v err=%v", ok, err)
+	}
+	return st, addr, data
+}
+
+// TestReplicaEndpoints drives the full peer protocol over HTTP: digest,
+// per-shard address list, record export, and push ingest with its
+// idempotency and verification rules.
+func TestReplicaEndpoints(t *testing.T) {
+	st, addr, data := storeWithOneRecord(t)
+	srv := serve.New(serve.Config{Options: testOptions(), Store: st, Logger: quietLog})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Digest: one record's worth of shards, totals matching the store.
+	resp, body := get(t, ts, "/v1/replica/digest", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("digest status = %d: %s", resp.StatusCode, body)
+	}
+	var dr replica.DigestResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Records != 1 || dr.Bytes != st.Bytes() || len(dr.Shards) != st.ShardCount() {
+		t.Fatalf("digest = %+v, want 1 record / %d bytes / %d shards", dr, st.Bytes(), st.ShardCount())
+	}
+
+	// The populated shard's address list names the record.
+	var shard int
+	for _, d := range dr.Shards {
+		if d.Count > 0 {
+			shard = d.Shard
+		}
+	}
+	resp, body = get(t, ts, "/v1/replica/digest?shard="+itoa(shard), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("addrs status = %d: %s", resp.StatusCode, body)
+	}
+	var ar replica.AddrsResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Addrs) != 1 || ar.Addrs[0] != addr {
+		t.Fatalf("addrs = %+v, want [%s]", ar, addr)
+	}
+	if resp, _ := get(t, ts, "/v1/replica/digest?shard=banana", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad shard query status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/replica/digest?shard=9999", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range shard status = %d, want 400", resp.StatusCode)
+	}
+
+	// Record export serves the persisted bytes verbatim.
+	resp, body = get(t, ts, "/v1/replica/records/"+addr, nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, data) {
+		t.Fatalf("record export status = %d, bytes equal = %v", resp.StatusCode, bytes.Equal(body, data))
+	}
+	if resp, _ := get(t, ts, "/v1/replica/records/0000000000000000", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent record status = %d, want 404", resp.StatusCode)
+	}
+
+	// Push ingest into a second, empty node: 204, idempotent 204 again,
+	// and garbage is a 400 that stores nothing.
+	st2, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	srv2 := serve.New(serve.Config{Options: testOptions(), Store: st2, Logger: quietLog})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	resp, _ = postJSON(t, ts2, "/v1/replica/records", data)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("push status = %d, want 204", resp.StatusCode)
+	}
+	if st2.Len() != 1 {
+		t.Fatalf("push landed %d records, want 1", st2.Len())
+	}
+	got, ok, err := st2.GetRecord(addr)
+	if err != nil || !ok || !bytes.Equal(got, data) {
+		t.Fatal("pushed record is not byte-identical on the receiver")
+	}
+	resp, _ = postJSON(t, ts2, "/v1/replica/records", data)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("repeated push status = %d, want 204 (idempotent)", resp.StatusCode)
+	}
+	if st2.Stats().Adopted != 1 {
+		t.Fatalf("adopted = %d after duplicate push, want 1", st2.Stats().Adopted)
+	}
+	resp, _ = postJSON(t, ts2, "/v1/replica/records", []byte(`{"schema":2,"kind":"counters"`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage push status = %d, want 400", resp.StatusCode)
+	}
+	if st2.Len() != 1 {
+		t.Fatal("garbage push changed the store")
+	}
+}
+
+// TestReplicaEndpointsStoreless pins the storeless answer: a node with no
+// -store has nothing to replicate and says so with 404s, which a peer's
+// anti-entropy treats as an empty peer.
+func TestReplicaEndpointsStoreless(t *testing.T) {
+	srv := serve.New(serve.Config{Options: testOptions(), Logger: quietLog})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/v1/replica/digest", "/v1/replica/records/0123456789abcdef"} {
+		if resp, _ := get(t, ts, path, nil); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	if resp, _ := postJSON(t, ts, "/v1/replica/records", []byte(`{}`)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("storeless push status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestReplicaEndpointsAuthenticated pins the auth contract: with a keys
+// file loaded, the replica plane requires the same service key dispatch
+// presents — an unkeyed peer gets 401, a keyed one works.
+func TestReplicaEndpointsAuthenticated(t *testing.T) {
+	st, addr, data := storeWithOneRecord(t)
+	reg := openRegistry(t, tenant.KeyConfig{ID: "svc", Secret: "dck_service"})
+	srv := serve.New(serve.Config{Options: testOptions(), Store: st, Tenants: reg, Logger: quietLog})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/v1/replica/digest", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unkeyed digest status = %d, want 401", resp.StatusCode)
+	}
+	var env errEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "unauthorized" {
+		t.Fatalf("unkeyed digest error = %s (err %v), want unauthorized envelope", body, err)
+	}
+	auth := map[string]string{"Authorization": "Bearer dck_service"}
+	if resp, _ := get(t, ts, "/v1/replica/digest", auth); resp.StatusCode != http.StatusOK {
+		t.Fatalf("keyed digest status = %d, want 200", resp.StatusCode)
+	}
+
+	// The replicator's own client presents the key the same way: an empty
+	// peer pointed at the keyed node pulls the record via anti-entropy.
+	st2, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	r, err := replica.New(replica.Options{
+		Peers: []string{ts.Listener.Addr().String()}, Interval: -1, APIKey: "dck_service",
+	}, st2, quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.RunAntiEntropy(context.Background())
+	if st2.Len() != 1 {
+		t.Fatalf("keyed anti-entropy pulled %d records, want 1", st2.Len())
+	}
+	if got, ok, _ := st2.GetRecord(addr); !ok || !bytes.Equal(got, data) {
+		t.Fatal("pulled record is not byte-identical through the authenticated plane")
+	}
+}
+
+// itoa avoids importing strconv for one call site.
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}

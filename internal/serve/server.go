@@ -232,6 +232,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	// Store replication plane (replica.go in this package): push ingest,
+	// digest export, record export. Authenticated like any /v1 route.
+	s.registerReplicaRoutes()
 	// The trace ring is also on the service port (not only -debug-addr):
 	// correlating a front-end's trace with a worker's means asking every
 	// node, and workers are addressed by their service port.

@@ -148,6 +148,7 @@ type Store struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	writes    atomic.Int64
+	adopted   atomic.Int64 // records installed verbatim from a replica peer
 	evictions atomic.Int64
 	corrupt   atomic.Int64
 	evictMu   sync.Mutex // one eviction pass at a time
@@ -404,6 +405,7 @@ func (s *Store) Stats() Stats {
 		Hits:      s.hits.Load(),
 		Misses:    s.misses.Load(),
 		Writes:    s.writes.Load(),
+		Adopted:   s.adopted.Load(),
 		Evictions: s.evictions.Load(),
 		Corrupt:   s.corrupt.Load(),
 	}
@@ -472,35 +474,43 @@ func (s *Store) put(kind string, key, payload []byte) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.writes.Add(1)
+	s.enforceBudgets()
+	return nil
+}
+
+// enforceBudgets runs the post-install eviction check every record
+// installation shares (a simulated Put or an adopted replica record): when
+// a budget is exceeded, trim below the exceeded cap(s) with hysteresis.
+func (s *Store) enforceBudgets() {
 	overRecords := s.maxRecords > 0 && int(s.live.Load()) > s.maxRecords
 	overBytes := s.maxBytes > 0 && s.bytes.Load() > s.maxBytes
-	if overRecords || overBytes {
-		// Trim below the exceeded cap(s) (10% hysteresis, at least one
-		// record) so a sustained write load triggers a pass per batch, not
-		// a full snapshot-and-sort per Put. A budget that is not exceeded
-		// keeps its exact cap: hysteresis on it would evict warm records
-		// nothing required evicting.
-		recTarget := s.maxRecords
-		if overRecords {
-			slack := s.maxRecords / 10
-			if slack < 1 {
-				slack = 1
-			}
-			recTarget = s.maxRecords - slack
-			if recTarget < 1 {
-				recTarget = 1 // a zero target would mean "no budget" to evict
-			}
-		}
-		byteTarget := s.maxBytes
-		if overBytes {
-			byteTarget = s.maxBytes - s.maxBytes/10
-			if byteTarget < 1 {
-				byteTarget = 1
-			}
-		}
-		s.evict(recTarget, byteTarget)
+	if !overRecords && !overBytes {
+		return
 	}
-	return nil
+	// Trim below the exceeded cap(s) (10% hysteresis, at least one
+	// record) so a sustained write load triggers a pass per batch, not
+	// a full snapshot-and-sort per Put. A budget that is not exceeded
+	// keeps its exact cap: hysteresis on it would evict warm records
+	// nothing required evicting.
+	recTarget := s.maxRecords
+	if overRecords {
+		slack := s.maxRecords / 10
+		if slack < 1 {
+			slack = 1
+		}
+		recTarget = s.maxRecords - slack
+		if recTarget < 1 {
+			recTarget = 1 // a zero target would mean "no budget" to evict
+		}
+	}
+	byteTarget := s.maxBytes
+	if overBytes {
+		byteTarget = s.maxBytes - s.maxBytes/10
+		if byteTarget < 1 {
+			byteTarget = 1
+		}
+	}
+	s.evict(recTarget, byteTarget)
 }
 
 // Evict runs one eviction-and-compaction pass: every record idle past

@@ -113,18 +113,52 @@ type MemoBackend interface {
 // A backend that forwards misses to worker nodes fills the Dispatch block;
 // plain stores leave it nil.
 type BackendStats struct {
-	Records   int64          `json:"records"`
-	Bytes     int64          `json:"bytes"`
-	Shards    int64          `json:"shards"`
-	Hits      int64          `json:"hits"`
-	Misses    int64          `json:"misses"`
-	Writes    int64          `json:"writes"`
-	Evictions int64          `json:"evictions"`
-	Corrupt   int64          `json:"corrupt"`
-	Dispatch  *DispatchStats `json:"dispatch,omitempty"`
+	Records   int64 `json:"records"`
+	Bytes     int64 `json:"bytes"`
+	Shards    int64 `json:"shards"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Writes    int64 `json:"writes"`
+	Evictions int64 `json:"evictions"`
+	Corrupt   int64 `json:"corrupt"`
+	// Adopted counts records installed from a replica peer (write-through
+	// push or anti-entropy pull) rather than simulated here — the split
+	// that lets "writes" keep meaning "computed on this node", which the
+	// zero-re-simulation oracles depend on. Omitted while zero, so
+	// replication-off output is byte-identical to older builds.
+	Adopted  int64          `json:"adopted,omitempty"`
+	Dispatch *DispatchStats `json:"dispatch,omitempty"`
+	// Replication reports the replica subsystem when one is wired in
+	// (write-through fan-out and anti-entropy between store peers);
+	// standalone nodes leave it nil.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 	// TraceCache reports the engine's trace capture/replay layer when one
 	// is installed; engines running without one leave it nil.
 	TraceCache *tracecache.Stats `json:"trace_cache,omitempty"`
+}
+
+// ReplicationStats is the replica subsystem's slice of BackendStats: the
+// write-through fan-out's traffic (pushed/push_errors/dropped/queue_depth),
+// the anti-entropy loop's (digest_rounds/pulled/pull_errors/repaired), and
+// the aggregated cluster-wide gauge the last digest exchange observed
+// (cluster_records/cluster_bytes — every peer's record count and bytes
+// summed with this node's own, the cluster view the per-process budgets
+// lack). Dropped > 0 means the push queue overflowed and anti-entropy is
+// carrying the slack; Repaired counts records a digest round actually
+// pulled in, so a steady nonzero rate flags a peer that keeps diverging.
+type ReplicationStats struct {
+	Peers          int64 `json:"peers"`
+	Factor         int64 `json:"factor"`
+	Pushed         int64 `json:"pushed"`
+	PushErrors     int64 `json:"push_errors"`
+	Dropped        int64 `json:"dropped"`
+	QueueDepth     int64 `json:"queue_depth"`
+	DigestRounds   int64 `json:"digest_rounds"`
+	Pulled         int64 `json:"pulled"`
+	PullErrors     int64 `json:"pull_errors"`
+	Repaired       int64 `json:"repaired"`
+	ClusterRecords int64 `json:"cluster_records"`
+	ClusterBytes   int64 `json:"cluster_bytes"`
 }
 
 // DispatchStats is the remote-dispatch slice of BackendStats: how much
@@ -170,6 +204,13 @@ type WorkerStats struct {
 	Shed        int64  `json:"shed"`
 	CircuitOpen bool   `json:"circuit_open"`
 	Shedding    bool   `json:"shedding"`
+	// ConsecutiveFails is the worker's current failure streak (the circuit
+	// opens at the dispatch layer's threshold) and LastError the text of
+	// its most recent failed attempt — enough to diagnose a dark replica
+	// from /healthz without grepping front-end logs. Both are omitted
+	// while the worker is clean, so healthy output is unchanged.
+	ConsecutiveFails int    `json:"consecutive_fails,omitempty"`
+	LastError        string `json:"last_error,omitempty"`
 }
 
 // StatsReporter is the optional MemoBackend extension for observability:

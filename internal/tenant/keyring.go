@@ -409,8 +409,10 @@ func (r *Registry) SetKeyLimits(id string, l Limits) error {
 }
 
 // persistLocked rewrites the keys file from the keyed tenants, atomically
-// (temp file + rename, the store's own durability idiom), and adopts the
-// new mtime so the poll loop does not immediately re-read our own write.
+// and durably (temp file + fsync + rename + directory fsync, the store's
+// own durability idiom — a rename alone survives a crash of the process
+// but not necessarily of the machine), and adopts the new mtime so the
+// poll loop does not immediately re-read our own write.
 func (r *Registry) persistLocked() error {
 	if r.path == "" {
 		return errors.New("no keys file configured (-keys-file)")
@@ -437,6 +439,11 @@ func (r *Registry) persistLocked() error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
@@ -448,6 +455,13 @@ func (r *Registry) persistLocked() error {
 	if err := os.Rename(tmp.Name(), r.path); err != nil {
 		os.Remove(tmp.Name())
 		return err
+	}
+	// Best-effort directory sync so the rename itself is on disk; some
+	// filesystems refuse to sync directories, which is not worth failing a
+	// successfully persisted mutation over.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	if fi, err := os.Stat(r.path); err == nil {
 		r.mtime = fi.ModTime()

@@ -37,7 +37,17 @@
 #      its own /healthz AND attributes dispatched jobs to the originating
 #      tenant in the worker's /metrics (the X-Dcs-Tenant hop), serves the
 #      admin usage report only to the bootstrap token, and advertises the
-#      /v1/sweep deprecation via the Deprecation/Sunset headers.
+#      /v1/sweep deprecation via the Deprecation/Sunset headers;
+#   7. store replication survives losing a record's owner: three replicated
+#      workers, one counters job warmed through a front-end, the owner
+#      (the only node that simulated) killed — a fresh front-end spreading
+#      reads over the full set (-dispatch-replicas 3) answers the same job
+#      byte-identically from a survivor with zero re-simulation and zero
+#      dispatch fallbacks, and a brand-new empty node pointed at the
+#      survivors converges via anti-entropy (pulled records, no writes).
+#      Timings land in $BENCH_REPLICA_OUT (push fan-out, failover request,
+#      anti-entropy convergence), uploaded by CI beside the BENCH_*
+#      artifacts.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,7 +59,9 @@ FLAGS=(-scale 0.004 -instrs 30000 -warmup 10000)
 BASE_PORT=18470 WORKER_PORT=18471 FRONT_PORT=18472 FRONT2_PORT=18473 SHED_PORT=18474 ASYNC_PORT=18477 DEAD_PORT=18479
 WORKER_DEBUG_PORT=18475 FRONT_DEBUG_PORT=18476
 TWORKER_PORT=18480 TFRONT_PORT=18481 TADMIN_PORT=18482
+RA_PORT=18483 RB_PORT=18484 RC_PORT=18485 RFRONT_PORT=18486 RFRONT2_PORT=18487 RNEW_PORT=18488
 TRACES_OUT=${TRACES_OUT:-$WORK/TRACES_e2e.json}
+BENCH_REPLICA_OUT=${BENCH_REPLICA_OUT:-$WORK/BENCH_replica.json}
 
 echo "== build"
 go build -o "$WORK/bin/" ./cmd/...
@@ -459,5 +471,141 @@ grep -qi '^Deprecation: true' "$WORK/sweep.hdr" \
 grep -qi '^Sunset: ' "$WORK/sweep.hdr" \
   || { echo "FAIL: /v1/sweep response lacks the Sunset header" >&2; exit 1; }
 echo "   ok: /v1/sweep advertises Deprecation + Sunset"
+
+echo "== 7. replication: kill the owner, survivors answer byte-identically with zero re-simulation"
+# Three workers replicating every record to each other (factor 3), fast
+# anti-entropy so the convergence measurement finishes in CI time.
+R_PORTS=($RA_PORT $RB_PORT $RC_PORT)
+for i in 0 1 2; do
+  PEERS=""
+  for j in 0 1 2; do
+    [ $i = $j ] && continue
+    PEERS="$PEERS${PEERS:+,}127.0.0.1:${R_PORTS[$j]}"
+  done
+  "$WORK/bin/dcserved" -addr "127.0.0.1:${R_PORTS[$i]}" -store "$WORK/r$i.store" \
+    -replicas "$PEERS" -replication-factor 3 -anti-entropy-interval 2s \
+    "${FLAGS[@]}" 2>"$WORK/r$i.log" &
+  R_PIDS[$i]=$!
+done
+for p in "${R_PORTS[@]}"; do wait_ready "$p"; done
+ALL_WORKERS="127.0.0.1:$RA_PORT,127.0.0.1:$RB_PORT,127.0.0.1:$RC_PORT"
+# -store "" : the front-ends must NOT cache (the -store flag defaults to
+# a local directory) — every answer in this step has to come off a worker.
+"$WORK/bin/dcserved" -addr "127.0.0.1:$RFRONT_PORT" -store "" \
+  -workers "$ALL_WORKERS" "${FLAGS[@]}" 2>"$WORK/rfront.log" &
+RFRONT_PID=$!
+wait_ready $RFRONT_PORT
+
+# 7a. warm one counters job through the front-end: exactly one worker
+# simulates it (the key's rendezvous owner); write-through fan-out copies
+# the record to both peers without them simulating anything.
+RCFP=$(healthz_field $RA_PORT "int(h['config_fp'], 16)")
+RJOB="{\"kind\":\"counters\",\"warmup\":10000,\"key\":{\"Name\":\"Sort\",\"Profile\":{\"Seed\":5,\"MaxInstrs\":40000,\"CodeKB\":64,\"HeapMB\":4},\"ConfigFP\":$RCFP,\"MaxInstrs\":40000}}"
+curl -sf -X POST -H 'Content-Type: application/json' -d "$RJOB" \
+  "http://127.0.0.1:$RFRONT_PORT/v1/jobs" -o "$WORK/replica_warm.body"
+T_WARM=$(date +%s.%N)
+OWNER=-1
+for i in 0 1 2; do
+  W=$(healthz_field "${R_PORTS[$i]}" "h['store']['writes']")
+  if [ "$W" != 0 ]; then
+    [ "$OWNER" = -1 ] || { echo "FAIL: two owners simulated one key" >&2; exit 1; }
+    OWNER=$i
+    assert_eq "owner writes" "$W" 1
+  fi
+done
+[ "$OWNER" != -1 ] || { echo "FAIL: no worker recorded the simulation" >&2; exit 1; }
+echo "   ok: owner is node $OWNER (port ${R_PORTS[$OWNER]})"
+
+# 7b. both survivors hold the record via the async push (not anti-entropy
+# yet — that cadence is 2s, pushes land in milliseconds); time it.
+SURVIVORS=()
+for i in 0 1 2; do [ $i = "$OWNER" ] || SURVIVORS+=($i); done
+for i in "${SURVIVORS[@]}"; do
+  for _ in $(seq 1 100); do
+    [ "$(healthz_field "${R_PORTS[$i]}" "h['store']['records']")" = 1 ] && break
+    sleep 0.05
+  done
+  assert_eq "survivor $i replicated records" \
+    "$(healthz_field "${R_PORTS[$i]}" "h['store']['records']")" 1
+  assert_eq "survivor $i writes (no re-simulation)" \
+    "$(healthz_field "${R_PORTS[$i]}" "h['store']['writes']")" 0
+done
+T_PUSHED=$(date +%s.%N)
+PUSH_SECS=$(python3 -c "print(f'{$T_PUSHED - $T_WARM:.3f}')")
+OWNER_PUSHED=$(healthz_field "${R_PORTS[$OWNER]}" "h['store']['replication']['pushed']")
+[ "$OWNER_PUSHED" -ge 2 ] || { echo "FAIL: owner pushed $OWNER_PUSHED records, want >= 2" >&2; exit 1; }
+echo "   ok: write-through fan-out landed on both survivors in ${PUSH_SECS}s (owner pushed $OWNER_PUSHED)"
+
+# 7c. kill the owner; a fresh front-end rotating reads across the full
+# worker set answers the same job byte-identically from a survivor:
+# no fallback (nothing simulated locally), no survivor write.
+kill "${R_PIDS[$OWNER]}" 2>/dev/null || true
+wait "${R_PIDS[$OWNER]}" 2>/dev/null || true
+"$WORK/bin/dcserved" -addr "127.0.0.1:$RFRONT2_PORT" -store "" \
+  -workers "$ALL_WORKERS" -dispatch-replicas 3 "${FLAGS[@]}" 2>"$WORK/rfront2.log" &
+wait_ready $RFRONT2_PORT
+T_FAIL0=$(date +%s.%N)
+curl -sf -X POST -H 'Content-Type: application/json' -d "$RJOB" \
+  "http://127.0.0.1:$RFRONT2_PORT/v1/jobs" -o "$WORK/replica_failover.body"
+T_FAIL1=$(date +%s.%N)
+FAILOVER_SECS=$(python3 -c "print(f'{$T_FAIL1 - $T_FAIL0:.3f}')")
+cmp -s "$WORK/replica_warm.body" "$WORK/replica_failover.body" \
+  || { echo "FAIL: survivor's bytes diverge from the owner's original record" >&2; exit 1; }
+echo "   ok: failover answer byte-identical to the dead owner's record (${FAILOVER_SECS}s)"
+assert_eq "failover fallbacks" "$(healthz_field $RFRONT2_PORT "h['store']['dispatch']['fallbacks']")" 0
+RH=$(healthz_field $RFRONT2_PORT "h['store']['dispatch']['remote_hits']")
+[ "$RH" -ge 1 ] || { echo "FAIL: failover request never hit a worker" >&2; exit 1; }
+for i in "${SURVIVORS[@]}"; do
+  assert_eq "survivor $i writes after failover (zero re-simulation)" \
+    "$(healthz_field "${R_PORTS[$i]}" "h['store']['writes']")" 0
+done
+
+# 7d. a brand-new empty node pointed at the survivors converges by
+# anti-entropy alone: it pulls the record it is missing and never
+# simulates. Time from process start to a converged store.
+NEW_PEERS="127.0.0.1:${R_PORTS[${SURVIVORS[0]}]},127.0.0.1:${R_PORTS[${SURVIVORS[1]}]}"
+T_NEW0=$(date +%s.%N)
+"$WORK/bin/dcserved" -addr "127.0.0.1:$RNEW_PORT" -store "$WORK/rnew.store" \
+  -replicas "$NEW_PEERS" -replication-factor 3 -anti-entropy-interval 1s \
+  "${FLAGS[@]}" 2>"$WORK/rnew.log" &
+wait_ready $RNEW_PORT
+for _ in $(seq 1 200); do
+  [ "$(healthz_field $RNEW_PORT "h['store']['records']")" = 1 ] && break
+  sleep 0.1
+done
+T_NEW1=$(date +%s.%N)
+CONVERGE_SECS=$(python3 -c "print(f'{$T_NEW1 - $T_NEW0:.3f}')")
+assert_eq "new node records after anti-entropy" \
+  "$(healthz_field $RNEW_PORT "h['store']['records']")" 1
+assert_eq "new node writes (convergence costs no simulation)" \
+  "$(healthz_field $RNEW_PORT "h['store']['writes']")" 0
+PULLED=$(healthz_field $RNEW_PORT "h['store']['replication']['pulled']")
+REPAIRED=$(healthz_field $RNEW_PORT "h['store']['replication']['repaired']")
+[ "$PULLED" -ge 1 ] || { echo "FAIL: new node pulled $PULLED records" >&2; exit 1; }
+[ "$REPAIRED" -ge 1 ] || { echo "FAIL: new node repaired $REPAIRED records" >&2; exit 1; }
+echo "   ok: new node converged in ${CONVERGE_SECS}s (pulled $PULLED, repaired $REPAIRED)"
+# The cluster-wide gauge (total record copies across self + peers,
+# refreshed each digest round) settles at one copy per live node once a
+# round runs against the converged stores.
+for _ in $(seq 1 100); do
+  CLUSTER_RECORDS=$(healthz_field $RNEW_PORT "h['store']['replication']['cluster_records']")
+  [ "$CLUSTER_RECORDS" = 3 ] && break
+  sleep 0.1
+done
+assert_eq "cluster record copies (one per live node)" "$CLUSTER_RECORDS" 3
+
+python3 - <<PYEOF
+import json
+out = {
+    "push_fanout_secs": $PUSH_SECS,
+    "failover_request_secs": $FAILOVER_SECS,
+    "anti_entropy_convergence_secs": $CONVERGE_SECS,
+    "owner_pushed": $OWNER_PUSHED,
+    "new_node_pulled": $PULLED,
+    "new_node_repaired": $REPAIRED,
+}
+json.dump(out, open("$BENCH_REPLICA_OUT", "w"), indent=2)
+print("   ok: replication benchmark artifact at $BENCH_REPLICA_OUT")
+PYEOF
 
 echo "e2e-distributed: PASS"
